@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks for the hot paths of the FreePhish pipeline:
+//! URL parsing, HTML parsing, feature extraction, classifier inference,
+//! the Appendix-A similarity computation, and a full streaming poll tick.
+//!
+//! The paper reports a 2.8 s median per-URL runtime for its deployed model
+//! (dominated by page fetch + render); these benches measure the compute
+//! component the library controls.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use freephish_core::features::{FeatureSet, FeatureVector};
+use freephish_core::groundtruth::{build, GroundTruthConfig};
+use freephish_core::models::augmented::AugmentedStackModel;
+use freephish_core::models::{NoFetch, PhishDetector};
+use freephish_core::pipeline::streaming::StreamingModule;
+use freephish_core::world::World;
+use freephish_htmlparse::parse;
+use freephish_ml::StackModelConfig;
+use freephish_simclock::{Rng64, SimTime};
+use freephish_socialsim::ModerationProfile;
+use freephish_textsim::site_similarity;
+use freephish_urlparse::Url;
+use freephish_webgen::{FwbKind, PageKind, PageSpec};
+
+fn sample_site() -> freephish_webgen::GeneratedSite {
+    PageSpec {
+        fwb: FwbKind::Weebly,
+        kind: PageKind::CredentialPhish { brand: 4 },
+        site_name: "bench-site".into(),
+        noindex: true,
+        obfuscate_banner: true,
+        seed: 99,
+    }
+    .generate()
+}
+
+fn bench_url_parse(c: &mut Criterion) {
+    let url = "https://secure-paypal-verify.weebly.com/login/step2?session=a8f3&redir=home";
+    c.bench_function("url_parse", |b| {
+        b.iter(|| Url::parse(std::hint::black_box(url)).unwrap())
+    });
+}
+
+fn bench_html_parse(c: &mut Criterion) {
+    let site = sample_site();
+    c.bench_function("html_parse", |b| {
+        b.iter(|| parse(std::hint::black_box(&site.html)))
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let site = sample_site();
+    let url = Url::parse(&site.url).unwrap();
+    let doc = parse(&site.html);
+    c.bench_function("feature_extraction", |b| {
+        b.iter(|| {
+            FeatureVector::extract(
+                FeatureSet::Augmented,
+                std::hint::black_box(&url),
+                std::hint::black_box(&doc),
+            )
+        })
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let corpus = build(&GroundTruthConfig::tiny());
+    let mut rng = Rng64::new(1);
+    let model = AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng);
+    let site = sample_site();
+    c.bench_function("classify_snapshot_end_to_end", |b| {
+        b.iter(|| {
+            model.score(
+                std::hint::black_box(&site.url),
+                std::hint::black_box(&site.html),
+                &NoFetch,
+            )
+        })
+    });
+}
+
+fn bench_site_similarity(c: &mut Criterion) {
+    let a = parse(&sample_site().html).tag_elements();
+    let spec = PageSpec {
+        fwb: FwbKind::Weebly,
+        kind: PageKind::Benign { topic: 2 },
+        site_name: "bench-benign".into(),
+        noindex: false,
+        obfuscate_banner: false,
+        seed: 100,
+    };
+    let b_tags = parse(&spec.generate().html).tag_elements();
+    c.bench_function("appendix_a_site_similarity", |bch| {
+        bch.iter(|| site_similarity(std::hint::black_box(&a), std::hint::black_box(&b_tags)))
+    });
+}
+
+fn bench_streaming_poll(c: &mut Criterion) {
+    // A feed with 1,000 posts; measure one poll tick over the hour window.
+    let mut world = World::new(9);
+    let quiet = ModerationProfile {
+        delete_prob: 0.0,
+        median_mins: 1.0,
+        sigma: 0.1,
+    };
+    for i in 0..1000u64 {
+        world.twitter.publish(
+            &format!("https://site{i}.weebly.com/"),
+            None,
+            SimTime::from_secs(i),
+            &quiet,
+        );
+    }
+    c.bench_function("streaming_poll_tick_1k_posts", |b| {
+        b.iter_batched(
+            StreamingModule::new,
+            |mut s| s.poll(std::hint::black_box(&world), SimTime::from_mins(60)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_url_parse,
+    bench_html_parse,
+    bench_feature_extraction,
+    bench_classifier,
+    bench_site_similarity,
+    bench_streaming_poll
+);
+criterion_main!(benches);

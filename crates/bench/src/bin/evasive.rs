@@ -1,0 +1,116 @@
+//! Section 5.5: the evasive-attack census. Runs the paper's heuristics over
+//! every credential-free FWB phishing snapshot and reports the two-step /
+//! iframe / drive-by counts per service, plus the Sharepoint→Microsoft
+//! spoofing concentration.
+
+use freephish_bench::harness::{full_measurement, scale_from_env, write_json};
+use freephish_bench::TableWriter;
+use freephish_core::campaign::RecordClass;
+use freephish_core::evasion::{classify_evasion, lacks_credential_fields, EvasionVector};
+use freephish_htmlparse::parse;
+use freephish_urlparse::Url;
+use freephish_webgen::FwbKind;
+use std::collections::HashMap;
+
+fn main() {
+    let scale = scale_from_env();
+    let m = full_measurement(scale, 0x7ab1ea);
+
+    // Walk every FWB phishing snapshot the way the paper walked its dataset.
+    let mut no_cred = 0usize;
+    let mut total = 0usize;
+    let mut per_fwb: HashMap<(FwbKind, EvasionVector), usize> = HashMap::new();
+    let mut fwb_totals: HashMap<FwbKind, usize> = HashMap::new();
+    let mut iframe_total = 0usize;
+    let mut sp_driveby_ms = 0usize;
+    let mut sp_driveby = 0usize;
+
+    for r in &m.records {
+        let RecordClass::FwbPhish(fwb) = r.class else { continue };
+        total += 1;
+        *fwb_totals.entry(fwb).or_default() += 1;
+        let Some(id) = m.world.host(fwb).site_by_url(&r.url) else { continue };
+        let site = m.world.host(fwb).site(id);
+        let doc = parse(&site.site.html);
+        let url = Url::parse(&r.url).expect("campaign urls parse");
+        if lacks_credential_fields(&doc) {
+            no_cred += 1;
+        }
+        if let Some((vector, _target)) = classify_evasion(&url, &doc) {
+            *per_fwb.entry((fwb, vector)).or_default() += 1;
+            if vector == EvasionVector::IframeEmbed {
+                iframe_total += 1;
+            }
+            if vector == EvasionVector::DriveByDownload && fwb == FwbKind::Sharepoint {
+                sp_driveby += 1;
+                if matches!(r.brand, Some(1) | Some(21) | Some(22)) {
+                    sp_driveby_ms += 1;
+                }
+            }
+        }
+    }
+
+    println!("\nSection 5.5 — evasive attack census ({} FWB phishing URLs)\n", total);
+    println!(
+        "URLs without credential fields: {no_cred} ({:.1}%)  [paper: 14.2%]\n",
+        100.0 * no_cred as f64 / total as f64
+    );
+
+    let mut t = TableWriter::new(&["FWB", "URLs", "Two-step", "Iframe", "Drive-by"]);
+    let mut json_rows = Vec::new();
+    for fwb in [
+        FwbKind::GoogleSites,
+        FwbKind::Blogspot,
+        FwbKind::Sharepoint,
+        FwbKind::GoogleForms,
+    ] {
+        let n = fwb_totals.get(&fwb).copied().unwrap_or(0);
+        let g = |v: EvasionVector| per_fwb.get(&(fwb, v)).copied().unwrap_or(0);
+        let (ts, ifr, db) = (
+            g(EvasionVector::TwoStepLink),
+            g(EvasionVector::IframeEmbed),
+            g(EvasionVector::DriveByDownload),
+        );
+        t.row(vec![
+            fwb.to_string(),
+            n.to_string(),
+            format!("{ts} ({:.0}%)", 100.0 * ts as f64 / n.max(1) as f64),
+            format!("{ifr} ({:.0}%)", 100.0 * ifr as f64 / n.max(1) as f64),
+            format!("{db} ({:.0}%)", 100.0 * db as f64 / n.max(1) as f64),
+        ]);
+        json_rows.push(serde_json::json!({
+            "fwb": fwb.to_string(), "urls": n,
+            "two_step": ts, "iframe": ifr, "drive_by": db,
+        }));
+    }
+    t.print();
+
+    let gs_blog_iframes = per_fwb
+        .get(&(FwbKind::GoogleSites, EvasionVector::IframeEmbed))
+        .copied()
+        .unwrap_or(0)
+        + per_fwb
+            .get(&(FwbKind::Blogspot, EvasionVector::IframeEmbed))
+            .copied()
+            .unwrap_or(0);
+    println!(
+        "\nGoogle Sites + Blogspot share of all iframe attacks: {:.0}%  [paper: 62%]",
+        100.0 * gs_blog_iframes as f64 / iframe_total.max(1) as f64
+    );
+    println!(
+        "Sharepoint drive-bys spoofing Microsoft/OneDrive/Office365: {:.0}%  [paper: ~63%]",
+        100.0 * sp_driveby_ms as f64 / sp_driveby.max(1) as f64
+    );
+
+    write_json(
+        "evasive",
+        &serde_json::json!({
+            "experiment": "evasive",
+            "scale": scale,
+            "total": total,
+            "no_credential_fields": no_cred,
+            "rows": json_rows,
+            "gs_blog_iframe_share": gs_blog_iframes as f64 / iframe_total.max(1) as f64,
+        }),
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 1: distribution of FWB phishing attacks shared on Twitter and
+//! Facebook, Jan 2020 – Aug 2022, plus the per-quarter top-80% domain set
+//! (the "attackers shift to newer services" finding).
+
+use freephish_bench::harness::write_json;
+use freephish_bench::TableWriter;
+use freephish_fwbsim::history::{self, HistoryConfig};
+use freephish_simclock::Rng64;
+
+fn main() {
+    let mut rng = Rng64::new(2020);
+    let records = history::generate(&HistoryConfig::default(), &mut rng);
+    let series = history::quarterly_series(&records);
+
+    println!("Figure 1 — FWB phishing attacks shared per quarter");
+    println!("(historical D1 population: {} URLs)\n", records.len());
+    let mut t = TableWriter::new(&["Quarter", "Twitter", "Facebook", "Total", "Top-80% FWBs"]);
+    for (q, (label, tw, fb)) in series.iter().enumerate() {
+        let top = history::top_domains_80pct(&records, q);
+        let top_names: Vec<String> = top.iter().map(|k| k.to_string()).collect();
+        t.row(vec![
+            label.to_string(),
+            tw.to_string(),
+            fb.to_string(),
+            (tw + fb).to_string(),
+            top_names.join(", "),
+        ]);
+    }
+    t.print();
+
+    let tw_total: usize = series.iter().map(|(_, t, _)| t).sum();
+    let fb_total: usize = series.iter().map(|(_, _, f)| f).sum();
+    println!("\nTotals: Twitter {tw_total} (paper: 16.3K), Facebook {fb_total} (paper: 8.9K)");
+    println!("Trend: first quarter {} vs last quarter {} — {}x growth",
+        series[0].1 + series[0].2,
+        series.last().unwrap().1 + series.last().unwrap().2,
+        (series.last().unwrap().1 + series.last().unwrap().2) / (series[0].1 + series[0].2).max(1),
+    );
+
+    write_json(
+        "fig1",
+        &serde_json::json!({
+            "experiment": "fig1",
+            "series": series.iter().map(|(l, t, f)| serde_json::json!({
+                "quarter": l, "twitter": t, "facebook": f
+            })).collect::<Vec<_>>(),
+            "twitter_total": tw_total,
+            "facebook_total": fb_total,
+        }),
+    );
+}

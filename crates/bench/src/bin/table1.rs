@@ -1,0 +1,74 @@
+//! Table 1: median HTML code similarity between FWB phishing and benign
+//! websites, per service, using the Appendix-A algorithm over generated
+//! sites.
+//!
+//! Paper values: Weebly 79.4%, 000webhostapp 68.1%, Blogspot 63.8%,
+//! Google Sites 72.4%, Wix 63.7%, Github.io 37.4%.
+
+use freephish_bench::harness::write_json;
+use freephish_bench::TableWriter;
+use freephish_core::groundtruth;
+use freephish_htmlparse::parse;
+use freephish_simclock::stats::median_f64;
+use freephish_simclock::{Rng64, Zipf};
+use freephish_textsim::site_similarity;
+use freephish_webgen::{FwbKind, PageSpec, BRANDS};
+
+/// The six services Table 1 reports, with the paper's medians.
+const TABLE1: &[(FwbKind, f64)] = &[
+    (FwbKind::Weebly, 79.4),
+    (FwbKind::Webhost000, 68.1),
+    (FwbKind::Blogspot, 63.8),
+    (FwbKind::GoogleSites, 72.4),
+    (FwbKind::Wix, 63.7),
+    (FwbKind::GithubIo, 37.4),
+];
+
+fn tags_for(spec: &PageSpec) -> Vec<String> {
+    parse(&spec.generate().html).tag_elements()
+}
+
+fn main() {
+    let pairs: usize = std::env::var("FREEPHISH_T1_PAIRS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let mut rng = Rng64::new(0x7ab1e1);
+    let zipf = Zipf::new(BRANDS.len(), 1.05);
+
+    println!("Table 1 — website code similarity between FWB phishing and benign sites");
+    println!("({pairs} phishing/benign pairs per service, Appendix-A algorithm)\n");
+    let mut t = TableWriter::new(&["FWB", "Median similarity", "Paper"]);
+    let mut json_rows = Vec::new();
+
+    for &(kind, paper) in TABLE1 {
+        let mut sims = Vec::with_capacity(pairs);
+        for i in 0..pairs {
+            let mut phish = groundtruth::phishing_spec(&mut rng, &zipf, i as u64);
+            phish.fwb = kind;
+            let mut benign = groundtruth::benign_spec(&mut rng, 0x8000 + i as u64);
+            benign.fwb = kind;
+            sims.push(site_similarity(&tags_for(&phish), &tags_for(&benign)));
+        }
+        let median = median_f64(&sims).unwrap();
+        t.row(vec![
+            kind.to_string(),
+            format!("{median:.1}%"),
+            format!("{paper:.1}%"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "fwb": kind.to_string(),
+            "measured_median": median,
+            "paper_median": paper,
+        }));
+    }
+    t.print();
+    println!("\nShape check: rigid builders (Weebly) at the top, hand-authored");
+    println!("hosting (github.io) far below — code-similarity detectors are blind");
+    println!("to template-built phishing.");
+
+    write_json(
+        "table1",
+        &serde_json::json!({ "experiment": "table1", "rows": json_rows }),
+    );
+}

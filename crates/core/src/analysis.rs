@@ -1,0 +1,647 @@
+//! The analysis module: longitudinal measurement of every anti-phishing
+//! entity (Section 4.4 / Section 5).
+//!
+//! For each URL the framework tracks, the module records — on the same
+//! ten-minute polling grid the paper used — when each of the four
+//! blocklists listed it, when the hosting provider removed it, when the
+//! platform deleted the carrying post, and the VirusTotal detection count
+//! at daily checkpoints. Aggregators then compute the paper's two key
+//! indicators, *coverage* (fraction handled within the observation window)
+//! and *response time* (first-seen → action), sliced exactly the way the
+//! paper's tables and figures slice them.
+//!
+//! Implementation note: rather than simulating every individual poll, the
+//! oracle timestamps are quantized *up* to the next grid point
+//! ([`crate::pipeline::quantize_to_poll`]) — mathematically identical to
+//! polling every ten minutes, at a fraction of the cost.
+
+use crate::campaign::{CampaignRecord, RecordClass};
+use crate::pipeline::quantize_to_poll;
+use crate::world::World;
+use freephish_ecosim::BlocklistKind;
+use freephish_fwbsim::history::Platform;
+use freephish_fwbsim::SiteState;
+use freephish_simclock::stats::{coverage_curve, median_u64};
+use freephish_simclock::{SimDuration, SimTime};
+use freephish_webgen::{FwbKind, BRANDS};
+
+/// Observation window for blocklists and platforms (Table 3: "within one
+/// week").
+pub const WEEK_SECS: u64 = 7 * 86_400;
+/// Observation window for hosting-domain removal (Section 5.3: "after two
+/// weeks").
+pub const TWO_WEEKS_SECS: u64 = 14 * 86_400;
+
+/// Everything the analysis module observed about one URL.
+#[derive(Debug, Clone)]
+pub struct UrlObservation {
+    /// The URL.
+    pub url: String,
+    /// What it is.
+    pub class: RecordClass,
+    /// Platform it appeared on.
+    pub platform: Platform,
+    /// Spoofed brand index, if phishing.
+    pub brand: Option<usize>,
+    /// First appearance (post time).
+    pub first_seen: SimTime,
+    /// Listing delays (seconds from first_seen, poll-quantized), indexed by
+    /// [`BlocklistKind::ALL`] order.
+    pub blocklist_delay: [Option<u64>; 4],
+    /// Hosting takedown delay.
+    pub host_removal_delay: Option<u64>,
+    /// Platform post-deletion delay.
+    pub post_deletion_delay: Option<u64>,
+    /// VT detection counts at 1..=7 days after first seen (index 0 = day 1).
+    pub vt_daily_counts: [usize; 7],
+}
+
+fn delay_from(first_seen: SimTime, event: Option<SimTime>) -> Option<u64> {
+    event.map(|at| (quantize_to_poll(at) - first_seen).as_secs())
+}
+
+/// Build observations for every *phishing* record (benign background posts
+/// are not part of the Section 5 measurement).
+pub fn observe(world: &World, records: &[CampaignRecord]) -> Vec<UrlObservation> {
+    let mut out = Vec::with_capacity(records.len());
+    for r in records {
+        let (host_removed, is_phish) = match r.class {
+            RecordClass::FwbPhish(fwb) => {
+                let site = world.host(fwb).site(r.site_id.expect("fwb record has site"));
+                let removed = match site.state {
+                    SiteState::Removed(at) => Some(at),
+                    SiteState::Active => None,
+                };
+                (removed, true)
+            }
+            RecordClass::SelfHostedPhish => (
+                world.self_hosted.sites()[r.self_idx.expect("self-hosted idx")].removed_at,
+                true,
+            ),
+            RecordClass::BenignFwb(_) => (None, false),
+        };
+        if !is_phish {
+            continue;
+        }
+        let mut blocklist_delay = [None; 4];
+        for (i, kind) in BlocklistKind::ALL.iter().enumerate() {
+            blocklist_delay[i] =
+                delay_from(r.posted_at, world.blocklist(*kind).listing_time(&r.url));
+        }
+        let post_deletion = world
+            .feed(r.platform)
+            .post(r.post)
+            .and_then(|p| p.deleted_at);
+        let mut vt_daily_counts = [0usize; 7];
+        for (d, slot) in vt_daily_counts.iter_mut().enumerate() {
+            *slot = world
+                .virustotal
+                .scan(&r.url, r.posted_at + SimDuration::from_days(d as u64 + 1));
+        }
+        out.push(UrlObservation {
+            url: r.url.clone(),
+            class: r.class,
+            platform: r.platform,
+            brand: r.brand,
+            first_seen: r.posted_at,
+            blocklist_delay,
+            host_removal_delay: delay_from(r.posted_at, host_removed),
+            post_deletion_delay: delay_from(r.posted_at, post_deletion),
+            vt_daily_counts,
+        });
+    }
+    out
+}
+
+/// Coverage + response-time summary for one (entity, population) cell of
+/// Table 3 / Table 4.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageStat {
+    /// Population size.
+    pub n: usize,
+    /// URLs covered within the window.
+    pub covered: usize,
+    /// covered / n (0 when n = 0).
+    pub coverage: f64,
+    /// Fastest response among covered URLs.
+    pub min: Option<SimDuration>,
+    /// Slowest response among covered URLs.
+    pub max: Option<SimDuration>,
+    /// Median response among covered URLs.
+    pub median: Option<SimDuration>,
+}
+
+/// Compute a [`CoverageStat`] from per-URL delays, counting only events
+/// inside `window_secs`.
+pub fn coverage_stat(delays: &[Option<u64>], window_secs: u64) -> CoverageStat {
+    let covered: Vec<u64> = delays
+        .iter()
+        .filter_map(|d| *d)
+        .filter(|&d| d <= window_secs)
+        .collect();
+    CoverageStat {
+        n: delays.len(),
+        covered: covered.len(),
+        coverage: if delays.is_empty() {
+            0.0
+        } else {
+            covered.len() as f64 / delays.len() as f64
+        },
+        min: covered.iter().min().map(|&s| SimDuration::from_secs(s)),
+        max: covered.iter().max().map(|&s| SimDuration::from_secs(s)),
+        median: median_u64(&covered).map(SimDuration::from_secs),
+    }
+}
+
+/// The measured entities, in Table 3 row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entity {
+    /// One of the four blocklists.
+    Blocklist(BlocklistKind),
+    /// The social platform's post deletion.
+    SocialPlatform,
+    /// The hosting provider's site removal.
+    HostingDomain,
+}
+
+impl Entity {
+    /// Table 3's six rows.
+    pub const ALL: [Entity; 6] = [
+        Entity::Blocklist(BlocklistKind::PhishTank),
+        Entity::Blocklist(BlocklistKind::OpenPhish),
+        Entity::Blocklist(BlocklistKind::Gsb),
+        Entity::Blocklist(BlocklistKind::EcrimeX),
+        Entity::SocialPlatform,
+        Entity::HostingDomain,
+    ];
+
+    /// Row label as printed in Table 3.
+    pub fn label(&self) -> String {
+        match self {
+            Entity::Blocklist(k) => k.to_string(),
+            Entity::SocialPlatform => "Social media Platform".to_string(),
+            Entity::HostingDomain => "Hosting domain".to_string(),
+        }
+    }
+
+    /// Observation window for this entity.
+    pub fn window_secs(&self) -> u64 {
+        match self {
+            Entity::HostingDomain => TWO_WEEKS_SECS,
+            _ => WEEK_SECS,
+        }
+    }
+}
+
+/// Pull one entity's delay for an observation.
+pub fn entity_delay(obs: &UrlObservation, entity: Entity) -> Option<u64> {
+    match entity {
+        Entity::Blocklist(kind) => {
+            let i = BlocklistKind::ALL.iter().position(|k| *k == kind).unwrap();
+            obs.blocklist_delay[i]
+        }
+        Entity::SocialPlatform => obs.post_deletion_delay,
+        Entity::HostingDomain => obs.host_removal_delay,
+    }
+}
+
+/// Is this observation FWB-hosted phishing?
+pub fn is_fwb(obs: &UrlObservation) -> bool {
+    matches!(obs.class, RecordClass::FwbPhish(_))
+}
+
+/// One Table 3 row: an entity's performance on both populations.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Entity label.
+    pub entity: Entity,
+    /// Performance on FWB phishing.
+    pub fwb: CoverageStat,
+    /// Performance on self-hosted phishing.
+    pub self_hosted: CoverageStat,
+}
+
+/// Reproduce Table 3.
+pub fn table3(observations: &[UrlObservation]) -> Vec<Table3Row> {
+    Entity::ALL
+        .iter()
+        .map(|&entity| {
+            let fwb_delays: Vec<Option<u64>> = observations
+                .iter()
+                .filter(|o| is_fwb(o))
+                .map(|o| entity_delay(o, entity))
+                .collect();
+            let sh_delays: Vec<Option<u64>> = observations
+                .iter()
+                .filter(|o| o.class == RecordClass::SelfHostedPhish)
+                .map(|o| entity_delay(o, entity))
+                .collect();
+            Table3Row {
+                entity,
+                fwb: coverage_stat(&fwb_delays, entity.window_secs()),
+                self_hosted: coverage_stat(&sh_delays, entity.window_secs()),
+            }
+        })
+        .collect()
+}
+
+/// One Table 4 row: per-FWB performance of all six countermeasures.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// The service.
+    pub fwb: FwbKind,
+    /// URLs measured on this service.
+    pub urls: usize,
+    /// Hosting-domain removal.
+    pub domain: CoverageStat,
+    /// Platform post deletion.
+    pub platform: CoverageStat,
+    /// PhishTank listing.
+    pub phishtank: CoverageStat,
+    /// OpenPhish listing.
+    pub openphish: CoverageStat,
+    /// GSB listing.
+    pub gsb: CoverageStat,
+    /// eCrimeX listing.
+    pub ecrimex: CoverageStat,
+}
+
+/// Reproduce Table 4.
+pub fn table4(observations: &[UrlObservation]) -> Vec<Table4Row> {
+    FwbKind::all()
+        .map(|fwb| {
+            let per: Vec<&UrlObservation> = observations
+                .iter()
+                .filter(|o| o.class == RecordClass::FwbPhish(fwb))
+                .collect();
+            let stat = |entity: Entity| {
+                let delays: Vec<Option<u64>> =
+                    per.iter().map(|o| entity_delay(o, entity)).collect();
+                coverage_stat(&delays, entity.window_secs())
+            };
+            Table4Row {
+                fwb,
+                urls: per.len(),
+                domain: stat(Entity::HostingDomain),
+                platform: stat(Entity::SocialPlatform),
+                phishtank: stat(Entity::Blocklist(BlocklistKind::PhishTank)),
+                openphish: stat(Entity::Blocklist(BlocklistKind::OpenPhish)),
+                gsb: stat(Entity::Blocklist(BlocklistKind::Gsb)),
+                ecrimex: stat(Entity::Blocklist(BlocklistKind::EcrimeX)),
+            }
+        })
+        .collect()
+}
+
+/// Checkpoints (hours) used by the Figure 6 / Figure 9 coverage curves.
+pub const CURVE_CHECKPOINT_HOURS: [u64; 10] = [3, 6, 12, 16, 24, 48, 72, 96, 120, 168];
+
+/// Coverage-vs-time curve of one entity over one population.
+/// Returns (hours, fraction-covered) pairs.
+pub fn entity_curve(
+    observations: &[UrlObservation],
+    entity: Entity,
+    fwb_population: bool,
+) -> Vec<(u64, f64)> {
+    let delays: Vec<Option<u64>> = observations
+        .iter()
+        .filter(|o| {
+            if fwb_population {
+                is_fwb(o)
+            } else {
+                o.class == RecordClass::SelfHostedPhish
+            }
+        })
+        .map(|o| entity_delay(o, entity))
+        .collect();
+    let checkpoints: Vec<u64> = CURVE_CHECKPOINT_HOURS.iter().map(|h| h * 3600).collect();
+    coverage_curve(&delays, &checkpoints)
+        .into_iter()
+        .map(|(s, f)| (s / 3600, f))
+        .collect()
+}
+
+/// Figure 7: detection-count distribution after one week. Returns, for each
+/// possible count `k` in `ks`, the fraction of the population with at most
+/// `k` detections (an ECDF over counts).
+pub fn vt_week_cdf(
+    observations: &[UrlObservation],
+    fwb_population: bool,
+    platform: Option<Platform>,
+    ks: &[usize],
+) -> Vec<(usize, f64)> {
+    let pop: Vec<&UrlObservation> = observations
+        .iter()
+        .filter(|o| {
+            (if fwb_population {
+                is_fwb(o)
+            } else {
+                o.class == RecordClass::SelfHostedPhish
+            }) && platform.map(|p| o.platform == p).unwrap_or(true)
+        })
+        .collect();
+    if pop.is_empty() {
+        return ks.iter().map(|&k| (k, 0.0)).collect();
+    }
+    ks.iter()
+        .map(|&k| {
+            let n = pop.iter().filter(|o| o.vt_daily_counts[6] <= k).count();
+            (k, n as f64 / pop.len() as f64)
+        })
+        .collect()
+}
+
+/// Figure 8: per-day fraction of a population with at most `k` detections,
+/// for days 1..=7.
+pub fn vt_daily_at_most(
+    observations: &[UrlObservation],
+    fwb_population: bool,
+    platform: Platform,
+    k: usize,
+) -> Vec<(u64, f64)> {
+    let pop: Vec<&UrlObservation> = observations
+        .iter()
+        .filter(|o| {
+            (if fwb_population {
+                is_fwb(o)
+            } else {
+                o.class == RecordClass::SelfHostedPhish
+            }) && o.platform == platform
+        })
+        .collect();
+    (0..7)
+        .map(|d| {
+            let frac = if pop.is_empty() {
+                0.0
+            } else {
+                pop.iter().filter(|o| o.vt_daily_counts[d] <= k).count() as f64 / pop.len() as f64
+            };
+            (d as u64 + 1, frac)
+        })
+        .collect()
+}
+
+/// Figure 5: brand frequency among FWB phishing, most-targeted first.
+/// Returns (brand name, count) limited to `top_n`.
+pub fn brand_distribution(observations: &[UrlObservation], top_n: usize) -> Vec<(&'static str, usize)> {
+    let mut counts = vec![0usize; BRANDS.len()];
+    for o in observations.iter().filter(|o| is_fwb(o)) {
+        if let Some(b) = o.brand {
+            counts[b] += 1;
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = counts.into_iter().enumerate().collect();
+    pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    pairs
+        .into_iter()
+        .take(top_n)
+        .filter(|&(_, c)| c > 0)
+        .map(|(i, c)| (BRANDS[i].name, c))
+        .collect()
+}
+
+/// Site-uptime summary: how long attacks stay reachable before their host
+/// removes them (the paper's "resist takedowns for extended periods").
+#[derive(Debug, Clone, Copy)]
+pub struct LifetimeStats {
+    /// Population size.
+    pub n: usize,
+    /// Attacks still alive at the end of the observation window.
+    pub survived: usize,
+    /// Fraction still alive.
+    pub survival_rate: f64,
+    /// Median uptime among removed attacks.
+    pub median_uptime: Option<SimDuration>,
+}
+
+/// Compute uptime statistics for one population within `window_secs`.
+pub fn lifetime_stats(
+    observations: &[UrlObservation],
+    fwb_population: bool,
+    window_secs: u64,
+) -> LifetimeStats {
+    let delays: Vec<Option<u64>> = observations
+        .iter()
+        .filter(|o| {
+            if fwb_population {
+                is_fwb(o)
+            } else {
+                o.class == RecordClass::SelfHostedPhish
+            }
+        })
+        .map(|o| o.host_removal_delay.filter(|&d| d <= window_secs))
+        .collect();
+    let removed: Vec<u64> = delays.iter().filter_map(|d| *d).collect();
+    let n = delays.len();
+    LifetimeStats {
+        n,
+        survived: n - removed.len(),
+        survival_rate: if n == 0 {
+            0.0
+        } else {
+            (n - removed.len()) as f64 / n as f64
+        },
+        median_uptime: median_u64(&removed).map(SimDuration::from_secs),
+    }
+}
+
+/// Number of unique brands targeted across the FWB population.
+pub fn unique_brands(observations: &[UrlObservation]) -> usize {
+    let mut seen = vec![false; BRANDS.len()];
+    for o in observations.iter().filter(|o| is_fwb(o)) {
+        if let Some(b) = o.brand {
+            seen[b] = true;
+        }
+    }
+    seen.iter().filter(|&&s| s).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{self, CampaignConfig};
+
+    fn measured() -> Vec<UrlObservation> {
+        let mut world = World::new(7);
+        let records = campaign::run(
+            &CampaignConfig {
+                scale: 0.05,
+                days: 60,
+                benign_fraction: 0.1,
+                seed: 7,
+            },
+            &mut world,
+        );
+        // Drive host-takedown fates: report every FWB phishing URL shortly
+        // after posting (the full pipeline does this; for the analysis unit
+        // tests we file reports directly).
+        let mut reporter = crate::pipeline::reporting::Reporter::new();
+        let to_report: Vec<(FwbKind, String, SimTime)> = records
+            .iter()
+            .filter_map(|r| match r.class {
+                RecordClass::FwbPhish(f) => {
+                    Some((f, r.url.clone(), quantize_to_poll(r.posted_at)))
+                }
+                _ => None,
+            })
+            .collect();
+        for (f, url, at) in to_report {
+            reporter.report(&mut world, f, &url, at);
+        }
+        observe(&world, &records)
+    }
+
+    #[test]
+    fn observations_exclude_benign() {
+        let obs = measured();
+        assert!(obs.iter().all(|o| !matches!(o.class, RecordClass::BenignFwb(_))));
+        let fwb = obs.iter().filter(|o| is_fwb(o)).count();
+        let sh = obs.iter().filter(|o| o.class == RecordClass::SelfHostedPhish).count();
+        assert_eq!(fwb, sh);
+        assert!(fwb > 1000);
+    }
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let obs = measured();
+        for row in table3(&obs) {
+            // The paper's headline: every entity handles self-hosted
+            // phishing better and faster than FWB phishing.
+            assert!(
+                row.self_hosted.coverage > row.fwb.coverage,
+                "{}: fwb {} vs self {}",
+                row.entity.label(),
+                row.fwb.coverage,
+                row.self_hosted.coverage
+            );
+            // Median response direction. Exemption: for HostingDomain the
+            // paper's own tables conflict — Table 4's per-FWB medians
+            // (Weebly 1:39, 000webhost 0:45, together half the covered
+            // URLs) imply a *fast* FWB aggregate, while Table 3 prints
+            // 9:43. We calibrate to Table 4, so only the coverage contrast
+            // is asserted for that entity (see EXPERIMENTS.md).
+            if row.entity != Entity::HostingDomain {
+                if let (Some(f), Some(s)) = (row.fwb.median, row.self_hosted.median) {
+                    assert!(
+                        f.as_secs() > s.as_secs(),
+                        "{}: fwb median {} vs self {}",
+                        row.entity.label(),
+                        f,
+                        s
+                    );
+                }
+            }
+        }
+        // GSB beats PhishTank on both populations.
+        let rows = table3(&obs);
+        assert!(rows[2].fwb.coverage > rows[0].fwb.coverage);
+        assert!(rows[2].self_hosted.coverage > rows[0].self_hosted.coverage);
+    }
+
+    #[test]
+    fn table4_row_counts_track_table() {
+        let obs = measured();
+        let rows = table4(&obs);
+        assert_eq!(rows.len(), 17);
+        let weebly = rows.iter().find(|r| r.fwb == FwbKind::Weebly).unwrap();
+        let hpage = rows.iter().find(|r| r.fwb == FwbKind::Hpage).unwrap();
+        assert!(weebly.urls > hpage.urls * 20);
+        // Weebly's removal rate ≫ Google Sites (Table 4).
+        let gs = rows.iter().find(|r| r.fwb == FwbKind::GoogleSites).unwrap();
+        assert!(weebly.domain.coverage > gs.domain.coverage * 3.0);
+        // PhishTank has no coverage for GoDaddySites / hpage.
+        let gd = rows.iter().find(|r| r.fwb == FwbKind::GoDaddySites).unwrap();
+        assert_eq!(gd.phishtank.covered, 0);
+    }
+
+    #[test]
+    fn curves_monotone_and_bounded() {
+        let obs = measured();
+        for entity in Entity::ALL {
+            for fwb_pop in [true, false] {
+                let curve = entity_curve(&obs, entity, fwb_pop);
+                assert_eq!(curve.len(), CURVE_CHECKPOINT_HOURS.len());
+                for w in curve.windows(2) {
+                    assert!(w[0].1 <= w[1].1);
+                }
+                assert!(curve.iter().all(|&(_, f)| (0.0..=1.0).contains(&f)));
+            }
+        }
+    }
+
+    #[test]
+    fn gsb_curve_fwb_below_self_hosted() {
+        let obs = measured();
+        let fwb = entity_curve(&obs, Entity::Blocklist(BlocklistKind::Gsb), true);
+        let sh = entity_curve(&obs, Entity::Blocklist(BlocklistKind::Gsb), false);
+        // At 24h: paper shows ~31% (FWB) vs ~83% (self-hosted).
+        let at24 = |c: &[(u64, f64)]| c.iter().find(|&&(h, _)| h == 24).unwrap().1;
+        assert!(at24(&sh) > at24(&fwb) + 0.2, "sh {} fwb {}", at24(&sh), at24(&fwb));
+    }
+
+    #[test]
+    fn vt_cdf_fwb_fewer_detections() {
+        let obs = measured();
+        let ks = [2, 4, 6, 9, 12, 20];
+        let fwb = vt_week_cdf(&obs, true, None, &ks);
+        let sh = vt_week_cdf(&obs, false, None, &ks);
+        // Fraction with <= 4 detections is much larger for FWB.
+        assert!(fwb[1].1 > sh[1].1 + 0.25, "fwb {} sh {}", fwb[1].1, sh[1].1);
+        // Both CDFs monotone.
+        for c in [&fwb, &sh] {
+            for w in c.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn vt_daily_two_detection_start() {
+        let obs = measured();
+        let day1 = vt_daily_at_most(&obs, true, Platform::Twitter, 2);
+        // Figure 8: ~75% of FWB Twitter URLs had only 2 detections on day 1.
+        assert!(day1[0].1 > 0.55, "day1 frac {}", day1[0].1);
+        // By day 7 the at-most-2 fraction shrinks.
+        assert!(day1[6].1 < day1[0].1 + 1e-9);
+    }
+
+    #[test]
+    fn brand_distribution_head_heavy() {
+        let obs = measured();
+        let dist = brand_distribution(&obs, 10);
+        assert!(!dist.is_empty());
+        assert_eq!(dist[0].0, "Facebook"); // Zipf head
+        assert!(dist[0].1 >= dist.last().unwrap().1);
+        let brands = unique_brands(&obs);
+        assert!(brands > 60, "unique brands {brands}");
+    }
+
+    #[test]
+    fn fwb_attacks_survive_far_more() {
+        let obs = measured();
+        let fwb = lifetime_stats(&obs, true, TWO_WEEKS_SECS);
+        let sh = lifetime_stats(&obs, false, TWO_WEEKS_SECS);
+        assert!(fwb.n > 0 && sh.n > 0);
+        // Table 3: ~71% of FWB attacks survive two weeks vs ~22% of
+        // self-hosted.
+        assert!(
+            fwb.survival_rate > sh.survival_rate + 0.3,
+            "fwb {} vs sh {}",
+            fwb.survival_rate,
+            sh.survival_rate
+        );
+        assert!(fwb.median_uptime.is_some());
+    }
+
+    #[test]
+    fn coverage_stat_edges() {
+        let s = coverage_stat(&[], WEEK_SECS);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.coverage, 0.0);
+        assert!(s.median.is_none());
+        let s2 = coverage_stat(&[Some(100), None, Some(WEEK_SECS + 1)], WEEK_SECS);
+        assert_eq!(s2.n, 3);
+        assert_eq!(s2.covered, 1); // the out-of-window event does not count
+        assert_eq!(s2.min.unwrap().as_secs(), 100);
+    }
+}

@@ -1,0 +1,103 @@
+//! `freephish-extd` — the FreePhish verdict daemon and its client.
+//!
+//! The deployable form of the paper's browser extension backend: a TCP
+//! service answering `CHECK <url>` queries against a blocklist file, plus a
+//! client subcommand for scripting and for wiring into a browser proxy.
+//!
+//! ```text
+//! freephish-extd serve [--port N] [--blocklist FILE]
+//!     Serve verdicts. FILE holds one `<url> [score]` per line
+//!     ('#' comments allowed). With no file, starts empty.
+//!
+//! freephish-extd check <addr> <url> [url...]
+//!     Query a running daemon; exit code 2 if any URL is phishing.
+//! ```
+
+use freephish_core::extension::{KnownSetChecker, VerdictClient, VerdictServer};
+use std::sync::Arc;
+
+fn load_blocklist(path: &str) -> std::io::Result<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .map(|l| l.trim())
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            let url = parts.next().unwrap_or_default().to_string();
+            let score = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.99);
+            (url, score)
+        })
+        .collect())
+}
+
+fn usage() -> ! {
+    eprintln!("usage: freephish-extd serve [--port N] [--blocklist FILE]");
+    eprintln!("       freephish-extd check <addr> <url> [url...]");
+    std::process::exit(64);
+}
+
+fn serve(args: &[String]) -> std::io::Result<()> {
+    let mut entries = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--blocklist" => {
+                i += 1;
+                let path = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                entries = load_blocklist(path)?;
+            }
+            "--port" => {
+                // Accepted for interface stability; the server binds an
+                // ephemeral loopback port and prints it (binding arbitrary
+                // ports is a deployment concern, not a library one).
+                i += 1;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let checker = Arc::new(KnownSetChecker::new(entries));
+    let server = VerdictServer::start(checker.clone())?;
+    println!("freephish-extd listening on {}", server.addr());
+    println!("known phishing URLs: {}", checker.len());
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn check(args: &[String]) -> std::io::Result<()> {
+    let (addr, urls) = match args.split_first() {
+        Some((a, rest)) if !rest.is_empty() => (a, rest),
+        _ => usage(),
+    };
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+    let client = VerdictClient::new(addr);
+    let mut any_phish = false;
+    for url in urls {
+        match client.check(url) {
+            Ok(v) if v.is_phishing() => {
+                println!("PHISHING  {url}");
+                any_phish = true;
+            }
+            Ok(_) => println!("safe      {url}"),
+            Err(e) => println!("error     {url}: {e}"),
+        }
+    }
+    if any_phish {
+        std::process::exit(2);
+    }
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "serve" => serve(rest),
+        Some((cmd, rest)) if cmd == "check" => check(rest),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,515 @@
+//! The six-month attack campaign driver.
+//!
+//! Generates the measurement workload of Section 5 and injects it into a
+//! [`World`]: 31,405 FWB phishing sites distributed across the 17 services
+//! per Table 4, an equal matched sample of self-hosted phishing sites, and
+//! a stream of benign FWB sites (the classifier must keep precision on a
+//! mixed feed). Posts appear on Twitter/Facebook with the paper's
+//! 19,724 / 11,681 split; each FWB's evasive-variant mix follows the
+//! Section 5.5 counts (Google Sites 24% two-step / 19% iframe / 29%
+//! drive-by, Sharepoint 54% drive-by mimicking OneDrive/Office 365, ...).
+//!
+//! Everything the ecosystem does in response — blocklist listing fates, VT
+//! engine verdicts, platform moderation, self-hosted takedown — is drawn
+//! as the URL goes live; FWB takedown fates are drawn later, when the
+//! FreePhish reporting module files its report.
+
+use crate::world::World;
+use freephish_ecosim::HostClass;
+use freephish_fwbsim::history::Platform;
+use freephish_fwbsim::SiteId;
+use freephish_simclock::{Rng64, SimTime, Zipf};
+use freephish_socialsim::{ModerationProfile, PostId};
+use freephish_webgen::page::{benign_site_name, phishy_site_name, BENIGN_TOPICS};
+use freephish_webgen::{FwbKind, PageKind, PageSpec, ALL_FWBS, BRANDS};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Scale factor on the paper's URL counts (1.0 = full 31,405 + 31,405).
+    pub scale: f64,
+    /// Measurement window length (paper: ~180 days).
+    pub days: u64,
+    /// Benign FWB posts as a fraction of the FWB phishing volume.
+    pub benign_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            scale: 1.0,
+            days: 180,
+            benign_fraction: 0.2,
+            seed: 0x6007,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A small campaign for tests (~1.5% of paper scale).
+    pub fn tiny() -> Self {
+        CampaignConfig {
+            scale: 0.015,
+            days: 30,
+            benign_fraction: 0.3,
+            seed: 0x6007,
+        }
+    }
+}
+
+/// Fraction of posts that go to Twitter (19,724 / 31,405).
+const TWITTER_FRAC: f64 = 19_724.0 / 31_405.0;
+
+/// What a campaign record is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordClass {
+    /// Phishing hosted on an FWB.
+    FwbPhish(FwbKind),
+    /// Phishing on an attacker-registered domain.
+    SelfHostedPhish,
+    /// A legitimate FWB site shared organically.
+    BenignFwb(FwbKind),
+}
+
+/// One URL injected into the world.
+#[derive(Debug, Clone)]
+pub struct CampaignRecord {
+    /// The shared URL.
+    pub url: String,
+    /// What it is.
+    pub class: RecordClass,
+    /// Platform the post appeared on.
+    pub platform: Platform,
+    /// Spoofed brand index, for phishing records.
+    pub brand: Option<usize>,
+    /// Page variant, for FWB records.
+    pub page_kind: Option<PageKind>,
+    /// When the post went up (= when the URL went live).
+    pub posted_at: SimTime,
+    /// The post id on its platform.
+    pub post: PostId,
+    /// Hosted-site id for FWB records.
+    pub site_id: Option<SiteId>,
+    /// Index into the self-hosted population, for self-hosted records.
+    pub self_idx: Option<usize>,
+}
+
+/// Per-FWB evasive mix: (two-step, iframe, drive-by) fractions, Section 5.5.
+fn evasive_mix(kind: FwbKind) -> (f64, f64, f64) {
+    match kind {
+        FwbKind::GoogleSites => (0.24, 0.19, 0.29),
+        FwbKind::Blogspot => (0.14, 0.15, 0.23),
+        FwbKind::Sharepoint => (0.16, 0.0, 0.54),
+        FwbKind::GoogleForms => (0.21, 0.0, 0.0),
+        // Other services host a thin tail of all three vectors; the iframe
+        // rate is set so Google Sites + Blogspot carry ~62% of all iframe
+        // attacks, as the paper reports.
+        _ => (0.013, 0.021, 0.013),
+    }
+}
+
+/// Brand selection: Sharepoint drive-bys overwhelmingly spoof Microsoft
+/// products (OneDrive / Office 365), everything else follows the global
+/// Zipf.
+fn pick_brand(kind: FwbKind, is_driveby: bool, zipf: &Zipf, rng: &mut Rng64) -> usize {
+    if kind == FwbKind::Sharepoint && is_driveby && rng.chance(0.63) {
+        // Microsoft, Office 365, OneDrive.
+        *rng.choose(&[1usize, 21, 22])
+    } else {
+        zipf.sample(rng)
+    }
+}
+
+enum PendingKind {
+    FwbPhish(PageSpec, Option<PageSpec>), // spec + optional linked FWB page
+    SelfHosted { brand: usize },
+    Benign(PageSpec),
+}
+
+struct Pending {
+    at: SimTime,
+    platform: Platform,
+    kind: PendingKind,
+}
+
+/// Generate the campaign and inject it into the world. Returns one record
+/// per injected URL, sorted by posting time.
+pub fn run(config: &CampaignConfig, world: &mut World) -> Vec<CampaignRecord> {
+    let mut rng = Rng64::new(config.seed);
+    let zipf = Zipf::new(BRANDS.len(), 1.05);
+    let horizon = config.days * 86_400;
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut seq: u64 = 0;
+
+    // --- FWB phishing sites, per Table 4 counts. ---
+    for d in ALL_FWBS {
+        let n = ((d.paper_url_count as f64) * config.scale).round() as usize;
+        let (p_two, p_iframe, p_driveby) = evasive_mix(d.kind);
+        for _ in 0..n {
+            seq += 1;
+            let at = SimTime::from_secs(rng.below(horizon));
+            let roll = rng.f64();
+            let is_driveby = roll < p_driveby;
+            let brand = pick_brand(d.kind, is_driveby, &zipf, &mut rng);
+            let mut linked: Option<PageSpec> = None;
+            let kind = if is_driveby {
+                PageKind::DriveBy {
+                    brand,
+                    payload_url: format!(
+                        "https://cdn-{}{}.click/payload.iso",
+                        BRANDS[brand].token,
+                        rng.range_u64(1, 99)
+                    ),
+                }
+            } else if roll < p_driveby + p_iframe {
+                PageKind::IframeEmbed {
+                    brand,
+                    iframe_url: format!(
+                        "https://{}-frame{}.icu/embed",
+                        BRANDS[brand].token,
+                        rng.range_u64(1, 99)
+                    ),
+                }
+            } else if roll < p_driveby + p_iframe + p_two {
+                // 32% of two-step targets are themselves FWB-hosted
+                // (the paper's 174-of-539 observation on Google Sites).
+                let target_url = if rng.chance(0.32) {
+                    let target_fwb =
+                        ALL_FWBS[rng.index(ALL_FWBS.len())].kind;
+                    let spec = PageSpec {
+                        fwb: target_fwb,
+                        kind: PageKind::CredentialPhish { brand },
+                        site_name: phishy_site_name(&BRANDS[brand], &mut rng),
+                        noindex: true,
+                        obfuscate_banner: rng.chance(0.5),
+                        seed: config.seed ^ (seq << 1),
+                    };
+                    let url = spec.fwb.site_url(&spec.site_name);
+                    linked = Some(spec);
+                    url
+                } else {
+                    format!(
+                        "https://{}-portal{}.top/login",
+                        BRANDS[brand].token,
+                        rng.range_u64(1, 99)
+                    )
+                };
+                PageKind::TwoStep { brand, target_url }
+            } else {
+                PageKind::CredentialPhish { brand }
+            };
+            let spec = PageSpec {
+                fwb: d.kind,
+                kind,
+                site_name: phishy_site_name(&BRANDS[brand], &mut rng),
+                noindex: rng.chance(0.447),
+                obfuscate_banner: rng.chance(0.52),
+                seed: config.seed ^ (seq << 1) ^ 1,
+            };
+            let platform = if rng.chance(TWITTER_FRAC) {
+                Platform::Twitter
+            } else {
+                Platform::Facebook
+            };
+            pending.push(Pending {
+                at,
+                platform,
+                kind: PendingKind::FwbPhish(spec, linked),
+            });
+        }
+    }
+
+    // --- The matched self-hosted sample: equal size, same platform split. ---
+    let n_fwb = pending.len();
+    for _ in 0..n_fwb {
+        let at = SimTime::from_secs(rng.below(horizon));
+        let platform = if rng.chance(TWITTER_FRAC) {
+            Platform::Twitter
+        } else {
+            Platform::Facebook
+        };
+        pending.push(Pending {
+            at,
+            platform,
+            kind: PendingKind::SelfHosted {
+                brand: zipf.sample(&mut rng),
+            },
+        });
+    }
+
+    // --- Benign FWB background traffic. ---
+    let n_benign = ((n_fwb as f64) * config.benign_fraction).round() as usize;
+    for i in 0..n_benign {
+        let at = SimTime::from_secs(rng.below(horizon));
+        let weights: Vec<f64> = ALL_FWBS.iter().map(|d| d.paper_url_count as f64).collect();
+        let fwb = ALL_FWBS[rng.choose_weighted(&weights)].kind;
+        let topic = rng.index(BENIGN_TOPICS.len());
+        let spec = PageSpec {
+            fwb,
+            kind: PageKind::Benign { topic },
+            site_name: benign_site_name(topic, &mut rng),
+            noindex: rng.chance(0.03),
+            obfuscate_banner: rng.chance(0.02),
+            seed: config.seed ^ 0xBE9 ^ (i as u64),
+        };
+        let platform = if rng.chance(TWITTER_FRAC) {
+            Platform::Twitter
+        } else {
+            Platform::Facebook
+        };
+        pending.push(Pending {
+            at,
+            platform,
+            kind: PendingKind::Benign(spec),
+        });
+    }
+
+    // --- Execute in time order (feeds require ordered publishing). ---
+    pending.sort_by_key(|p| p.at);
+    let mut records = Vec::with_capacity(pending.len());
+    for p in pending {
+        match p.kind {
+            PendingKind::FwbPhish(spec, linked) => {
+                let fwb = spec.fwb;
+                let brand = spec.kind.brand().map(|b| {
+                    BRANDS.iter().position(|x| x.token == b.token).unwrap()
+                });
+                let site = spec.generate();
+                let url = site.url.clone();
+                let page_kind = Some(site.spec.kind.clone());
+                // If a linked FWB page exists, host it too (it is an attack
+                // site in its own right, discoverable by dynamic analysis).
+                if let Some(lspec) = linked {
+                    let lsite = lspec.generate();
+                    let lurl = lsite.url.clone();
+                    let lhtml = lsite.html.clone();
+                    world.host_mut(lspec.fwb).publish(lsite, p.at);
+                    world.register_snapshot(&lurl, lhtml, None);
+                }
+                let site_id = world.host_mut(fwb).publish(site.clone(), p.at);
+                world.register_snapshot(&url, site.html.clone(), None);
+                // The ecosystem notices the URL as it is shared.
+                let class = HostClass::Fwb(fwb);
+                for bl in &mut world.blocklists {
+                    bl.ingest(&url, class, p.at);
+                }
+                world.virustotal.register(&url, class, p.at);
+                {
+                    let mut r = rng.fork(0x5ea);
+                    let has_noindex = site.spec.noindex;
+                    world.search.consider_fwb_page(&url, has_noindex, &mut r);
+                }
+                let profile = ModerationProfile::fwb(p.platform, fwb);
+                let brand_name = brand.map(|b| BRANDS[b].name);
+                let post =
+                    world
+                        .feed_mut(p.platform)
+                        .publish(&url, brand_name, p.at, &profile);
+                records.push(CampaignRecord {
+                    url,
+                    class: RecordClass::FwbPhish(fwb),
+                    platform: p.platform,
+                    brand,
+                    page_kind,
+                    posted_at: p.at,
+                    post,
+                    site_id: Some(site_id),
+                    self_idx: None,
+                });
+            }
+            PendingKind::SelfHosted { brand } => {
+                let idx = world.self_hosted.spawn(
+                    brand,
+                    p.at,
+                    &mut world.whois,
+                    &mut world.ctlog,
+                );
+                let url = world.self_hosted.sites()[idx].url.clone();
+                for bl in &mut world.blocklists {
+                    bl.ingest(&url, HostClass::SelfHosted, p.at);
+                }
+                world.virustotal.register(&url, HostClass::SelfHosted, p.at);
+                {
+                    let mut r = rng.fork(0x5eb);
+                    world.search.consider_self_hosted_page(&url, &mut r);
+                }
+                let profile = ModerationProfile::self_hosted(p.platform);
+                let post = world.feed_mut(p.platform).publish(
+                    &url,
+                    Some(BRANDS[brand].name),
+                    p.at,
+                    &profile,
+                );
+                records.push(CampaignRecord {
+                    url,
+                    class: RecordClass::SelfHostedPhish,
+                    platform: p.platform,
+                    brand: Some(brand),
+                    page_kind: None,
+                    posted_at: p.at,
+                    post,
+                    site_id: None,
+                    self_idx: Some(idx),
+                });
+            }
+            PendingKind::Benign(spec) => {
+                let fwb = spec.fwb;
+                let site = spec.generate();
+                let url = site.url.clone();
+                let page_kind = Some(site.spec.kind.clone());
+                let site_id = world.host_mut(fwb).publish(site.clone(), p.at);
+                world.register_snapshot(&url, site.html.clone(), None);
+                // Benign posts are never deleted by moderation.
+                let never = ModerationProfile {
+                    delete_prob: 0.0,
+                    median_mins: 1.0,
+                    sigma: 0.1,
+                };
+                let post = world.feed_mut(p.platform).publish(&url, None, p.at, &never);
+                records.push(CampaignRecord {
+                    url,
+                    class: RecordClass::BenignFwb(fwb),
+                    platform: p.platform,
+                    brand: None,
+                    page_kind,
+                    posted_at: p.at,
+                    post,
+                    site_id: Some(site_id),
+                    self_idx: None,
+                });
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_campaign() -> (World, Vec<CampaignRecord>) {
+        let mut world = World::new(1);
+        let records = run(&CampaignConfig::tiny(), &mut world);
+        (world, records)
+    }
+
+    #[test]
+    fn counts_scale_with_config() {
+        let (_, records) = small_campaign();
+        let fwb = records
+            .iter()
+            .filter(|r| matches!(r.class, RecordClass::FwbPhish(_)))
+            .count();
+        let sh = records
+            .iter()
+            .filter(|r| r.class == RecordClass::SelfHostedPhish)
+            .count();
+        // 1.5% of 31,405 ≈ 471 (per-FWB rounding shifts it slightly).
+        assert!((420..=520).contains(&fwb), "fwb={fwb}");
+        assert_eq!(fwb, sh, "matched sample sizes");
+    }
+
+    #[test]
+    fn platform_split_matches_paper() {
+        let (_, records) = small_campaign();
+        let fwb: Vec<&CampaignRecord> = records
+            .iter()
+            .filter(|r| matches!(r.class, RecordClass::FwbPhish(_)))
+            .collect();
+        let tw = fwb.iter().filter(|r| r.platform == Platform::Twitter).count();
+        let frac = tw as f64 / fwb.len() as f64;
+        assert!((0.55..0.72).contains(&frac), "twitter frac {frac}");
+    }
+
+    #[test]
+    fn records_sorted_by_time() {
+        let (_, records) = small_campaign();
+        assert!(records.windows(2).all(|w| w[0].posted_at <= w[1].posted_at));
+    }
+
+    #[test]
+    fn snapshots_crawlable() {
+        let (world, records) = small_campaign();
+        for r in records.iter().take(50) {
+            match r.class {
+                RecordClass::FwbPhish(_) | RecordClass::BenignFwb(_) => {
+                    assert!(
+                        world.crawl(&r.url, r.posted_at).is_some(),
+                        "snapshot missing for {}",
+                        r.url
+                    );
+                }
+                RecordClass::SelfHostedPhish => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sharepoint_drivebys_spoof_microsoft() {
+        let mut world = World::new(2);
+        let records = run(
+            &CampaignConfig {
+                scale: 0.05,
+                days: 30,
+                benign_fraction: 0.0,
+                seed: 3,
+            },
+            &mut world,
+        );
+        let sp_drivebys: Vec<&CampaignRecord> = records
+            .iter()
+            .filter(|r| {
+                r.class == RecordClass::FwbPhish(FwbKind::Sharepoint)
+                    && matches!(r.page_kind, Some(PageKind::DriveBy { .. }))
+            })
+            .collect();
+        assert!(!sp_drivebys.is_empty());
+        let ms = sp_drivebys
+            .iter()
+            .filter(|r| matches!(r.brand, Some(1) | Some(21) | Some(22)))
+            .count();
+        assert!(
+            ms as f64 / sp_drivebys.len() as f64 > 0.5,
+            "ms={}/{}",
+            ms,
+            sp_drivebys.len()
+        );
+    }
+
+    #[test]
+    fn evasive_fraction_near_paper() {
+        let mut world = World::new(4);
+        let records = run(
+            &CampaignConfig {
+                scale: 0.1,
+                days: 60,
+                benign_fraction: 0.0,
+                seed: 5,
+            },
+            &mut world,
+        );
+        let phish: Vec<&CampaignRecord> = records
+            .iter()
+            .filter(|r| matches!(r.class, RecordClass::FwbPhish(_)))
+            .collect();
+        let evasive = phish
+            .iter()
+            .filter(|r| r.page_kind.as_ref().map(|k| k.is_evasive()).unwrap_or(false))
+            .count();
+        let frac = evasive as f64 / phish.len() as f64;
+        // Paper: 14.2% of URLs lacked credential fields.
+        assert!((0.10..0.20).contains(&frac), "evasive frac {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut w1 = World::new(9);
+        let mut w2 = World::new(9);
+        let a = run(&CampaignConfig::tiny(), &mut w1);
+        let b = run(&CampaignConfig::tiny(), &mut w2);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.url == y.url && x.posted_at == y.posted_at));
+    }
+}

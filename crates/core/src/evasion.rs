@@ -1,0 +1,333 @@
+//! Section 5.5 — heuristics for the three evasive attack families.
+//!
+//! 14.2% of the measured URLs carried no credential fields; qualitative
+//! sampling identified three vectors, for which the paper "developed
+//! heuristics to automatically identify these attack vectors across our
+//! dataset's FWB phishing attacks". These are those heuristics.
+
+use freephish_htmlparse::Document;
+use freephish_urlparse::Url;
+
+/// The evasive families of Section 5.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvasionVector {
+    /// Landing page with only a button linking to an attacker page on a
+    /// different domain ("Linking to other phishing pages").
+    TwoStepLink,
+    /// A concealed iframe loads the attack from an external domain.
+    IframeEmbed,
+    /// The page pushes a malicious download hosted elsewhere.
+    DriveByDownload,
+}
+
+impl std::fmt::Display for EvasionVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvasionVector::TwoStepLink => f.write_str("two-step link"),
+            EvasionVector::IframeEmbed => f.write_str("iframe embed"),
+            EvasionVector::DriveByDownload => f.write_str("drive-by download"),
+        }
+    }
+}
+
+/// True when the page collects no sensitive input itself — the gate for
+/// the Section 5.5 analysis (the 14.2% subset).
+pub fn lacks_credential_fields(doc: &Document) -> bool {
+    doc.credential_inputs().is_empty() && !doc.has_login_form()
+}
+
+fn registrable(url: &str) -> Option<String> {
+    Url::parse(url).ok().and_then(|u| u.host().registrable_domain())
+}
+
+fn mentions_brand(doc: &Document) -> bool {
+    let mut hay = doc.title().unwrap_or_default();
+    hay.push(' ');
+    hay.push_str(&doc.visible_text());
+    crate::features::text_mentions_brand(&hay).is_some()
+}
+
+/// Lure vocabulary used by brand-less two-step pages ("a document has been
+/// shared", "your package could not be delivered", ...).
+pub fn has_lure_language(doc: &Document) -> bool {
+    const LURES: &[&str] = &[
+        "account notice",
+        "storage is almost full",
+        "could not be delivered",
+        "payment failed",
+        "expires in",
+        "verify your account",
+        "has been shared with you",
+        "has been limited",
+        "unusual sign-in",
+        "suspended",
+    ];
+    let mut hay = doc.title().unwrap_or_default().to_ascii_lowercase();
+    hay.push(' ');
+    hay.push_str(&doc.visible_text().to_ascii_lowercase());
+    LURES.iter().any(|l| hay.contains(l))
+}
+
+/// Hosts that are never a phishing CTA destination: reference sites,
+/// social platforms, media embeds, and the FWB services themselves (banner
+/// links point back at the builder).
+const KNOWN_BENIGN_HOSTS: &[&str] = &[
+    "wikipedia.org",
+    "facebook.com",
+    "instagram.com",
+    "twitter.com",
+    "youtube.com",
+    "vimeo.com",
+];
+
+/// Is `domain` a known-benign destination, an FWB's own site, or one of
+/// the catalog brands' genuine domains ("Official site" links on fan
+/// pages)?
+fn is_trusted_destination(domain: &str) -> bool {
+    if KNOWN_BENIGN_HOSTS
+        .iter()
+        .any(|h| domain == *h || domain.ends_with(&format!(".{h}")))
+    {
+        return true;
+    }
+    if freephish_webgen::ALL_FWBS
+        .iter()
+        .any(|d| domain == d.host || d.host.ends_with(&format!(".{domain}")) || domain.ends_with(&format!(".{}", d.host)))
+    {
+        return true;
+    }
+    freephish_webgen::BRANDS
+        .iter()
+        .any(|b| domain == b.domain || b.domain.ends_with(&format!(".{domain}")))
+}
+
+/// External absolute links that could plausibly be attack destinations:
+/// off-domain, not a trusted/reference host, not the builder's banner.
+pub fn external_cta_candidates(page_url: &Url, doc: &Document) -> Vec<String> {
+    let Some(own) = page_url.host().registrable_domain() else {
+        return Vec::new();
+    };
+    doc.links()
+        .iter()
+        .filter(|h| h.starts_with("http"))
+        .filter_map(|h| registrable(h).map(|d| (h, d)))
+        .filter(|(_, d)| *d != own && !is_trusted_destination(d))
+        .map(|(h, _)| h.to_string())
+        .collect()
+}
+
+/// Detect the two-step shape: a credential-free page, lure-themed, whose
+/// dominant call-to-action is an external absolute link to an untrusted
+/// domain.
+pub fn detect_two_step(page_url: &Url, doc: &Document) -> Option<String> {
+    if !lacks_credential_fields(doc) || !(mentions_brand(doc) || has_lure_language(doc)) {
+        return None;
+    }
+    let external = external_cta_candidates(page_url, doc);
+    if external.is_empty() {
+        return None;
+    }
+    // Few total interactive elements: the page exists to funnel one click.
+    let interactive = doc.links().len() + doc.inputs().len();
+    if interactive <= 8 {
+        Some(external[0].clone())
+    } else {
+        None
+    }
+}
+
+/// Media hosts whose embeds are everyday benign content (videos, maps,
+/// music) — an iframe to these is not an attack frame.
+const BENIGN_EMBED_HOSTS: &[&str] = &[
+    "youtube.com",
+    "youtube-nocookie.com",
+    "vimeo.com",
+    "google.com", // maps embeds
+    "spotify.com",
+    "soundcloud.com",
+];
+
+/// Detect an embedded external-attack iframe: a credential-free page
+/// whose iframe loads an external, non-media domain.
+pub fn detect_iframe_embed(page_url: &Url, doc: &Document) -> Option<String> {
+    if !lacks_credential_fields(doc) {
+        return None;
+    }
+    let own = page_url.host().registrable_domain()?;
+    doc.iframes()
+        .iter()
+        .filter_map(|f| f.attr("src"))
+        .find(|src| {
+            if !src.starts_with("http") {
+                return false;
+            }
+            match registrable(src) {
+                Some(d) => {
+                    d != own
+                        && !BENIGN_EMBED_HOSTS
+                            .iter()
+                            .any(|h| d == *h || d.ends_with(&format!(".{h}")))
+                }
+                None => false,
+            }
+        })
+        .map(|s| s.to_string())
+}
+
+/// Detect a drive-by download: a download link or auto-refresh to an
+/// external file.
+pub fn detect_drive_by(page_url: &Url, doc: &Document) -> Option<String> {
+    if !lacks_credential_fields(doc) {
+        return None;
+    }
+    let own = page_url
+        .host()
+        .registrable_domain()
+        .unwrap_or_default();
+    // Explicit download attribute pointing off-domain.
+    if let Some(a) = doc.elements().iter().find(|e| {
+        e.tag == "a"
+            && e.attr("download").is_some()
+            && e.attr("href")
+                .map(|h| h.starts_with("http") && registrable(h).map(|d| d != own).unwrap_or(true))
+                .unwrap_or(false)
+    }) {
+        return a.attr("href").map(|s| s.to_string());
+    }
+    // Meta refresh to an external URL.
+    for m in doc.elements_by_tag("meta") {
+        let is_refresh = m
+            .attr("http-equiv")
+            .map(|h| h.eq_ignore_ascii_case("refresh"))
+            .unwrap_or(false);
+        if is_refresh {
+            if let Some(content) = m.attr("content") {
+                if let Some(idx) = content.to_ascii_lowercase().find("url=") {
+                    let target = content[idx + 4..].trim();
+                    if target.starts_with("http")
+                        && registrable(target).map(|d| d != own).unwrap_or(true)
+                    {
+                        return Some(target.to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Run all three heuristics; returns the detected vector and the external
+/// target, preferring drive-by > iframe > two-step (most specific first).
+pub fn classify_evasion(page_url: &Url, doc: &Document) -> Option<(EvasionVector, String)> {
+    if let Some(t) = detect_drive_by(page_url, doc) {
+        return Some((EvasionVector::DriveByDownload, t));
+    }
+    if let Some(t) = detect_iframe_embed(page_url, doc) {
+        return Some((EvasionVector::IframeEmbed, t));
+    }
+    detect_two_step(page_url, doc).map(|t| (EvasionVector::TwoStepLink, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freephish_htmlparse::parse;
+    use freephish_webgen::{FwbKind, PageKind, PageSpec};
+
+    fn snap(kind: PageKind) -> (Url, Document) {
+        let s = PageSpec {
+            fwb: FwbKind::GoogleSites,
+            kind,
+            site_name: "evasion-test".into(),
+            noindex: false,
+            obfuscate_banner: false,
+            seed: 3,
+        }
+        .generate();
+        (Url::parse(&s.url).unwrap(), parse(&s.html))
+    }
+
+    #[test]
+    fn twostep_detected() {
+        let (url, doc) = snap(PageKind::TwoStep {
+            brand: 1,
+            target_url: "https://harvest.top/login".into(),
+        });
+        let (vector, target) = classify_evasion(&url, &doc).expect("should detect");
+        assert_eq!(vector, EvasionVector::TwoStepLink);
+        assert_eq!(target, "https://harvest.top/login");
+    }
+
+    #[test]
+    fn iframe_detected() {
+        let (url, doc) = snap(PageKind::IframeEmbed {
+            brand: 2,
+            iframe_url: "https://frame.icu/embed".into(),
+        });
+        let (vector, target) = classify_evasion(&url, &doc).expect("should detect");
+        assert_eq!(vector, EvasionVector::IframeEmbed);
+        assert_eq!(target, "https://frame.icu/embed");
+    }
+
+    #[test]
+    fn driveby_detected_and_preferred() {
+        let (url, doc) = snap(PageKind::DriveBy {
+            brand: 1,
+            payload_url: "https://cdn.click/x.iso".into(),
+        });
+        let (vector, target) = classify_evasion(&url, &doc).expect("should detect");
+        assert_eq!(vector, EvasionVector::DriveByDownload);
+        assert_eq!(target, "https://cdn.click/x.iso");
+    }
+
+    #[test]
+    fn credential_page_not_evasive() {
+        let (url, doc) = snap(PageKind::CredentialPhish { brand: 0 });
+        assert!(!lacks_credential_fields(&doc));
+        assert!(classify_evasion(&url, &doc).is_none());
+    }
+
+    #[test]
+    fn benign_pages_not_evasive() {
+        // Benign pages link externally (Wikipedia, YouTube embeds) and may
+        // carry newsletter forms, yet none of the three heuristics fire.
+        for topic in 0..12 {
+            for seed in 0..6 {
+                let s = PageSpec {
+                    fwb: FwbKind::GoogleSites,
+                    kind: PageKind::Benign { topic },
+                    site_name: format!("benign-{topic}-{seed}"),
+                    noindex: false,
+                    obfuscate_banner: false,
+                    seed,
+                }
+                .generate();
+                let url = Url::parse(&s.url).unwrap();
+                let doc = parse(&s.html);
+                assert!(
+                    classify_evasion(&url, &doc).is_none(),
+                    "false positive on benign topic {topic} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_domain_iframe_not_flagged() {
+        let url = Url::parse("https://x.weebly.com/").unwrap();
+        let doc = parse(r#"<iframe src="https://y.weebly.com/widget"></iframe>"#);
+        assert!(detect_iframe_embed(&url, &doc).is_none());
+    }
+
+    #[test]
+    fn meta_refresh_driveby_detected() {
+        let url = Url::parse("https://x.sharepoint.com/").unwrap();
+        let doc = parse(
+            r#"<meta http-equiv="refresh" content="2;url=https://files.top/p.iso"><p>OneDrive</p>"#,
+        );
+        assert_eq!(
+            detect_drive_by(&url, &doc),
+            Some("https://files.top/p.iso".to_string())
+        );
+    }
+}

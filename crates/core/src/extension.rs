@@ -1,0 +1,453 @@
+//! The FreePhish browser-extension analogue.
+//!
+//! The paper ships FreePhish as a Chromium extension that intercepts
+//! navigation and blocks known FWB phishing URLs (Figure 13). The
+//! networked reproduction splits that into:
+//!
+//! * a [`VerdictServer`] — a small threaded TCP service speaking a
+//!   line-oriented protocol (`CHECK <url>\n` → `PHISHING <score>` /
+//!   `SAFE <score>` / `ERROR <msg>`), backed by any [`UrlChecker`];
+//! * a [`VerdictClient`] — the extension side, with a verdict cache so a
+//!   page's subresources do not re-query;
+//! * a [`NavigationGuard`] — the interception point: allow the navigation
+//!   or serve the block page.
+//!
+//! The wire protocol is deliberately trivial (one line per request,
+//! UTF-8, `\n`-terminated) and implemented over a [`bytes::BytesMut`]
+//! accumulation buffer, tokio-tutorial style, so partial reads are handled
+//! correctly.
+
+use bytes::BytesMut;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A verdict for one URL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Block: phishing with the given score.
+    Phishing(f64),
+    /// Allow: benign with the given score.
+    Safe(f64),
+}
+
+impl Verdict {
+    /// True when navigation should be blocked.
+    pub fn is_phishing(&self) -> bool {
+        matches!(self, Verdict::Phishing(_))
+    }
+}
+
+/// Anything that can judge a URL (a model, a detection database, a stub).
+pub trait UrlChecker: Send + Sync {
+    /// Judge one URL.
+    fn check(&self, url: &str) -> Verdict;
+}
+
+impl<F> UrlChecker for F
+where
+    F: Fn(&str) -> Verdict + Send + Sync,
+{
+    fn check(&self, url: &str) -> Verdict {
+        self(url)
+    }
+}
+
+/// A checker backed by a set of known-phishing URLs (what the deployed
+/// extension consults between model refreshes).
+pub struct KnownSetChecker {
+    known: RwLock<HashMap<String, f64>>,
+}
+
+impl KnownSetChecker {
+    /// Build from (url, score) pairs.
+    pub fn new(entries: impl IntoIterator<Item = (String, f64)>) -> KnownSetChecker {
+        KnownSetChecker {
+            known: RwLock::new(entries.into_iter().collect()),
+        }
+    }
+
+    /// Add a newly detected URL.
+    pub fn insert(&self, url: &str, score: f64) {
+        self.known.write().insert(url.to_string(), score);
+    }
+
+    /// Number of known URLs.
+    pub fn len(&self) -> usize {
+        self.known.read().len()
+    }
+
+    /// True when no URLs are known.
+    pub fn is_empty(&self) -> bool {
+        self.known.read().is_empty()
+    }
+}
+
+impl UrlChecker for KnownSetChecker {
+    fn check(&self, url: &str) -> Verdict {
+        match self.known.read().get(url) {
+            Some(&score) => Verdict::Phishing(score),
+            None => Verdict::Safe(0.0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+/// Protocol request: currently only `CHECK <url>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Ask for a verdict on a URL.
+    Check(String),
+}
+
+/// Parse one complete line out of the accumulation buffer, if available.
+/// Returns `Ok(None)` when more bytes are needed; malformed lines are an
+/// error carrying a message for the `ERROR` reply.
+pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, String> {
+    let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
+        return Ok(None);
+    };
+    let line = buf.split_to(pos + 1);
+    let line = std::str::from_utf8(&line[..pos]).map_err(|_| "non-utf8 request".to_string())?;
+    let line = line.trim_end_matches('\r');
+    match line.split_once(' ') {
+        Some(("CHECK", url)) if !url.trim().is_empty() => {
+            Ok(Some(Request::Check(url.trim().to_string())))
+        }
+        _ => Err(format!("malformed request: {line:?}")),
+    }
+}
+
+/// Encode a verdict reply line.
+pub fn encode_verdict(v: &Verdict) -> String {
+    match v {
+        Verdict::Phishing(s) => format!("PHISHING {s:.4}\n"),
+        Verdict::Safe(s) => format!("SAFE {s:.4}\n"),
+    }
+}
+
+/// Parse a reply line into a verdict.
+pub fn decode_verdict(line: &str) -> Result<Verdict, String> {
+    let line = line.trim();
+    match line.split_once(' ') {
+        Some(("PHISHING", s)) => s
+            .parse()
+            .map(Verdict::Phishing)
+            .map_err(|_| format!("bad score in {line:?}")),
+        Some(("SAFE", s)) => s
+            .parse()
+            .map(Verdict::Safe)
+            .map_err(|_| format!("bad score in {line:?}")),
+        Some(("ERROR", msg)) => Err(msg.to_string()),
+        _ => Err(format!("malformed reply: {line:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// The verdict service: a threaded TCP accept loop.
+pub struct VerdictServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl VerdictServer {
+    /// Bind on 127.0.0.1 (ephemeral port) and start serving.
+    pub fn start(checker: Arc<dyn UrlChecker>) -> std::io::Result<VerdictServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let checker = checker.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, checker);
+                });
+            }
+        });
+        Ok(VerdictServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Where the service listens.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocked accept with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for VerdictServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, checker: Arc<dyn UrlChecker>) -> std::io::Result<()> {
+    let mut buf = BytesMut::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    loop {
+        // Drain complete requests already buffered.
+        loop {
+            match decode_request(&mut buf) {
+                Ok(Some(Request::Check(url))) => {
+                    let verdict = checker.check(&url);
+                    stream.write_all(encode_verdict(&verdict).as_bytes())?;
+                }
+                Ok(None) => break,
+                Err(msg) => {
+                    stream.write_all(format!("ERROR {msg}\n").as_bytes())?;
+                }
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // client closed
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client + navigation guard
+// ---------------------------------------------------------------------------
+
+/// The extension-side client with a verdict cache.
+pub struct VerdictClient {
+    addr: SocketAddr,
+    cache: RwLock<HashMap<String, Verdict>>,
+}
+
+impl VerdictClient {
+    /// A client for the service at `addr`.
+    pub fn new(addr: SocketAddr) -> VerdictClient {
+        VerdictClient {
+            addr,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Check a URL, consulting the local cache first.
+    pub fn check(&self, url: &str) -> std::io::Result<Verdict> {
+        if let Some(v) = self.cache.read().get(url) {
+            return Ok(*v);
+        }
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.write_all(format!("CHECK {url}\n").as_bytes())?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let verdict = decode_verdict(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        self.cache.write().insert(url.to_string(), verdict);
+        Ok(verdict)
+    }
+
+    /// Cached verdict count.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+/// Outcome of a navigation attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Navigation {
+    /// Proceed to the page.
+    Allowed,
+    /// Blocked; carries the block-page HTML (the Figure 13 interstitial).
+    Blocked(String),
+}
+
+/// The interception point the extension installs.
+pub struct NavigationGuard {
+    client: VerdictClient,
+}
+
+impl NavigationGuard {
+    /// Guard navigations using the verdict service at `addr`.
+    pub fn new(addr: SocketAddr) -> NavigationGuard {
+        NavigationGuard {
+            client: VerdictClient::new(addr),
+        }
+    }
+
+    /// Intercept a navigation. On service failure the navigation is
+    /// allowed (fail-open, like the real extension).
+    pub fn navigate(&self, url: &str) -> Navigation {
+        match self.client.check(url) {
+            Ok(v) if v.is_phishing() => Navigation::Blocked(block_page(url)),
+            _ => Navigation::Allowed,
+        }
+    }
+}
+
+/// Render the block interstitial.
+pub fn block_page(url: &str) -> String {
+    format!(
+        "<!DOCTYPE html><html><head><title>FreePhish — page blocked</title></head>\
+         <body class=\"freephish-block\"><h1>⚠ Phishing page blocked</h1>\
+         <p>FreePhish prevented navigation to <code>{url}</code>, which was \
+         identified as a phishing attack hosted on a free website builder.</p>\
+         <p>If you believe this is an error, you can report a false positive.</p>\
+         </body></html>"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trip() {
+        let mut buf = BytesMut::from(&b"CHECK https://a.weebly.com/x\n"[..]);
+        let req = decode_request(&mut buf).unwrap().unwrap();
+        assert_eq!(req, Request::Check("https://a.weebly.com/x".into()));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn codec_partial_then_complete() {
+        let mut buf = BytesMut::from(&b"CHECK https://a.wee"[..]);
+        assert_eq!(decode_request(&mut buf), Ok(None));
+        buf.extend_from_slice(b"bly.com/\nCHECK https://b.weebly.com/\n");
+        let r1 = decode_request(&mut buf).unwrap().unwrap();
+        let r2 = decode_request(&mut buf).unwrap().unwrap();
+        assert_eq!(r1, Request::Check("https://a.weebly.com/".into()));
+        assert_eq!(r2, Request::Check("https://b.weebly.com/".into()));
+        assert_eq!(decode_request(&mut buf), Ok(None));
+    }
+
+    #[test]
+    fn codec_rejects_malformed() {
+        let mut buf = BytesMut::from(&b"FETCH x\n"[..]);
+        assert!(decode_request(&mut buf).is_err());
+        let mut buf2 = BytesMut::from(&b"CHECK \n"[..]);
+        assert!(decode_request(&mut buf2).is_err());
+        let mut buf3 = BytesMut::from(&b"\xff\xfe\n"[..]);
+        assert!(decode_request(&mut buf3).is_err());
+    }
+
+    #[test]
+    fn verdict_codec_round_trip() {
+        for v in [Verdict::Phishing(0.97), Verdict::Safe(0.03)] {
+            let line = encode_verdict(&v);
+            let back = decode_verdict(&line).unwrap();
+            match (v, back) {
+                (Verdict::Phishing(a), Verdict::Phishing(b)) => assert!((a - b).abs() < 1e-3),
+                (Verdict::Safe(a), Verdict::Safe(b)) => assert!((a - b).abs() < 1e-3),
+                _ => panic!("verdict kind changed in transit"),
+            }
+        }
+        assert!(decode_verdict("ERROR nope").is_err());
+        assert!(decode_verdict("garbage").is_err());
+    }
+
+    #[test]
+    fn server_client_end_to_end() {
+        let checker = Arc::new(KnownSetChecker::new([(
+            "https://evil.weebly.com/".to_string(),
+            0.98,
+        )]));
+        let mut server = VerdictServer::start(checker.clone()).unwrap();
+        let client = VerdictClient::new(server.addr());
+
+        assert_eq!(
+            client.check("https://evil.weebly.com/").unwrap(),
+            Verdict::Phishing(0.98)
+        );
+        assert_eq!(
+            client.check("https://fine.weebly.com/").unwrap(),
+            Verdict::Safe(0.0)
+        );
+        // Cache: second check does not need the server.
+        assert_eq!(client.cache_len(), 2);
+        server.shutdown();
+        assert!(client.check("https://evil.weebly.com/").unwrap().is_phishing());
+    }
+
+    #[test]
+    fn guard_blocks_and_allows() {
+        let checker = Arc::new(KnownSetChecker::new([(
+            "https://bad.wixsite.com/login".to_string(),
+            0.95,
+        )]));
+        let server = VerdictServer::start(checker).unwrap();
+        let guard = NavigationGuard::new(server.addr());
+        match guard.navigate("https://bad.wixsite.com/login") {
+            Navigation::Blocked(html) => {
+                assert!(html.contains("FreePhish"));
+                assert!(html.contains("bad.wixsite.com"));
+            }
+            Navigation::Allowed => panic!("should block"),
+        }
+        assert_eq!(guard.navigate("https://ok.wixsite.com/"), Navigation::Allowed);
+    }
+
+    #[test]
+    fn guard_fails_open_when_service_down() {
+        let checker = Arc::new(KnownSetChecker::new([]));
+        let mut server = VerdictServer::start(checker).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        drop(server);
+        let guard = NavigationGuard::new(addr);
+        // Service gone: navigation proceeds.
+        assert_eq!(guard.navigate("https://x.weebly.com/"), Navigation::Allowed);
+    }
+
+    #[test]
+    fn known_set_checker_updates() {
+        let c = KnownSetChecker::new([]);
+        assert!(c.is_empty());
+        assert!(!c.check("https://u.weebly.com/").is_phishing());
+        c.insert("https://u.weebly.com/", 0.9);
+        assert!(c.check("https://u.weebly.com/").is_phishing());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn multiple_requests_per_connection() {
+        let checker = Arc::new(KnownSetChecker::new([(
+            "https://p.weebly.com/".to_string(),
+            0.9,
+        )]));
+        let server = VerdictServer::start(checker).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"CHECK https://p.weebly.com/\nCHECK https://s.weebly.com/\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut l1 = String::new();
+        let mut l2 = String::new();
+        reader.read_line(&mut l1).unwrap();
+        reader.read_line(&mut l2).unwrap();
+        assert!(l1.starts_with("PHISHING"));
+        assert!(l2.starts_with("SAFE"));
+    }
+}

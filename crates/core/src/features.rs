@@ -1,0 +1,297 @@
+//! The pre-processing module: feature extraction.
+//!
+//! Section 4.2 of the paper: the classifier builds on the StackModel
+//! feature set (Li et al. 2019) — 8 URL features and 12 HTML features —
+//! with two adjustments for FWB attacks: the `https` and multi-TLD features
+//! are dropped (useless: *every* FWB site is https with a single TLD) and
+//! two FWB-specific features are added — **obfuscated FWB banner** and
+//! **noindex meta tag**.
+//!
+//! [`FeatureSet::Base`] is the original 20-feature StackModel layout used
+//! by the Table 2 baseline; [`FeatureSet::Augmented`] is FreePhish's.
+
+use freephish_htmlparse::Document;
+use freephish_urlparse::lexical::{
+    best_brand_match, digit_ratio, host_dot_count, host_hyphen_count, sensitive_word_count,
+    suspicious_symbol_count, BrandMatch,
+};
+use freephish_urlparse::Url;
+use freephish_webgen::brands::{brand_tokens, BRANDS};
+
+/// Which feature layout to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSet {
+    /// The original StackModel's 20 features (includes `https` presence and
+    /// multi-TLD count; no FWB features).
+    Base,
+    /// FreePhish's 20 features: base minus {https, multi-TLD} plus
+    /// {obfuscated banner, noindex}.
+    Augmented,
+}
+
+/// An extracted feature vector plus its layout.
+#[derive(Debug, Clone)]
+pub struct FeatureVector {
+    /// The layout this vector follows.
+    pub set: FeatureSet,
+    /// Values, ordered as [`feature_names`](FeatureVector::feature_names).
+    pub values: Vec<f64>,
+}
+
+/// The eight URL-based features shared by both layouts.
+fn url_features(url: &Url) -> Vec<f64> {
+    let s = url.as_string();
+    let brand = best_brand_match(url, &brand_tokens());
+    let brand_score = match brand {
+        Some((_, BrandMatch::Exact)) => 3.0,
+        Some((_, BrandMatch::Misspelled)) => 2.0,
+        Some((_, BrandMatch::Embedded)) => 1.0,
+        _ => 0.0,
+    };
+    vec![
+        s.len() as f64,
+        suspicious_symbol_count(&s) as f64,
+        sensitive_word_count(&s) as f64,
+        brand_score,
+        digit_ratio(&s),
+        host_dot_count(url) as f64,
+        host_hyphen_count(url) as f64,
+        f64::from(url.host().is_ip()),
+    ]
+}
+
+/// Does free text mention a catalog brand? Short brand tokens only match
+/// as whole words (otherwise "ing" matches "planting"); names of five or
+/// more characters may match as substrings ("bank of america" inside a
+/// sentence).
+pub fn text_mentions_brand(text: &str) -> Option<&'static freephish_webgen::Brand> {
+    let lower = text.to_ascii_lowercase();
+    let words: std::collections::HashSet<&str> = lower
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .collect();
+    BRANDS.iter().find(|b| {
+        words.contains(b.token)
+            || (b.name.len() >= 5 && lower.contains(&b.name.to_ascii_lowercase()))
+    })
+}
+
+/// The ten HTML-based features shared by both layouts (the StackModel's
+/// twelve, minus the two the layouts disagree on).
+fn html_features(url: &Url, doc: &Document) -> Vec<f64> {
+    let own = url
+        .host()
+        .registrable_domain()
+        .unwrap_or_else(|| url.host().to_string());
+    let (internal, external) = doc.link_partition(&own);
+    let links = doc.links().len();
+    let title_brand = doc
+        .title()
+        .map(|t| text_mentions_brand(&t).is_some())
+        .unwrap_or(false);
+    vec![
+        links as f64,
+        internal as f64,
+        external as f64,
+        doc.empty_links() as f64,
+        f64::from(doc.has_login_form()),
+        doc.credential_inputs().len() as f64,
+        // HTML length proxied by node count (stable across formatting).
+        doc.len() as f64,
+        doc.forms().len() as f64,
+        doc.iframes().len() as f64,
+        f64::from(title_brand),
+    ]
+}
+
+/// Does the page hide an element whose class names it as a service banner?
+/// (The paper's "Obfuscating FWB Footer" feature.)
+pub fn has_obfuscated_banner(doc: &Document) -> bool {
+    doc.elements().iter().any(|e| {
+        e.attr("class")
+            .map(|c| c.contains("banner"))
+            .unwrap_or(false)
+            && e.is_hidden_by_style()
+    })
+}
+
+/// Multi-TLD count: how many known TLD tokens appear inside the host labels
+/// (self-hosted attacks stack them: `paypal.com.verify-account.xyz`).
+fn multi_tld_count(url: &Url) -> usize {
+    const TLD_TOKENS: &[&str] = &["com", "net", "org", "info", "biz"];
+    url.host()
+        .labels()
+        .iter()
+        .rev()
+        .skip(1) // the real TLD does not count
+        .filter(|l| TLD_TOKENS.contains(&l.to_ascii_lowercase().as_str()))
+        .count()
+}
+
+impl FeatureVector {
+    /// Extract features for a snapshot (URL + parsed page).
+    pub fn extract(set: FeatureSet, url: &Url, doc: &Document) -> FeatureVector {
+        let mut values = url_features(url);
+        values.extend(html_features(url, doc));
+        match set {
+            FeatureSet::Base => {
+                values.push(f64::from(url.is_https()));
+                values.push(multi_tld_count(url) as f64);
+            }
+            FeatureSet::Augmented => {
+                values.push(f64::from(has_obfuscated_banner(doc)));
+                values.push(f64::from(doc.has_noindex_meta()));
+            }
+        }
+        FeatureVector { set, values }
+    }
+
+    /// Column names, aligned with [`FeatureVector::values`].
+    pub fn feature_names(set: FeatureSet) -> Vec<String> {
+        let mut names: Vec<String> = [
+            // URL features
+            "url_len",
+            "suspicious_symbols",
+            "sensitive_words",
+            "brand_match",
+            "digit_ratio",
+            "host_dots",
+            "host_hyphens",
+            "ip_host",
+            // HTML features
+            "n_links",
+            "n_internal_links",
+            "n_external_links",
+            "n_empty_links",
+            "has_login_form",
+            "n_credential_inputs",
+            "dom_nodes",
+            "n_forms",
+            "n_iframes",
+            "title_brand",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match set {
+            FeatureSet::Base => {
+                names.push("has_https".into());
+                names.push("multi_tld".into());
+            }
+            FeatureSet::Augmented => {
+                names.push("banner_obfuscated".into());
+                names.push("has_noindex".into());
+            }
+        }
+        names
+    }
+
+    /// Number of features in a layout (20 for both, by construction).
+    pub fn width(set: FeatureSet) -> usize {
+        Self::feature_names(set).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freephish_htmlparse::parse;
+    use freephish_webgen::{FwbKind, PageKind, PageSpec};
+
+    fn snapshot(kind: PageKind, noindex: bool, obf: bool) -> (Url, Document) {
+        let site = PageSpec {
+            fwb: FwbKind::Weebly,
+            kind,
+            site_name: "feat-test".into(),
+            noindex,
+            obfuscate_banner: obf,
+            seed: 5,
+        }
+        .generate();
+        (Url::parse(&site.url).unwrap(), parse(&site.html))
+    }
+
+    #[test]
+    fn widths_are_20() {
+        assert_eq!(FeatureVector::width(FeatureSet::Base), 20);
+        assert_eq!(FeatureVector::width(FeatureSet::Augmented), 20);
+    }
+
+    #[test]
+    fn vector_matches_names_width() {
+        let (url, doc) = snapshot(PageKind::CredentialPhish { brand: 4 }, false, false);
+        for set in [FeatureSet::Base, FeatureSet::Augmented] {
+            let v = FeatureVector::extract(set, &url, &doc);
+            assert_eq!(v.values.len(), FeatureVector::width(set));
+        }
+    }
+
+    #[test]
+    fn phish_page_fires_login_features() {
+        let (url, doc) = snapshot(PageKind::CredentialPhish { brand: 4 }, false, false);
+        let v = FeatureVector::extract(FeatureSet::Augmented, &url, &doc);
+        let names = FeatureVector::feature_names(FeatureSet::Augmented);
+        let get = |n: &str| v.values[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("has_login_form"), 1.0);
+        assert!(get("n_credential_inputs") >= 2.0);
+        assert_eq!(get("title_brand"), 1.0);
+    }
+
+    #[test]
+    fn benign_page_does_not_fire_login_features() {
+        let (url, doc) = snapshot(PageKind::Benign { topic: 0 }, false, false);
+        let v = FeatureVector::extract(FeatureSet::Augmented, &url, &doc);
+        let names = FeatureVector::feature_names(FeatureSet::Augmented);
+        let get = |n: &str| v.values[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("has_login_form"), 0.0);
+        assert_eq!(get("title_brand"), 0.0);
+    }
+
+    #[test]
+    fn fwb_features_fire() {
+        let (url, doc) = snapshot(PageKind::CredentialPhish { brand: 0 }, true, true);
+        let v = FeatureVector::extract(FeatureSet::Augmented, &url, &doc);
+        let names = FeatureVector::feature_names(FeatureSet::Augmented);
+        let get = |n: &str| v.values[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("banner_obfuscated"), 1.0);
+        assert_eq!(get("has_noindex"), 1.0);
+    }
+
+    #[test]
+    fn base_set_has_https_feature() {
+        let (url, doc) = snapshot(PageKind::Benign { topic: 1 }, false, false);
+        let v = FeatureVector::extract(FeatureSet::Base, &url, &doc);
+        let names = FeatureVector::feature_names(FeatureSet::Base);
+        let get = |n: &str| v.values[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("has_https"), 1.0); // FWB sites are always https
+        assert_eq!(get("multi_tld"), 0.0);
+    }
+
+    #[test]
+    fn multi_tld_detects_stacked_tlds() {
+        let url = Url::parse("https://paypal.com.verify-login.xyz/x").unwrap();
+        assert_eq!(multi_tld_count(&url), 1);
+        let clean = Url::parse("https://a.weebly.com/").unwrap();
+        assert_eq!(multi_tld_count(&clean), 0);
+    }
+
+    #[test]
+    fn brand_feature_from_url() {
+        let url = Url::parse("https://paypal-login.weebly.com/").unwrap();
+        let doc = parse("<html><body></body></html>");
+        let v = FeatureVector::extract(FeatureSet::Augmented, &url, &doc);
+        let names = FeatureVector::feature_names(FeatureSet::Augmented);
+        let get = |n: &str| v.values[names.iter().position(|x| x == n).unwrap()];
+        assert_eq!(get("brand_match"), 3.0); // exact token
+    }
+
+    #[test]
+    fn obfuscated_banner_detector() {
+        let hidden = parse(r#"<div class="wsite-banner" style="visibility:hidden">x</div>"#);
+        assert!(has_obfuscated_banner(&hidden));
+        let visible = parse(r#"<div class="wsite-banner">x</div>"#);
+        assert!(!has_obfuscated_banner(&visible));
+        let unrelated = parse(r#"<div class="content" style="display:none">x</div>"#);
+        assert!(!has_obfuscated_banner(&unrelated));
+    }
+}

@@ -1,0 +1,66 @@
+//! The classification module and the Table 2 baseline line-up.
+//!
+//! Five detectors, mirroring the paper's comparison:
+//!
+//! | paper model      | this module                  | information used            |
+//! |------------------|------------------------------|-----------------------------|
+//! | URLNet           | [`urlnet::UrlNetStyle`]      | URL string only             |
+//! | VisualPhishNet   | [`visual::VisualStyle`]      | rendered-layout signature   |
+//! | PhishIntention   | [`intention::IntentionStyle`]| layout + intention + dynamic|
+//! | base StackModel  | [`stack::BaseStackModel`]    | 20 URL+HTML features        |
+//! | **our model**    | [`augmented::AugmentedStackModel`] | 20 features incl. FWB |
+//!
+//! The original URLNet/VisualPhishNet/PhishIntention are GPU deep models;
+//! the reproductions implement each *family's decision procedure* with
+//! offline-friendly machinery (n-gram linear model, signature k-NN,
+//! rule-plus-crawl hybrid). The Table 2 shape — PhishIntention most
+//! accurate but slowest, URLNet fastest but weakest, stacking the best
+//! trade-off, the augmented model on top — emerges from the real
+//! algorithmic differences.
+
+pub mod augmented;
+pub mod intention;
+pub mod rf;
+pub mod stack;
+pub mod urlnet;
+pub mod visual;
+
+/// Access to page content for models that perform dynamic analysis
+/// (following links and iframes the way PhishIntention does).
+pub trait PageFetcher {
+    /// Fetch the HTML served at `url`, or `None` when unreachable.
+    fn fetch(&self, url: &str) -> Option<String>;
+}
+
+/// A fetcher that resolves nothing — for static-only evaluation.
+pub struct NoFetch;
+
+impl PageFetcher for NoFetch {
+    fn fetch(&self, _url: &str) -> Option<String> {
+        None
+    }
+}
+
+/// Common interface of all five detectors.
+pub trait PhishDetector {
+    /// Human-readable model name as printed in Table 2.
+    fn name(&self) -> &'static str;
+
+    /// Probability-like score in [0, 1] that the snapshot is phishing.
+    fn score(&self, url: &str, html: &str, fetcher: &dyn PageFetcher) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict(&self, url: &str, html: &str, fetcher: &dyn PageFetcher) -> u8 {
+        u8::from(self.score(url, html, fetcher) >= 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofetch_returns_none() {
+        assert!(NoFetch.fetch("https://anything.example/").is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! The FreePhish runtime pipeline: streaming → pre-processing →
+//! classification → reporting.
+//!
+//! [`Pipeline::run_batch`] drives the whole measurement window on the
+//! ten-minute polling grid the paper used, returning one [`Detection`] per
+//! URL the classifier flags. The [`streaming`] module is the poll-window
+//! machinery; [`reporting`] files abuse reports and tallies the
+//! Section 5.3 response statistics.
+
+pub mod reporting;
+pub mod streaming;
+
+use crate::features::{FeatureSet, FeatureVector};
+use crate::models::augmented::AugmentedStackModel;
+use crate::world::World;
+use freephish_fwbsim::history::Platform;
+use freephish_simclock::{SimDuration, SimTime};
+use freephish_socialsim::PostId;
+use freephish_urlparse::Url;
+use freephish_webgen::FwbKind;
+use reporting::Reporter;
+use streaming::{ObservedPost, StreamingModule, POLL_INTERVAL};
+
+/// One URL the classifier flagged as phishing.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// The flagged URL.
+    pub url: String,
+    /// Hosting service.
+    pub fwb: FwbKind,
+    /// Platform it was observed on.
+    pub platform: Platform,
+    /// The post that carried it.
+    pub post: PostId,
+    /// When the streaming module first observed it (poll-grid time).
+    pub observed_at: SimTime,
+    /// Classifier score.
+    pub score: f64,
+}
+
+/// The assembled pipeline.
+pub struct Pipeline {
+    model: AugmentedStackModel,
+    /// Classification threshold (paper uses 0.5).
+    pub threshold: f64,
+}
+
+impl Pipeline {
+    /// Build a pipeline around a trained classifier.
+    pub fn new(model: AugmentedStackModel) -> Pipeline {
+        Pipeline {
+            model,
+            threshold: 0.5,
+        }
+    }
+
+    /// Classify one observed snapshot; `Some(score)` when phishing.
+    fn classify(&self, url: &str, html: &str) -> Option<f64> {
+        let parsed = Url::parse(url).ok()?;
+        let doc = freephish_htmlparse::parse(html);
+        let v = FeatureVector::extract(FeatureSet::Augmented, &parsed, &doc);
+        let score = self.model.score_features(&v.values);
+        (score >= self.threshold).then_some(score)
+    }
+
+    /// Run the full pipeline over `[0, end)`: poll both feeds every ten
+    /// minutes, classify every FWB URL observed, and report each detection
+    /// to its hosting service (takedown fates are decided there) and the
+    /// platform. Returns all detections plus the reporter's tallies.
+    pub fn run_batch(&self, world: &mut World, end: SimTime) -> (Vec<Detection>, Reporter) {
+        let mut stream = StreamingModule::new();
+        let mut reporter = Reporter::new();
+        let mut detections = Vec::new();
+
+        let mut now = SimTime::ZERO;
+        while now < end {
+            let next = now + POLL_INTERVAL;
+            let observed: Vec<ObservedPost> = stream.poll(world, next);
+            for obs in observed {
+                let Some(html) = world.crawl(&obs.url, next).map(|s| s.to_string()) else {
+                    continue; // site already gone when we got to it
+                };
+                if let Some(score) = self.classify(&obs.url, &html) {
+                    // Report to the hosting FWB (with screenshot, per the
+                    // paper's evidence-based reporting) and the platform.
+                    reporter.report(world, obs.fwb, &obs.url, next);
+                    detections.push(Detection {
+                        url: obs.url,
+                        fwb: obs.fwb,
+                        platform: obs.platform,
+                        post: obs.post,
+                        observed_at: next,
+                        score,
+                    });
+                }
+            }
+            now = next;
+        }
+        (detections, reporter)
+    }
+}
+
+/// Convenience: interval alias re-exported for callers building timelines.
+pub const POLL_SECS: u64 = 600;
+
+/// Quantize an instant up to the next poll-grid point — the time an
+/// entity's state change becomes *observable* to a 10-minute poller. This
+/// is the analytic shortcut for per-URL polling loops: mathematically
+/// identical to polling every 10 minutes, without simulating each poll.
+pub fn quantize_to_poll(t: SimTime) -> SimTime {
+    let s = t.as_secs();
+    SimTime::from_secs(s.div_ceil(POLL_SECS) * POLL_SECS)
+}
+
+/// The polling interval as a duration.
+pub fn poll_interval() -> SimDuration {
+    SimDuration::from_secs(POLL_SECS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{self, CampaignConfig, RecordClass};
+    use crate::groundtruth::{build, GroundTruthConfig};
+    use freephish_ml::StackModelConfig;
+    use freephish_simclock::Rng64;
+
+    fn trained_model() -> AugmentedStackModel {
+        let corpus = build(&GroundTruthConfig::tiny());
+        let mut rng = Rng64::new(77);
+        AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn quantize_rounds_up_to_grid() {
+        assert_eq!(quantize_to_poll(SimTime::from_secs(1)).as_secs(), 600);
+        assert_eq!(quantize_to_poll(SimTime::from_secs(600)).as_secs(), 600);
+        assert_eq!(quantize_to_poll(SimTime::from_secs(601)).as_secs(), 1200);
+        assert_eq!(quantize_to_poll(SimTime::ZERO).as_secs(), 0);
+    }
+
+    #[test]
+    fn pipeline_detects_most_phish_and_reports() {
+        let mut world = World::new(42);
+        let config = CampaignConfig {
+            scale: 0.01,
+            days: 10,
+            benign_fraction: 0.3,
+            seed: 42,
+        };
+        let records = campaign::run(&config, &mut world);
+        let pipeline = Pipeline::new(trained_model());
+        let (detections, reporter) =
+            pipeline.run_batch(&mut world, SimTime::from_days(10));
+
+        let n_phish = records
+            .iter()
+            .filter(|r| matches!(r.class, RecordClass::FwbPhish(_)))
+            .count();
+        // Recall: most FWB phishing URLs should be detected. Some are
+        // legitimately missed (deleted before the first poll).
+        let recall = detections.len() as f64 / n_phish as f64;
+        assert!(recall > 0.75, "recall {recall} ({}/{n_phish})", detections.len());
+
+        // Precision: benign URLs should rarely be flagged.
+        let benign_urls: std::collections::HashSet<&str> = records
+            .iter()
+            .filter(|r| matches!(r.class, RecordClass::BenignFwb(_)))
+            .map(|r| r.url.as_str())
+            .collect();
+        let false_pos = detections
+            .iter()
+            .filter(|d| benign_urls.contains(d.url.as_str()))
+            .count();
+        assert!(
+            (false_pos as f64) < 0.1 * detections.len() as f64,
+            "false positives {false_pos} of {}",
+            detections.len()
+        );
+
+        // Reports were filed — one per unique detected URL (attackers
+        // occasionally reuse a site name, so detections can exceed the
+        // number of distinct hosted sites).
+        assert!(reporter.total_reports() > 0);
+        assert!(reporter.total_reports() <= detections.len());
+        let unique: std::collections::HashSet<&str> =
+            detections.iter().map(|d| d.url.as_str()).collect();
+        assert!(reporter.total_reports() >= unique.len() * 9 / 10);
+    }
+
+    #[test]
+    fn observed_at_is_on_poll_grid() {
+        let mut world = World::new(43);
+        let config = CampaignConfig {
+            scale: 0.003,
+            days: 3,
+            benign_fraction: 0.0,
+            seed: 43,
+        };
+        campaign::run(&config, &mut world);
+        let pipeline = Pipeline::new(trained_model());
+        let (detections, _) = pipeline.run_batch(&mut world, SimTime::from_days(3));
+        assert!(!detections.is_empty());
+        for d in &detections {
+            assert_eq!(d.observed_at.as_secs() % POLL_SECS, 0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The reporting module: evidence-based abuse reports to the hosting FWB
+//! (Section 4.3), plus the Section 5.3 "Response to reporting" bookkeeping.
+//!
+//! The paper reports each detected URL — with full URL, screenshot and
+//! targeted-organisation name — to the FWB service and the social platform,
+//! and deliberately *not* to blocklists (community lists publish reports
+//! unverified, which would contaminate the longitudinal measurement). The
+//! reproduction mirrors that: reports go to the `FwbHost`s only, and the
+//! reporter tallies acknowledgement / follow-up / removal rates per
+//! service.
+
+use crate::world::World;
+use freephish_simclock::SimTime;
+use freephish_webgen::FwbKind;
+use std::collections::HashMap;
+
+/// Per-FWB reporting outcome tallies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReportStats {
+    /// Reports filed.
+    pub filed: usize,
+    /// Initial responses (ticket/acknowledgement) received.
+    pub acknowledged: usize,
+    /// Follow-ups received.
+    pub followed_up: usize,
+    /// Removals that resulted.
+    pub removed: usize,
+    /// Attacker accounts terminated alongside the site.
+    pub accounts_terminated: usize,
+}
+
+/// Files reports and accumulates Section 5.3 statistics.
+#[derive(Debug, Default)]
+pub struct Reporter {
+    per_fwb: HashMap<FwbKind, ReportStats>,
+}
+
+impl Reporter {
+    /// A fresh reporter.
+    pub fn new() -> Reporter {
+        Reporter::default()
+    }
+
+    /// Report `url` (hosted on `fwb`) at time `now`. Looks up the hosted
+    /// site, files the abuse report, applies any resulting takedown to the
+    /// world's snapshot registry (so later crawls see the site gone), and
+    /// tallies the outcome.
+    pub fn report(&mut self, world: &mut World, fwb: FwbKind, url: &str, now: SimTime) {
+        let host = world.host_mut(fwb);
+        let Some(site_id) = host.site_by_url(url) else {
+            return; // not a hosted site we know (e.g. already purged)
+        };
+        let already_reported = host.site(site_id).reported;
+        let outcome = host.report_abuse(site_id, now);
+        if already_reported {
+            return; // repeat report: fate unchanged, nothing to tally
+        }
+        let stats = self.per_fwb.entry(fwb).or_default();
+        stats.filed += 1;
+        if outcome.acknowledged {
+            stats.acknowledged += 1;
+        }
+        if outcome.followed_up {
+            stats.followed_up += 1;
+        }
+        if let Some(at) = outcome.removal_at {
+            stats.removed += 1;
+            world.set_snapshot_down_at(url, Some(at));
+        }
+        if outcome.account_terminated {
+            stats.accounts_terminated += 1;
+        }
+    }
+
+    /// Stats for one service.
+    pub fn stats(&self, fwb: FwbKind) -> ReportStats {
+        self.per_fwb.get(&fwb).copied().unwrap_or_default()
+    }
+
+    /// Total reports filed.
+    pub fn total_reports(&self) -> usize {
+        self.per_fwb.values().map(|s| s.filed).sum()
+    }
+
+    /// All per-FWB stats, Table 4 order.
+    pub fn all_stats(&self) -> Vec<(FwbKind, ReportStats)> {
+        FwbKind::all().map(|k| (k, self.stats(k))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freephish_webgen::{PageKind, PageSpec};
+
+    fn seeded_world_with_site(fwb: FwbKind, n: usize) -> (World, Vec<String>) {
+        let mut world = World::new(5);
+        let mut urls = Vec::new();
+        for i in 0..n {
+            let site = PageSpec {
+                fwb,
+                kind: PageKind::CredentialPhish { brand: i % 20 },
+                site_name: format!("rep-{i}"),
+                noindex: false,
+                obfuscate_banner: false,
+                seed: i as u64,
+            }
+            .generate();
+            let url = site.url.clone();
+            let html = site.html.clone();
+            world.host_mut(fwb).publish(site, SimTime::ZERO);
+            world.register_snapshot(&url, html, None);
+            urls.push(url);
+        }
+        (world, urls)
+    }
+
+    #[test]
+    fn responsive_service_tallies_match_behavior() {
+        let (mut world, urls) = seeded_world_with_site(FwbKind::Weebly, 800);
+        let mut reporter = Reporter::new();
+        for u in &urls {
+            reporter.report(&mut world, FwbKind::Weebly, u, SimTime::from_mins(30));
+        }
+        let s = reporter.stats(FwbKind::Weebly);
+        assert_eq!(s.filed, 800);
+        // Weebly ack rate ≈ 71.6%, removal ≈ 0.5856 × 0.85 ≈ 0.50.
+        let ack = s.acknowledged as f64 / 800.0;
+        let rem = s.removed as f64 / 800.0;
+        assert!((0.64..0.79).contains(&ack), "ack={ack}");
+        assert!((0.42..0.58).contains(&rem), "removed={rem}");
+        assert_eq!(s.acknowledged, s.followed_up);
+        assert!(s.accounts_terminated <= s.removed);
+    }
+
+    #[test]
+    fn unresponsive_service_never_acks() {
+        let (mut world, urls) = seeded_world_with_site(FwbKind::Sharepoint, 100);
+        let mut reporter = Reporter::new();
+        for u in &urls {
+            reporter.report(&mut world, FwbKind::Sharepoint, u, SimTime::from_mins(30));
+        }
+        let s = reporter.stats(FwbKind::Sharepoint);
+        assert_eq!(s.acknowledged, 0);
+        assert_eq!(s.followed_up, 0);
+    }
+
+    #[test]
+    fn removal_reflected_in_snapshot_registry() {
+        let (mut world, urls) = seeded_world_with_site(FwbKind::Wix, 200);
+        let mut reporter = Reporter::new();
+        for u in &urls {
+            reporter.report(&mut world, FwbKind::Wix, u, SimTime::from_mins(10));
+        }
+        // Some sites removed: their snapshots eventually 404.
+        let removed = urls
+            .iter()
+            .filter(|u| world.crawl(u, SimTime::from_days(30)).is_none())
+            .count();
+        assert!(removed > 50, "removed={removed}");
+    }
+
+    #[test]
+    fn repeat_reports_not_double_counted() {
+        let (mut world, urls) = seeded_world_with_site(FwbKind::Weebly, 1);
+        let mut reporter = Reporter::new();
+        for _ in 0..5 {
+            reporter.report(&mut world, FwbKind::Weebly, &urls[0], SimTime::from_mins(10));
+        }
+        assert_eq!(reporter.stats(FwbKind::Weebly).filed, 1);
+        assert_eq!(reporter.total_reports(), 1);
+    }
+
+    #[test]
+    fn unknown_url_ignored() {
+        let mut world = World::new(6);
+        let mut reporter = Reporter::new();
+        reporter.report(
+            &mut world,
+            FwbKind::Weebly,
+            "https://ghost.weebly.com/",
+            SimTime::ZERO,
+        );
+        assert_eq!(reporter.total_reports(), 0);
+    }
+}

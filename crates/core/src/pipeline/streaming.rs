@@ -1,0 +1,176 @@
+//! The streaming module: ten-minute polling of both platform feeds.
+//!
+//! Section 4.1: "The streaming module utilizes the Twitter and CrowdTangle
+//! APIs to collect new posts from Twitter and Facebook every 10 mins. It
+//! utilizes a regular expression to extract the URL from the post." The
+//! reproduction does the same against the simulated feeds: poll the window
+//! since the last poll, scan post *text* for URLs, and keep those hosted on
+//! one of the 17 FWB services.
+
+use crate::world::World;
+use freephish_fwbsim::history::Platform;
+use freephish_simclock::{SimDuration, SimTime};
+use freephish_socialsim::PostId;
+use freephish_urlparse::extract_urls;
+use freephish_webgen::FwbKind;
+
+/// The paper's polling cadence.
+pub const POLL_INTERVAL: SimDuration = SimDuration(600);
+
+/// One FWB URL observed in a post.
+#[derive(Debug, Clone)]
+pub struct ObservedPost {
+    /// The extracted URL.
+    pub url: String,
+    /// Hosting service.
+    pub fwb: FwbKind,
+    /// Source platform.
+    pub platform: Platform,
+    /// Carrying post.
+    pub post: PostId,
+    /// When the post went up.
+    pub posted_at: SimTime,
+}
+
+/// Stateful poller over both feeds.
+pub struct StreamingModule {
+    last_poll: SimTime,
+    observed: usize,
+    scanned_posts: usize,
+}
+
+impl StreamingModule {
+    /// A fresh poller anchored at the epoch.
+    pub fn new() -> StreamingModule {
+        StreamingModule {
+            last_poll: SimTime::ZERO,
+            observed: 0,
+            scanned_posts: 0,
+        }
+    }
+
+    /// Poll both feeds for the window `[last_poll, now)`; advances the
+    /// anchor. Returns every FWB URL found in post text.
+    pub fn poll(&mut self, world: &World, now: SimTime) -> Vec<ObservedPost> {
+        let mut out = Vec::new();
+        for platform in Platform::ALL {
+            let feed = world.feed(platform);
+            for post in feed.poll_window(self.last_poll, now) {
+                self.scanned_posts += 1;
+                // The regular-expression step: scan the text, not the
+                // stored URL field — links arrive embedded in prose.
+                for url in extract_urls(&post.text) {
+                    if let Some(fwb) = FwbKind::classify_url(&url) {
+                        self.observed += 1;
+                        out.push(ObservedPost {
+                            url,
+                            fwb,
+                            platform,
+                            post: post.id,
+                            posted_at: post.posted_at,
+                        });
+                    }
+                }
+            }
+        }
+        self.last_poll = now;
+        out
+    }
+
+    /// Total FWB URLs observed so far.
+    pub fn observed_count(&self) -> usize {
+        self.observed
+    }
+
+    /// Total posts scanned so far.
+    pub fn scanned_count(&self) -> usize {
+        self.scanned_posts
+    }
+}
+
+impl Default for StreamingModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freephish_socialsim::ModerationProfile;
+
+    fn quiet() -> ModerationProfile {
+        ModerationProfile {
+            delete_prob: 0.0,
+            median_mins: 1.0,
+            sigma: 0.1,
+        }
+    }
+
+    #[test]
+    fn observes_fwb_urls_from_post_text() {
+        let mut world = World::new(1);
+        world.twitter.publish(
+            "https://evil-login.weebly.com/",
+            Some("PayPal"),
+            SimTime::from_mins(2),
+            &quiet(),
+        );
+        world.facebook.publish(
+            "https://sites.google.com/view/fakebank",
+            Some("Chase"),
+            SimTime::from_mins(4),
+            &quiet(),
+        );
+        // A non-FWB URL must be filtered out.
+        world.twitter.publish(
+            "https://ordinary-news.example.com/story",
+            None,
+            SimTime::from_mins(6),
+            &quiet(),
+        );
+
+        let mut s = StreamingModule::new();
+        let batch = s.poll(&world, SimTime::from_mins(10));
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().any(|o| o.fwb == FwbKind::Weebly));
+        assert!(batch.iter().any(|o| o.fwb == FwbKind::GoogleSites));
+        assert_eq!(s.scanned_count(), 3);
+        assert_eq!(s.observed_count(), 2);
+    }
+
+    #[test]
+    fn windows_do_not_overlap() {
+        let mut world = World::new(2);
+        for i in 0..30 {
+            world.twitter.publish(
+                &format!("https://s{i}.weebly.com/"),
+                None,
+                SimTime::from_mins(i),
+                &quiet(),
+            );
+        }
+        let mut s = StreamingModule::new();
+        let first = s.poll(&world, SimTime::from_mins(10));
+        let second = s.poll(&world, SimTime::from_mins(20));
+        let third = s.poll(&world, SimTime::from_mins(40));
+        assert_eq!(first.len() + second.len() + third.len(), 30);
+        // No URL observed twice.
+        let mut urls: Vec<String> = first
+            .iter()
+            .chain(&second)
+            .chain(&third)
+            .map(|o| o.url.clone())
+            .collect();
+        urls.sort();
+        urls.dedup();
+        assert_eq!(urls.len(), 30);
+    }
+
+    #[test]
+    fn empty_window_is_fine() {
+        let world = World::new(3);
+        let mut s = StreamingModule::new();
+        assert!(s.poll(&world, SimTime::from_mins(10)).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated anti-phishing ecosystem: blocklists, browser-protection
+//! engines (the VirusTotal aggregate) and the search-engine index.
+//!
+//! The behaviour models here are *calibrated to Table 4 of the paper* (per
+//! FWB) and to Table 3's self-hosted column. The FreePhish analysis module
+//! never reads these constants: it polls the simulated services exactly the
+//! way the paper polled the real ones and computes coverage and response
+//! times from what it observes. The reproduced tables are therefore
+//! measurements, not echoes.
+//!
+//! Note on calibration (see EXPERIMENTS.md): the paper's Table 3 aggregate
+//! blocklist coverage and its Table 4 per-FWB rates are not mutually
+//! consistent (the URL-count-weighted mean of Table 4's GSB column is
+//! ≈45%, Table 3 reports 18.44%). We calibrate to the more detailed
+//! Table 4; every qualitative contrast of Table 3 (self-hosted ≫ FWB for
+//! every entity, GSB ≫ PhishTank, FWB response times in hours) still
+//! emerges.
+
+pub mod blocklist;
+pub mod searchindex;
+pub mod virustotal;
+
+pub use blocklist::{Blocklist, BlocklistKind, BlocklistProfile, HostClass};
+pub use searchindex::SearchIndex;
+pub use virustotal::{VirusTotal, VT_ENGINE_COUNT};

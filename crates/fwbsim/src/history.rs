@@ -1,0 +1,287 @@
+//! The two-year historical campaign generator behind Figure 1 and the D1
+//! dataset.
+//!
+//! Section 2: 25.2K FWB phishing URLs (16.3K from Twitter, 8.9K from
+//! Facebook) between January 2020 and August 2022, with (a) a marked
+//! quarterly escalation and (b) a strategic shift toward newer hosting
+//! services — each month's top-80% domain set changes over time. This
+//! module synthesises a URL population with those two properties so the
+//! Figure 1 series can be measured from data rather than typed in.
+
+use freephish_simclock::{Rng64, Zipf};
+use freephish_webgen::FwbKind;
+
+/// Which social platform a URL was shared on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Twitter (the paper's larger source: 16.3K of 25.2K).
+    Twitter,
+    /// Facebook.
+    Facebook,
+}
+
+impl Platform {
+    /// Both platforms.
+    pub const ALL: [Platform; 2] = [Platform::Twitter, Platform::Facebook];
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Platform::Twitter => f.write_str("Twitter"),
+            Platform::Facebook => f.write_str("Facebook"),
+        }
+    }
+}
+
+/// Quarter labels for the Figure 1 x-axis: 2020Q1 … 2022Q3 (Jan 2020 –
+/// Aug 2022).
+pub const QUARTERS: &[&str] = &[
+    "2020Q1", "2020Q2", "2020Q3", "2020Q4", "2021Q1", "2021Q2", "2021Q3", "2021Q4", "2022Q1",
+    "2022Q2", "2022Q3",
+];
+
+/// One historical phishing URL observation.
+#[derive(Debug, Clone)]
+pub struct HistoricalRecord {
+    /// Index into [`QUARTERS`].
+    pub quarter: usize,
+    /// Platform the URL was shared on.
+    pub platform: Platform,
+    /// Hosting FWB.
+    pub fwb: FwbKind,
+    /// Spoofed brand (index into `webgen::BRANDS`).
+    pub brand: usize,
+}
+
+/// The quarter from which each service shows up in the attack data —
+/// the "attackers adopt newer services over time" effect.
+fn adoption_quarter(kind: FwbKind) -> usize {
+    match kind {
+        // The original workhorses, abused from the start.
+        FwbKind::Weebly | FwbKind::Webhost000 | FwbKind::Blogspot | FwbKind::Wix => 0,
+        FwbKind::GoogleSites | FwbKind::Wordpress => 1,
+        FwbKind::GithubIo | FwbKind::GoogleForms => 3,
+        FwbKind::Sharepoint | FwbKind::Yolasite => 4,
+        FwbKind::Firebase | FwbKind::Squareup => 6,
+        FwbKind::ZohoForms | FwbKind::GoDaddySites => 7,
+        FwbKind::Mailchimp | FwbKind::GlitchMe => 8,
+        FwbKind::Hpage => 9,
+    }
+}
+
+/// Relative abuse weight of each service once adopted (proportional to the
+/// Table 4 six-month counts, which reflect attacker preference).
+fn abuse_weight(kind: FwbKind) -> f64 {
+    kind.descriptor().paper_url_count as f64
+}
+
+/// Configuration of the historical generator.
+#[derive(Debug, Clone)]
+pub struct HistoryConfig {
+    /// Total URLs (paper: 25,200).
+    pub total: usize,
+    /// Fraction shared on Twitter (paper: 16.3K / 25.2K).
+    pub twitter_frac: f64,
+    /// Quarter-over-quarter growth factor of attack volume.
+    pub growth: f64,
+    /// Zipf exponent of brand targeting.
+    pub brand_zipf_s: f64,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig {
+            total: 25_200,
+            twitter_frac: 16_300.0 / 25_200.0,
+            growth: 1.25,
+            brand_zipf_s: 1.05,
+        }
+    }
+}
+
+/// Generate the historical URL population.
+pub fn generate(config: &HistoryConfig, rng: &mut Rng64) -> Vec<HistoricalRecord> {
+    let nq = QUARTERS.len();
+    // Quarterly volumes: geometric growth, normalised to `total`.
+    let raw: Vec<f64> = (0..nq).map(|q| config.growth.powi(q as i32)).collect();
+    let sum: f64 = raw.iter().sum();
+    let mut counts: Vec<usize> = raw
+        .iter()
+        .map(|w| ((w / sum) * config.total as f64).round() as usize)
+        .collect();
+    // Rounding drift onto the last quarter.
+    let drift = config.total as i64 - counts.iter().sum::<usize>() as i64;
+    let last = counts.len() - 1;
+    counts[last] = (counts[last] as i64 + drift).max(0) as usize;
+
+    let brands = Zipf::new(109, config.brand_zipf_s);
+    let mut out = Vec::with_capacity(config.total);
+    for (q, &n) in counts.iter().enumerate() {
+        // Services available this quarter, weighted by attacker preference.
+        let available: Vec<FwbKind> = FwbKind::all()
+            .filter(|k| adoption_quarter(*k) <= q)
+            .collect();
+        let weights: Vec<f64> = available
+            .iter()
+            .map(|k| {
+                // Newly adopted services get a novelty boost: attackers pile
+                // onto hosts blocklists have not tuned for yet.
+                let novelty = if adoption_quarter(*k) + 2 >= q { 1.6 } else { 1.0 };
+                abuse_weight(*k) * novelty
+            })
+            .collect();
+        for _ in 0..n {
+            let fwb = available[rng.choose_weighted(&weights)];
+            let platform = if rng.chance(config.twitter_frac) {
+                Platform::Twitter
+            } else {
+                Platform::Facebook
+            };
+            out.push(HistoricalRecord {
+                quarter: q,
+                platform,
+                fwb,
+                brand: brands.sample(rng),
+            });
+        }
+    }
+    out
+}
+
+/// Figure 1 series: per quarter, (label, twitter count, facebook count).
+pub fn quarterly_series(records: &[HistoricalRecord]) -> Vec<(&'static str, usize, usize)> {
+    QUARTERS
+        .iter()
+        .enumerate()
+        .map(|(q, label)| {
+            let tw = records
+                .iter()
+                .filter(|r| r.quarter == q && r.platform == Platform::Twitter)
+                .count();
+            let fb = records
+                .iter()
+                .filter(|r| r.quarter == q && r.platform == Platform::Facebook)
+                .count();
+            (*label, tw, fb)
+        })
+        .collect()
+}
+
+/// The smallest set of FWBs accounting for ≥80% of a quarter's attacks
+/// (the per-month domain churn the paper highlights), most-abused first.
+pub fn top_domains_80pct(records: &[HistoricalRecord], quarter: usize) -> Vec<FwbKind> {
+    let in_q: Vec<&HistoricalRecord> = records.iter().filter(|r| r.quarter == quarter).collect();
+    if in_q.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<(FwbKind, usize)> = FwbKind::all()
+        .map(|k| (k, in_q.iter().filter(|r| r.fwb == k).count()))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let total: usize = counts.iter().map(|&(_, c)| c).sum();
+    let mut acc = 0;
+    let mut out = Vec::new();
+    for (k, c) in counts {
+        out.push(k);
+        acc += c;
+        if acc * 10 >= total * 8 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<HistoricalRecord> {
+        let mut rng = Rng64::new(2020);
+        generate(&HistoryConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn total_and_platform_split() {
+        let r = records();
+        assert_eq!(r.len(), 25_200);
+        let tw = r.iter().filter(|x| x.platform == Platform::Twitter).count();
+        let frac = tw as f64 / r.len() as f64;
+        assert!((0.62..0.68).contains(&frac), "twitter frac {frac}");
+    }
+
+    #[test]
+    fn quarterly_counts_rise() {
+        let r = records();
+        let series = quarterly_series(&r);
+        assert_eq!(series.len(), QUARTERS.len());
+        // Strictly more attacks in the last quarter than the first, and a
+        // generally increasing trend (allow local noise).
+        let first = series.first().unwrap();
+        let last_q = series.last().unwrap();
+        assert!(last_q.1 + last_q.2 > (first.1 + first.2) * 5);
+        let totals: Vec<usize> = series.iter().map(|(_, t, f)| t + f).collect();
+        let rising = totals.windows(2).filter(|w| w[1] >= w[0]).count();
+        assert!(rising >= totals.len() - 2, "trend not rising: {totals:?}");
+    }
+
+    #[test]
+    fn early_quarters_use_only_early_services() {
+        let r = records();
+        for rec in r.iter().filter(|x| x.quarter == 0) {
+            assert!(
+                matches!(
+                    rec.fwb,
+                    FwbKind::Weebly | FwbKind::Webhost000 | FwbKind::Blogspot | FwbKind::Wix
+                ),
+                "unexpected early service {}",
+                rec.fwb
+            );
+        }
+    }
+
+    #[test]
+    fn newer_services_appear_later() {
+        let r = records();
+        let first_hpage = r.iter().find(|x| x.fwb == FwbKind::Hpage);
+        if let Some(rec) = first_hpage {
+            assert!(rec.quarter >= 9);
+        }
+        // Mailchimp/glitch can only appear from quarter 8.
+        assert!(r
+            .iter()
+            .filter(|x| matches!(x.fwb, FwbKind::Mailchimp | FwbKind::GlitchMe))
+            .all(|x| x.quarter >= 8));
+    }
+
+    #[test]
+    fn top_domain_set_shifts_over_time() {
+        let r = records();
+        let early = top_domains_80pct(&r, 0);
+        let late = top_domains_80pct(&r, 10);
+        assert!(!early.is_empty() && !late.is_empty());
+        assert_ne!(early, late, "top-80% set should churn across quarters");
+    }
+
+    #[test]
+    fn brands_are_zipf_headed() {
+        let r = records();
+        let facebook_count = r.iter().filter(|x| x.brand == 0).count();
+        let tail_count = r.iter().filter(|x| x.brand == 100).count();
+        assert!(facebook_count > tail_count * 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut r1 = Rng64::new(7);
+        let mut r2 = Rng64::new(7);
+        let a = generate(&HistoryConfig::default(), &mut r1);
+        let b = generate(&HistoryConfig::default(), &mut r2);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.quarter == y.quarter && x.fwb == y.fwb && x.platform == y.platform));
+    }
+}

@@ -1,0 +1,459 @@
+//! Tolerant HTML tokenizer.
+//!
+//! Produces a flat token stream: open tags (with parsed attributes), close
+//! tags, text runs, and comments. Raw-text elements (`script`, `style`)
+//! swallow everything up to their matching close tag. Malformed input never
+//! panics — the tokenizer treats stray `<` as text when no tag can start.
+
+use std::fmt;
+
+/// One attribute on an open tag. Names are lower-cased; values are unquoted
+/// and entity-decoded for the small entity set that matters here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name, lower-cased.
+    pub name: String,
+    /// Attribute value; empty for valueless attributes (`<input disabled>`).
+    pub value: String,
+}
+
+/// One token of the HTML stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<tag attr=...>`; `self_closing` records an explicit `/>`.
+    Open {
+        /// Tag name, lower-cased.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<Attr>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    Close {
+        /// Tag name, lower-cased.
+        tag: String,
+    },
+    /// A run of character data (entity-decoded).
+    Text(String),
+    /// `<!-- ... -->` contents (without the delimiters).
+    Comment(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Open {
+                tag,
+                attrs,
+                self_closing,
+            } => {
+                write!(f, "<{tag}")?;
+                for a in attrs {
+                    if a.value.is_empty() {
+                        write!(f, " {}", a.name)?;
+                    } else {
+                        write!(f, " {}=\"{}\"", a.name, a.value)?;
+                    }
+                }
+                if *self_closing {
+                    write!(f, "/")?;
+                }
+                write!(f, ">")
+            }
+            Token::Close { tag } => write!(f, "</{tag}>"),
+            Token::Text(t) => f.write_str(t),
+            Token::Comment(c) => write!(f, "<!--{c}-->"),
+        }
+    }
+}
+
+/// Elements whose content is raw text until the matching close tag.
+const RAW_TEXT: &[&str] = &["script", "style"];
+
+/// Tokenize an HTML string. Never panics.
+pub fn tokenize(html: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let b = html.as_bytes();
+    let mut i = 0;
+    let mut text_start = 0;
+
+    while i < b.len() {
+        if b[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // A '<' only starts a construct when followed by '!', '?', '/', or a
+        // letter; otherwise it is literal text.
+        let starts_construct = matches!(
+            b.get(i + 1),
+            Some(b'!') | Some(b'?') | Some(b'/')
+        ) || b
+            .get(i + 1)
+            .map(|c| c.is_ascii_alphabetic())
+            .unwrap_or(false);
+        if !starts_construct {
+            i += 1;
+            continue;
+        }
+        // Flush pending text.
+        if i > text_start {
+            push_text(&mut out, &html[text_start..i]);
+        }
+
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            let body_start = i + 4;
+            match html[body_start..].find("-->") {
+                Some(end) => {
+                    out.push(Token::Comment(html[body_start..body_start + end].to_string()));
+                    i = body_start + end + 3;
+                }
+                None => {
+                    out.push(Token::Comment(html[body_start..].to_string()));
+                    i = b.len();
+                }
+            }
+            text_start = i;
+            continue;
+        }
+
+        // Doctype / processing instruction: skip to '>'.
+        if matches!(b.get(i + 1), Some(b'!') | Some(b'?')) {
+            match html[i..].find('>') {
+                Some(end) => i += end + 1,
+                None => i = b.len(),
+            }
+            text_start = i;
+            continue;
+        }
+
+        // Close tag?
+        if b.get(i + 1) == Some(&b'/') {
+            let name_start = i + 2;
+            let end = html[name_start..].find('>').map(|e| name_start + e);
+            match end {
+                Some(e) => {
+                    let name: String = html[name_start..e]
+                        .trim()
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                        .collect::<String>()
+                        .to_ascii_lowercase();
+                    if !name.is_empty() {
+                        out.push(Token::Close { tag: name });
+                    }
+                    i = e + 1;
+                }
+                None => i = b.len(),
+            }
+            text_start = i;
+            continue;
+        }
+
+        match parse_open_tag(html, i) {
+            Some((tag, attrs, self_closing, next)) => {
+                let is_raw = RAW_TEXT.contains(&tag.as_str()) && !self_closing;
+                out.push(Token::Open {
+                    tag: tag.clone(),
+                    attrs,
+                    self_closing,
+                });
+                i = next;
+                if is_raw {
+                    // Swallow raw text until the matching close tag.
+                    let close = format!("</{tag}");
+                    let lower = html[i..].to_ascii_lowercase();
+                    match lower.find(&close) {
+                        Some(offset) => {
+                            if offset > 0 {
+                                out.push(Token::Text(html[i..i + offset].to_string()));
+                            }
+                            let after = i + offset;
+                            let gt = html[after..].find('>').map(|g| after + g + 1);
+                            out.push(Token::Close { tag: tag.clone() });
+                            i = gt.unwrap_or(b.len());
+                        }
+                        None => {
+                            if i < b.len() {
+                                out.push(Token::Text(html[i..].to_string()));
+                            }
+                            i = b.len();
+                        }
+                    }
+                }
+                text_start = i;
+            }
+            None => {
+                // Unreachable with the EOF-recovering tag parser, but kept
+                // as a defensive fallback: treat the rest as text.
+                i = b.len();
+                text_start = i;
+            }
+        }
+    }
+    if text_start < b.len() {
+        push_text(&mut out, &html[text_start..]);
+    }
+    out
+}
+
+fn push_text(out: &mut Vec<Token>, raw: &str) {
+    if raw.chars().all(|c| c.is_whitespace()) {
+        return;
+    }
+    out.push(Token::Text(decode_entities(raw)));
+}
+
+/// Parse an open tag starting at `html[start] == '<'`. Returns
+/// (tag, attrs, self_closing, index-after-`>`), or None if unterminated.
+fn parse_open_tag(html: &str, start: usize) -> Option<(String, Vec<Attr>, bool, usize)> {
+    let b = html.as_bytes();
+    let mut i = start + 1;
+
+    let name_start = i;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'-') {
+        i += 1;
+    }
+    let tag = html[name_start..i].to_ascii_lowercase();
+
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        // Skip whitespace.
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() {
+            // Unterminated tag at EOF: recover with what we have instead of
+            // discarding the element (phishing kits truncate markup).
+            return Some((tag, attrs, self_closing, i));
+        }
+        match b[i] {
+            b'>' => return Some((tag, attrs, self_closing, i + 1)),
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            b'<' => {
+                // Broken tag; re-synchronise by treating it as closed here.
+                return Some((tag, attrs, self_closing, i));
+            }
+            _ => {
+                // Attribute name.
+                let an_start = i;
+                while i < b.len()
+                    && !b[i].is_ascii_whitespace()
+                    && b[i] != b'='
+                    && b[i] != b'>'
+                    && b[i] != b'/'
+                {
+                    i += 1;
+                }
+                let name = html[an_start..i].to_ascii_lowercase();
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let mut value = String::new();
+                if i < b.len() && b[i] == b'=' {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < b.len() && (b[i] == b'"' || b[i] == b'\'') {
+                        let quote = b[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < b.len() && b[i] != quote {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i.min(b.len())]);
+                        if i < b.len() {
+                            i += 1; // past closing quote
+                        }
+                    } else {
+                        let v_start = i;
+                        while i < b.len()
+                            && !b[i].is_ascii_whitespace()
+                            && b[i] != b'>'
+                        {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i]);
+                    }
+                }
+                if !name.is_empty() {
+                    attrs.push(Attr { name, value });
+                }
+            }
+        }
+    }
+}
+
+/// Decode the entity subset that matters for feature extraction.
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let replaced = [
+            ("&amp;", "&"),
+            ("&lt;", "<"),
+            ("&gt;", ">"),
+            ("&quot;", "\""),
+            ("&#39;", "'"),
+            ("&apos;", "'"),
+            ("&nbsp;", " "),
+        ]
+        .iter()
+        .find(|(ent, _)| rest.starts_with(ent));
+        match replaced {
+            Some((ent, rep)) => {
+                out.push_str(rep);
+                rest = &rest[ent.len()..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(tok: &Token) -> (&str, &[Attr]) {
+        match tok {
+            Token::Open { tag, attrs, .. } => (tag.as_str(), attrs.as_slice()),
+            other => panic!("expected open tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let toks = tokenize("<p>hello</p>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Open {
+                    tag: "p".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Token::Text("hello".into()),
+                Token::Close { tag: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_valueless() {
+        let toks = tokenize(r#"<input type="text" name='user' required maxlength=10>"#);
+        let (tag, attrs) = open(&toks[0]);
+        assert_eq!(tag, "input");
+        assert_eq!(
+            attrs,
+            &[
+                Attr { name: "type".into(), value: "text".into() },
+                Attr { name: "name".into(), value: "user".into() },
+                Attr { name: "required".into(), value: "".into() },
+                Attr { name: "maxlength".into(), value: "10".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_and_case_folding() {
+        let toks = tokenize("<BR/><IMG SRC='x.png'/>");
+        assert!(matches!(
+            &toks[0],
+            Token::Open { tag, self_closing: true, .. } if tag == "br"
+        ));
+        let (tag, attrs) = open(&toks[1]);
+        assert_eq!(tag, "img");
+        assert_eq!(attrs[0].name, "src");
+    }
+
+    #[test]
+    fn comments() {
+        let toks = tokenize("a<!-- secret -->b");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Text("a".into()),
+                Token::Comment(" secret ".into()),
+                Token::Text("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let toks = tokenize("<!-- never ends");
+        assert_eq!(toks, vec![Token::Comment(" never ends".into())]);
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let toks = tokenize("<!DOCTYPE html><p>x</p>");
+        assert!(matches!(&toks[0], Token::Open { tag, .. } if tag == "p"));
+    }
+
+    #[test]
+    fn script_is_raw_text() {
+        let toks = tokenize(r#"<script>if (a < b) { x("<p>"); }</script>"#);
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[1], Token::Text(t) if t.contains("a < b")));
+        assert!(matches!(&toks[2], Token::Close { tag } if tag == "script"));
+    }
+
+    #[test]
+    fn unclosed_script_swallows_rest() {
+        let toks = tokenize("<script>var x = 1;");
+        assert!(matches!(&toks[1], Token::Text(t) if t.contains("var x")));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("a < b and c < d");
+        assert_eq!(toks, vec![Token::Text("a < b and c < d".into())]);
+    }
+
+    #[test]
+    fn entity_decoding() {
+        assert_eq!(decode_entities("a &amp;&lt;&gt;&quot;&#39; b"), "a &<>\"' b");
+        assert_eq!(decode_entities("AT&T"), "AT&T");
+        assert_eq!(decode_entities("x&nbsp;y"), "x y");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let toks = tokenize("<p>  \n\t </p>");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn close_tag_with_spaces() {
+        let toks = tokenize("<div>x</div >");
+        assert!(matches!(toks.last().unwrap(), Token::Close { tag } if tag == "div"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn display_round_trip_for_open_tag() {
+        let toks = tokenize(r#"<a href="http://x.com/">"#);
+        assert_eq!(toks[0].to_string(), r#"<a href="http://x.com/">"#);
+    }
+}

@@ -1,0 +1,120 @@
+//! Edge-case regression tests for the HTML pipeline — the malformed
+//! constructs phishing kits actually emit (broken tags, missing quotes,
+//! nested comments, script soup).
+
+use freephish_htmlparse::{parse, tokenize, Node, Token};
+
+#[test]
+fn attribute_without_closing_quote_does_not_hang() {
+    let doc = parse(r#"<a href="https://x.com/unclosed>text</a><p>after</p>"#);
+    // The unterminated quote swallows to EOF or recovers; either way the
+    // parser terminates and yields a tree.
+    assert!(!doc.is_empty());
+}
+
+#[test]
+fn style_is_raw_text_like_script() {
+    let toks = tokenize("<style>div > p { color: red } </style><p>x</p>");
+    // The '>' inside the CSS must not terminate anything.
+    assert!(matches!(&toks[1], Token::Text(t) if t.contains("color: red")));
+    assert!(toks.iter().any(|t| matches!(t, Token::Open { tag, .. } if tag == "p")));
+}
+
+#[test]
+fn script_close_tag_case_insensitive() {
+    let toks = tokenize("<script>x</SCRIPT><p>y</p>");
+    assert!(toks.iter().any(|t| matches!(t, Token::Open { tag, .. } if tag == "p")));
+}
+
+#[test]
+fn duplicate_attributes_keep_first_for_lookup() {
+    let doc = parse(r#"<a href="first" href="second">x</a>"#);
+    let a = &doc.elements_by_tag("a")[0];
+    assert_eq!(a.attr("href"), Some("first"));
+}
+
+#[test]
+fn deeply_nested_divs_do_not_overflow() {
+    let mut html = String::new();
+    for _ in 0..5000 {
+        html.push_str("<div>");
+    }
+    html.push_str("core");
+    // No closing tags at all: auto-close at EOF, iterative walk.
+    let doc = parse(&html);
+    let mut count = 0;
+    doc.walk(|_, n| {
+        if matches!(n, Node::Element { .. }) {
+            count += 1;
+        }
+    });
+    assert_eq!(count, 5000);
+    assert!(doc.visible_text().contains("core"));
+}
+
+#[test]
+fn comment_containing_tag_markup_not_parsed() {
+    let doc = parse("<!-- <form><input type=\"password\"></form> --><p>x</p>");
+    assert!(!doc.has_login_form());
+    assert_eq!(doc.elements_by_tag("p").len(), 1);
+}
+
+#[test]
+fn void_element_with_self_closing_slash() {
+    let doc = parse("<meta name=\"robots\" content=\"noindex\" /><p>x</p>");
+    assert!(doc.has_noindex_meta());
+}
+
+#[test]
+fn mixed_case_tags_fold() {
+    let doc = parse("<DIV><P>x</P></DIV>");
+    assert_eq!(doc.elements_by_tag("div").len(), 1);
+    assert_eq!(doc.elements_by_tag("p").len(), 1);
+}
+
+#[test]
+fn attributes_with_urls_containing_gt() {
+    // '>' inside a quoted attribute value must not end the tag.
+    let doc = parse(r#"<a href="https://x.com/?q=a>b">link</a>"#);
+    assert_eq!(doc.links(), vec!["https://x.com/?q=a>b"]);
+}
+
+#[test]
+fn entity_heavy_text() {
+    let doc = parse("<p>Tom &amp; Jerry &lt;3 &quot;cheese&quot;</p>");
+    assert_eq!(doc.visible_text(), "Tom & Jerry <3 \"cheese\"");
+}
+
+#[test]
+fn empty_attribute_values() {
+    let doc = parse(r#"<input type="" name="">"#);
+    let inputs = doc.inputs();
+    assert_eq!(inputs.len(), 1);
+    assert_eq!(inputs[0].attr("type"), Some(""));
+}
+
+#[test]
+fn many_siblings_fast_path() {
+    let html: String = (0..2000).map(|i| format!("<p>{i}</p>")).collect();
+    let doc = parse(&html);
+    assert_eq!(doc.elements_by_tag("p").len(), 2000);
+}
+
+#[test]
+fn text_of_skips_style_content() {
+    let doc = parse("<div><style>.x{display:none}</style>visible</div>");
+    assert_eq!(doc.visible_text(), "visible");
+}
+
+#[test]
+fn iframe_without_src() {
+    let doc = parse("<iframe></iframe>");
+    assert_eq!(doc.iframes().len(), 1);
+    assert_eq!(doc.iframes()[0].attr("src"), None);
+}
+
+#[test]
+fn tag_elements_ignore_text_and_comments() {
+    let doc = parse("<div>text<!-- c --><p>more</p></div>");
+    assert_eq!(doc.tag_elements(), vec!["<div>".to_string(), "<p>".to_string()]);
+}

@@ -1,0 +1,66 @@
+//! Property tests: the HTML pipeline must be total (never panic) and
+//! structurally sane on arbitrary input.
+
+use freephish_htmlparse::{parse, tokenize, Node};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer accepts any string without panicking.
+    #[test]
+    fn tokenizer_is_total(s in "\\PC{0,500}") {
+        let _ = tokenize(&s);
+    }
+
+    /// The DOM builder accepts any string without panicking, and every
+    /// child id referenced by an element is a valid arena index.
+    #[test]
+    fn dom_builder_is_total_and_consistent(s in "\\PC{0,500}") {
+        let doc = parse(&s);
+        let n = doc.len();
+        doc.walk(|id, node| {
+            assert!(id.0 < n);
+            if let Node::Element { children, .. } = node {
+                for c in children {
+                    assert!(c.0 < n);
+                }
+            }
+        });
+    }
+
+    /// Queries are total on arbitrary input.
+    #[test]
+    fn queries_are_total(s in "\\PC{0,500}") {
+        let doc = parse(&s);
+        let _ = doc.title();
+        let _ = doc.visible_text();
+        let _ = doc.links();
+        let _ = doc.credential_inputs();
+        let _ = doc.has_noindex_meta();
+        let _ = doc.tag_elements();
+        let _ = doc.link_partition("weebly.com");
+        let _ = doc.empty_links();
+    }
+
+    /// Well-formed generated documents: element count seen by walk equals
+    /// the number of open tags we emitted.
+    #[test]
+    fn generated_doc_element_count(tags in proptest::collection::vec("[a-z]{1,6}", 0..20)) {
+        let mut html = String::new();
+        for t in &tags {
+            html.push_str(&format!("<{t}>x</{t}>"));
+        }
+        let doc = parse(&html);
+        let mut count = 0;
+        doc.walk(|_, n| if matches!(n, Node::Element { .. }) { count += 1 });
+        prop_assert_eq!(count, tags.len());
+    }
+
+    /// Text content round-trips through a simple wrapper element (edge
+    /// whitespace is trimmed; interior whitespace is preserved).
+    #[test]
+    fn text_round_trip(text in "[a-zA-Z0-9 .,]{1,80}") {
+        prop_assume!(!text.trim().is_empty());
+        let doc = parse(&format!("<p>{text}</p>"));
+        prop_assert_eq!(doc.visible_text(), text.trim());
+    }
+}

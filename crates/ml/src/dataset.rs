@@ -1,0 +1,222 @@
+//! Feature matrices, labelled datasets, splits and K-fold indices.
+
+use freephish_simclock::Rng64;
+
+/// A labelled binary-classification dataset: row-major feature matrix plus
+/// 0/1 labels and feature names.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given feature names.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Append one example. Panics if the row width disagrees with the
+    /// feature names — a mismatch is a programming error upstream.
+    pub fn push(&mut self, features: Vec<f64>, label: u8) {
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "row width {} != feature count {}",
+            features.len(),
+            self.feature_names.len()
+        );
+        assert!(label <= 1, "binary labels only");
+        self.rows.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per example.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Borrow a row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> u8 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Fraction of positive labels; 0 for an empty dataset.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().map(|&l| l as usize).sum::<usize>() as f64 / self.labels.len() as f64
+    }
+
+    /// Build a new dataset from a subset of row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Append extra feature columns (e.g. stacked base-model predictions).
+    /// `extra[i]` holds the new values for row `i`.
+    pub fn with_extra_features(&self, names: &[&str], extra: &[Vec<f64>]) -> Dataset {
+        assert_eq!(extra.len(), self.rows.len());
+        let mut feature_names = self.feature_names.clone();
+        feature_names.extend(names.iter().map(|s| s.to_string()));
+        let rows = self
+            .rows
+            .iter()
+            .zip(extra)
+            .map(|(r, e)| {
+                assert_eq!(e.len(), names.len());
+                let mut row = r.clone();
+                row.extend_from_slice(e);
+                row
+            })
+            .collect();
+        Dataset {
+            feature_names,
+            rows,
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Shuffled train/test split: `train_frac` of rows go to the first
+    /// returned dataset.
+    pub fn split(&self, train_frac: f64, rng: &mut Rng64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let n_train = (self.len() as f64 * train_frac).round() as usize;
+        let (train_idx, test_idx) = idx.split_at(n_train.min(self.len()));
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// K-fold partition: returns `k` disjoint index sets covering all rows,
+    /// shuffled. Fold sizes differ by at most one.
+    pub fn kfold_indices(&self, k: usize, rng: &mut Rng64) -> Vec<Vec<usize>> {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, row) in idx.into_iter().enumerate() {
+            folds[i % k].push(row);
+        }
+        folds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..n {
+            d.push(vec![i as f64, (i * 2) as f64], (i % 2) as u8);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy(4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(2), &[2.0, 4.0]);
+        assert_eq!(d.label(3), 1);
+        assert_eq!(d.positive_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut d = toy(1);
+        d.push(vec![1.0], 0);
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let d = toy(10);
+        let s = d.subset(&[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0), d.row(1));
+        assert_eq!(s.label(2), d.label(5));
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy(100);
+        let mut rng = Rng64::new(1);
+        let (tr, te) = d.split(0.7, &mut rng);
+        assert_eq!(tr.len(), 70);
+        assert_eq!(te.len(), 30);
+    }
+
+    #[test]
+    fn kfold_covers_everything_disjointly() {
+        let d = toy(23);
+        let mut rng = Rng64::new(2);
+        let folds = d.kfold_indices(5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        // Balanced within one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn extra_features_appended() {
+        let d = toy(3);
+        let e = vec![vec![9.0], vec![8.0], vec![7.0]];
+        let d2 = d.with_extra_features(&["pred"], &e);
+        assert_eq!(d2.n_features(), 3);
+        assert_eq!(d2.row(1), &[1.0, 2.0, 8.0]);
+        assert_eq!(d2.feature_names().last().unwrap(), "pred");
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec!["x".into()]);
+        assert!(d.is_empty());
+        assert_eq!(d.positive_rate(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! From-scratch machine learning substrate for the FreePhish classifier.
+//!
+//! The paper's classification module is a two-layer *stacking* model
+//! (Li et al. 2019) whose base learners are three gradient-boosted
+//! decision-tree variants — GBDT, XGBoost and LightGBM. Its baselines
+//! include a URL-string model (URLNet) and two visual models
+//! (VisualPhishNet, PhishIntention). None of those ecosystems exist as
+//! offline Rust crates, so this crate implements the algorithm families
+//! directly:
+//!
+//! * [`tree`] — histogram-based regression trees with second-order
+//!   (gradient/hessian) split gains, level-wise or leaf-wise growth;
+//! * [`gbdt`] — gradient boosting for binary classification with logistic
+//!   loss, with presets mirroring the three variants' characteristic knobs
+//!   ([`gbdt::GbdtConfig::classic`], [`gbdt::GbdtConfig::xgboost_style`],
+//!   [`gbdt::GbdtConfig::lightgbm_style`]);
+//! * [`stacking`] — the two-layer StackModel: K-fold out-of-fold base
+//!   predictions plus a majority-vote feature feed a second-layer GBDT;
+//! * [`forest`] — a random forest (the classifier the paper's Section 4
+//!   overview names before Section 4.2 settles on stacking);
+//! * [`logistic`] — n-gram logistic regression (the URLNet-style baseline);
+//! * [`knn`] — nearest-neighbour search over dense vectors (the
+//!   VisualPhishNet-style layout-signature baseline);
+//! * [`dataset`] / [`metrics`] — the plumbing: feature matrices, splits,
+//!   K-fold indices, confusion-matrix metrics and AUC.
+//!
+//! Everything is deterministic given a seed and has no dependencies beyond
+//! the simulation kernel's RNG.
+
+pub mod dataset;
+pub mod forest;
+pub mod gbdt;
+pub mod knn;
+pub mod logistic;
+pub mod metrics;
+pub mod stacking;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use forest::{ForestConfig, RandomForest};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use knn::Knn;
+pub use logistic::LogisticRegression;
+pub use metrics::{BinaryMetrics, ConfusionMatrix};
+pub use stacking::{StackModel, StackModelConfig};

@@ -1,0 +1,251 @@
+//! The two-layer StackModel of Li et al. 2019, as used (and augmented) by
+//! FreePhish.
+//!
+//! Layer 1 trains three gradient-boosting variants (GBDT, XGBoost-style,
+//! LightGBM-style). Following the paper's K-fold protocol, each base model
+//! produces *out-of-fold* predictions for every training row — each row is
+//! predicted by a model that never saw it — so the second layer trains on
+//! honest probabilities. A majority-vote feature over the binarised base
+//! predictions is appended. Layer 2 is a final GBDT over
+//! `[original features ‖ base probabilities ‖ vote]`.
+//!
+//! At inference time the base models (retrained on the full training set)
+//! produce the same augmented row for the final model.
+
+use crate::dataset::Dataset;
+use crate::gbdt::{Gbdt, GbdtConfig};
+use freephish_simclock::Rng64;
+
+/// StackModel hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct StackModelConfig {
+    /// Configurations of the three (or more) base learners.
+    pub base_configs: Vec<GbdtConfig>,
+    /// The second-layer learner.
+    pub meta_config: GbdtConfig,
+    /// Folds used to produce out-of-fold base predictions.
+    pub k_folds: usize,
+}
+
+impl Default for StackModelConfig {
+    fn default() -> Self {
+        StackModelConfig {
+            base_configs: vec![
+                GbdtConfig::classic(),
+                GbdtConfig::xgboost_style(),
+                GbdtConfig::lightgbm_style(),
+            ],
+            meta_config: GbdtConfig::classic(),
+            k_folds: 5,
+        }
+    }
+}
+
+impl StackModelConfig {
+    /// A fast configuration for tests.
+    pub fn tiny() -> Self {
+        StackModelConfig {
+            base_configs: vec![GbdtConfig::tiny(), GbdtConfig::tiny()],
+            meta_config: GbdtConfig::tiny(),
+            k_folds: 3,
+        }
+    }
+}
+
+/// A fitted StackModel.
+#[derive(Debug, Clone)]
+pub struct StackModel {
+    base_models: Vec<Gbdt>,
+    meta_model: Gbdt,
+}
+
+impl StackModel {
+    /// Train the full stack. Deterministic given the RNG state.
+    pub fn train(config: &StackModelConfig, data: &Dataset, rng: &mut Rng64) -> StackModel {
+        assert!(data.len() >= config.k_folds * 2, "dataset too small to stack");
+        let n = data.len();
+        let n_base = config.base_configs.len();
+        let folds = data.kfold_indices(config.k_folds, rng);
+
+        // Out-of-fold probabilities, one column per base model.
+        let mut oof = vec![vec![0.0f64; n_base]; n];
+        for (b, base_cfg) in config.base_configs.iter().enumerate() {
+            for held_out in &folds {
+                let train_idx: Vec<usize> = folds
+                    .iter()
+                    .filter(|f| !std::ptr::eq(*f, held_out))
+                    .flatten()
+                    .copied()
+                    .collect();
+                let sub = data.subset(&train_idx);
+                let mut fold_rng = rng.fork(b as u64);
+                let model = Gbdt::train(base_cfg, &sub, &mut fold_rng);
+                for &i in held_out {
+                    oof[i][b] = model.predict_proba(data.row(i));
+                }
+            }
+        }
+
+        // Majority-vote column over binarised base predictions.
+        let extra: Vec<Vec<f64>> = oof
+            .iter()
+            .map(|probs| {
+                let mut row = probs.clone();
+                let votes = probs.iter().filter(|&&p| p >= 0.5).count();
+                row.push(f64::from(votes * 2 > probs.len()));
+                row
+            })
+            .collect();
+        let names: Vec<String> = (0..n_base)
+            .map(|b| format!("base{b}_proba"))
+            .chain(std::iter::once("base_vote".to_string()))
+            .collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let meta_data = data.with_extra_features(&name_refs, &extra);
+
+        // Retrain base models on the full training set for inference.
+        let base_models: Vec<Gbdt> = config
+            .base_configs
+            .iter()
+            .enumerate()
+            .map(|(b, cfg)| {
+                let mut m_rng = rng.fork(100 + b as u64);
+                Gbdt::train(cfg, data, &mut m_rng)
+            })
+            .collect();
+
+        let mut meta_rng = rng.fork(999);
+        let meta_model = Gbdt::train(&config.meta_config, &meta_data, &mut meta_rng);
+
+        StackModel {
+            base_models,
+            meta_model,
+        }
+    }
+
+    /// Build the augmented row: original features plus base probabilities
+    /// plus the majority vote.
+    fn augment(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        let probs: Vec<f64> = self
+            .base_models
+            .iter()
+            .map(|m| m.predict_proba(row))
+            .collect();
+        let votes = probs.iter().filter(|&&p| p >= 0.5).count();
+        out.extend_from_slice(&probs);
+        out.push(f64::from(votes * 2 > probs.len()));
+        out
+    }
+
+    /// Probability of the positive (phishing) class.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        self.meta_model.predict_proba(&self.augment(row))
+    }
+
+    /// Hard prediction at 0.5.
+    pub fn predict(&self, row: &[f64]) -> u8 {
+        u8::from(self.predict_proba(row) >= 0.5)
+    }
+
+    /// Probabilities over a whole dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len())
+            .map(|i| self.predict_proba(data.row(i)))
+            .collect()
+    }
+
+    /// Number of base models.
+    pub fn n_base_models(&self) -> usize {
+        self.base_models.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::BinaryMetrics;
+
+    fn rings(n: usize, seed: u64) -> Dataset {
+        // Inner disc = class 1, outer ring = class 0 — nonlinear boundary.
+        let mut rng = Rng64::new(seed);
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for _ in 0..n {
+            let inner = rng.chance(0.5);
+            let r = if inner {
+                rng.range_f64(0.0, 1.0)
+            } else {
+                rng.range_f64(1.6, 2.8)
+            };
+            let theta = rng.range_f64(0.0, std::f64::consts::TAU);
+            d.push(
+                vec![r * theta.cos(), r * theta.sin()],
+                u8::from(inner),
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn stack_learns_nonlinear_boundary() {
+        let mut rng = Rng64::new(5);
+        let data = rings(600, 1);
+        let (train, test) = data.split(0.7, &mut rng);
+        let model = StackModel::train(&StackModelConfig::tiny(), &train, &mut rng);
+        let m = BinaryMetrics::from_scores(test.labels(), &model.predict_all(&test));
+        assert!(m.accuracy > 0.9, "accuracy={}", m.accuracy);
+        assert_eq!(model.n_base_models(), 2);
+    }
+
+    #[test]
+    fn stack_not_worse_than_single_base() {
+        let mut rng = Rng64::new(6);
+        let data = rings(600, 2);
+        let (train, test) = data.split(0.7, &mut rng);
+        let mut r1 = Rng64::new(7);
+        let stack = StackModel::train(&StackModelConfig::tiny(), &train, &mut r1);
+        let mut r2 = Rng64::new(7);
+        let single = Gbdt::train(&GbdtConfig::tiny(), &train, &mut r2);
+        let ms = BinaryMetrics::from_scores(test.labels(), &stack.predict_all(&test));
+        let mb = BinaryMetrics::from_scores(test.labels(), &single.predict_all(&test));
+        assert!(
+            ms.f1 >= mb.f1 - 0.03,
+            "stack f1 {} vs base f1 {}",
+            ms.f1,
+            mb.f1
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = rings(200, 3);
+        let mut r1 = Rng64::new(8);
+        let mut r2 = Rng64::new(8);
+        let m1 = StackModel::train(&StackModelConfig::tiny(), &data, &mut r1);
+        let m2 = StackModel::train(&StackModelConfig::tiny(), &data, &mut r2);
+        for i in 0..20 {
+            assert_eq!(m1.predict_proba(data.row(i)), m2.predict_proba(data.row(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_dataset_rejected() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        d.push(vec![1.0], 1);
+        d.push(vec![0.0], 0);
+        let mut rng = Rng64::new(9);
+        StackModel::train(&StackModelConfig::tiny(), &d, &mut rng);
+    }
+
+    #[test]
+    fn proba_in_unit_interval() {
+        let data = rings(200, 4);
+        let mut rng = Rng64::new(10);
+        let model = StackModel::train(&StackModelConfig::tiny(), &data, &mut rng);
+        for i in 0..data.len() {
+            let p = model.predict_proba(data.row(i));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! Histogram-based regression trees with second-order split gains.
+//!
+//! This is the shared engine under all three boosting variants. Features
+//! are quantised into at most 256 bins (XGBoost's "approx" / LightGBM's
+//! histogram strategy); split gain uses the standard second-order formula
+//!
+//! ```text
+//! gain = G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) − γ
+//! ```
+//!
+//! and leaf weights are `−G/(H+λ)`. Growth is either level-wise (classic
+//! GBDT / XGBoost) or best-first leaf-wise (LightGBM's signature).
+
+/// Tree-growth hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth for level-wise growth (root = depth 0).
+    pub max_depth: usize,
+    /// Maximum leaf count for leaf-wise growth.
+    pub max_leaves: usize,
+    /// Minimum examples per leaf.
+    pub min_leaf: usize,
+    /// L2 regularisation on leaf weights (XGBoost's λ).
+    pub lambda: f64,
+    /// Minimum gain to split (XGBoost's γ).
+    pub gamma: f64,
+    /// Leaf-wise (best-first) growth instead of level-wise.
+    pub leaf_wise: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 5,
+            max_leaves: 31,
+            min_leaf: 5,
+            lambda: 1.0,
+            gamma: 0.0,
+            leaf_wise: false,
+        }
+    }
+}
+
+/// Feature matrix quantised to per-feature bins.
+///
+/// `edges[f]` holds ascending thresholds; a value `x` falls in bin
+/// `edges[f].partition_point(|e| e < x)`, so `bin(x) <= b  ⇔  x <= edges[f][b]`
+/// for any edge index `b` — which is exactly the predicate a split needs.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    /// Column-major bins: `bins[f][row]`.
+    bins: Vec<Vec<u8>>,
+    /// Ascending candidate thresholds per feature.
+    edges: Vec<Vec<f64>>,
+    n_rows: usize,
+}
+
+impl BinnedMatrix {
+    /// Quantise `rows` (row-major) into at most `max_bins` bins per feature
+    /// using (approximate) quantile edges. `max_bins` is clamped to 2..=256.
+    pub fn build(rows: &[Vec<f64>], max_bins: usize) -> Self {
+        let max_bins = max_bins.clamp(2, 256);
+        let n_rows = rows.len();
+        let n_features = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut edges = Vec::with_capacity(n_features);
+        let mut bins = Vec::with_capacity(n_features);
+        for f in 0..n_features {
+            let mut col: Vec<f64> = rows.iter().map(|r| r[f]).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Quantile edges, deduplicated.
+            let mut e: Vec<f64> = Vec::new();
+            for k in 1..max_bins {
+                let pos = k * n_rows / max_bins;
+                if pos < n_rows {
+                    let v = col[pos.saturating_sub(1)];
+                    if e.last().map(|&last| v > last).unwrap_or(true) {
+                        e.push(v);
+                    }
+                }
+            }
+            // An edge at (or above) the column maximum separates nothing:
+            // drop it so constant features end up with a single bin.
+            if let Some(&max) = col.last() {
+                while e.last().map(|&last| last >= max).unwrap_or(false) {
+                    e.pop();
+                }
+            }
+            let b: Vec<u8> = rows
+                .iter()
+                .map(|r| e.partition_point(|&edge| edge < r[f]) as u8)
+                .collect();
+            edges.push(e);
+            bins.push(b);
+        }
+        BinnedMatrix {
+            bins,
+            edges,
+            n_rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Number of bins for feature `f` (edges + 1).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+
+    /// Bin of row `row` for feature `f`.
+    pub fn bin(&self, f: usize, row: usize) -> u8 {
+        self.bins[f][row]
+    }
+
+    /// Threshold corresponding to splitting feature `f` at bin `b`
+    /// (rows with `value <= threshold` go left).
+    pub fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.edges[f][b]
+    }
+}
+
+/// One tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Terminal node carrying the leaf weight.
+    Leaf {
+        /// The weight added to the raw score.
+        value: f64,
+    },
+    /// Internal split: rows with `features[feature] <= threshold` go left.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Raw-value threshold.
+        threshold: f64,
+        /// Left child node index.
+        left: usize,
+        /// Right child node index.
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegTree {
+    nodes: Vec<Node>,
+}
+
+struct SplitCandidate {
+    gain: f64,
+    feature: usize,
+    bin: usize,
+}
+
+/// Work item during growth: a prospective leaf.
+struct Pending {
+    node_slot: usize,
+    rows: Vec<usize>,
+    depth: usize,
+    grad_sum: f64,
+    hess_sum: f64,
+}
+
+impl RegTree {
+    /// Fit a tree to the (gradient, hessian) targets over `rows`.
+    pub fn fit(
+        m: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        cfg: &TreeConfig,
+    ) -> RegTree {
+        assert_eq!(grad.len(), hess.len());
+        let mut nodes: Vec<Node> = vec![Node::Leaf { value: 0.0 }];
+        let g0: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let h0: f64 = rows.iter().map(|&r| hess[r]).sum();
+        let root = Pending {
+            node_slot: 0,
+            rows: rows.to_vec(),
+            depth: 0,
+            grad_sum: g0,
+            hess_sum: h0,
+        };
+
+        if cfg.leaf_wise {
+            Self::grow_leafwise(m, grad, hess, cfg, &mut nodes, root);
+        } else {
+            Self::grow_levelwise(m, grad, hess, cfg, &mut nodes, root);
+        }
+        RegTree { nodes }
+    }
+
+    fn leaf_value(g: f64, h: f64, lambda: f64) -> f64 {
+        -g / (h + lambda)
+    }
+
+    /// Best split for a node, or None when nothing clears min_leaf/γ.
+    fn best_split(
+        m: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        g_total: f64,
+        h_total: f64,
+        cfg: &TreeConfig,
+    ) -> Option<SplitCandidate> {
+        if rows.len() < 2 * cfg.min_leaf {
+            return None;
+        }
+        let parent_score = g_total * g_total / (h_total + cfg.lambda);
+        let mut best: Option<SplitCandidate> = None;
+        for f in 0..m.n_features() {
+            let nb = m.n_bins(f);
+            if nb < 2 {
+                continue;
+            }
+            // Histogram of (G, H, count) per bin.
+            let mut hg = vec![0.0f64; nb];
+            let mut hh = vec![0.0f64; nb];
+            let mut hc = vec![0usize; nb];
+            for &r in rows {
+                let b = m.bin(f, r) as usize;
+                hg[b] += grad[r];
+                hh[b] += hess[r];
+                hc[b] += 1;
+            }
+            // Prefix scan over split points (split after bin b: edges index b).
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            let mut cl = 0usize;
+            for b in 0..nb - 1 {
+                gl += hg[b];
+                hl += hh[b];
+                cl += hc[b];
+                let cr = rows.len() - cl;
+                if cl < cfg.min_leaf || cr < cfg.min_leaf {
+                    continue;
+                }
+                let gr = g_total - gl;
+                let hr = h_total - hl;
+                let gain = gl * gl / (hl + cfg.lambda) + gr * gr / (hr + cfg.lambda)
+                    - parent_score
+                    - cfg.gamma;
+                if gain > 1e-12 && best.as_ref().map(|s| gain > s.gain).unwrap_or(true) {
+                    best = Some(SplitCandidate {
+                        gain,
+                        feature: f,
+                        bin: b,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Apply a split: turn the pending leaf into a Split node and return the
+    /// two child Pending items.
+    fn apply_split(
+        m: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        nodes: &mut Vec<Node>,
+        p: Pending,
+        s: &SplitCandidate,
+    ) -> (Pending, Pending) {
+        let (mut lrows, mut rrows) = (Vec::new(), Vec::new());
+        let (mut gl, mut hl) = (0.0, 0.0);
+        for &r in &p.rows {
+            if (m.bin(s.feature, r) as usize) <= s.bin {
+                gl += grad[r];
+                hl += hess[r];
+                lrows.push(r);
+            } else {
+                rrows.push(r);
+            }
+        }
+        let left_slot = nodes.len();
+        nodes.push(Node::Leaf { value: 0.0 });
+        let right_slot = nodes.len();
+        nodes.push(Node::Leaf { value: 0.0 });
+        nodes[p.node_slot] = Node::Split {
+            feature: s.feature,
+            threshold: m.threshold(s.feature, s.bin),
+            left: left_slot,
+            right: right_slot,
+        };
+        let left = Pending {
+            node_slot: left_slot,
+            rows: lrows,
+            depth: p.depth + 1,
+            grad_sum: gl,
+            hess_sum: hl,
+        };
+        let right = Pending {
+            node_slot: right_slot,
+            rows: rrows,
+            depth: p.depth + 1,
+            grad_sum: p.grad_sum - gl,
+            hess_sum: p.hess_sum - hl,
+        };
+        (left, right)
+    }
+
+    fn finalize_leaf(nodes: &mut [Node], p: &Pending, lambda: f64) {
+        nodes[p.node_slot] = Node::Leaf {
+            value: Self::leaf_value(p.grad_sum, p.hess_sum, lambda),
+        };
+    }
+
+    fn grow_levelwise(
+        m: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        cfg: &TreeConfig,
+        nodes: &mut Vec<Node>,
+        root: Pending,
+    ) {
+        let mut stack = vec![root];
+        while let Some(p) = stack.pop() {
+            if p.depth >= cfg.max_depth {
+                Self::finalize_leaf(nodes, &p, cfg.lambda);
+                continue;
+            }
+            match Self::best_split(m, grad, hess, &p.rows, p.grad_sum, p.hess_sum, cfg) {
+                Some(s) => {
+                    let (l, r) = Self::apply_split(m, grad, hess, nodes, p, &s);
+                    stack.push(l);
+                    stack.push(r);
+                }
+                None => Self::finalize_leaf(nodes, &p, cfg.lambda),
+            }
+        }
+    }
+
+    fn grow_leafwise(
+        m: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        cfg: &TreeConfig,
+        nodes: &mut Vec<Node>,
+        root: Pending,
+    ) {
+        // Best-first: repeatedly split the pending leaf with the largest
+        // gain until max_leaves is reached or no leaf can split.
+        let mut leaves = 1usize;
+        let mut frontier: Vec<(Pending, Option<SplitCandidate>)> = Vec::new();
+        let root_split = Self::best_split(m, grad, hess, &root.rows, root.grad_sum, root.hess_sum, cfg);
+        frontier.push((root, root_split));
+
+        while leaves < cfg.max_leaves {
+            // Pick the splittable frontier entry with the best gain.
+            let best_idx = frontier
+                .iter()
+                .enumerate()
+                .filter_map(|(i, (_, s))| s.as_ref().map(|s| (i, s.gain)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|(i, _)| i);
+            let Some(i) = best_idx else { break };
+            let (p, s) = frontier.swap_remove(i);
+            let s = s.expect("selected entry has a split");
+            let (l, r) = Self::apply_split(m, grad, hess, nodes, p, &s);
+            leaves += 1;
+            // Depth guard also applies in leaf-wise mode (LightGBM default
+            // max_depth=-1, but bounding keeps worst cases tame).
+            for child in [l, r] {
+                let split = if child.depth >= cfg.max_depth.max(64) {
+                    None
+                } else {
+                    Self::best_split(
+                        m,
+                        grad,
+                        hess,
+                        &child.rows,
+                        child.grad_sum,
+                        child.hess_sum,
+                        cfg,
+                    )
+                };
+                frontier.push((child, split));
+            }
+        }
+        for (p, _) in frontier {
+            Self::finalize_leaf(nodes, &p, cfg.lambda);
+        }
+    }
+
+    /// Predict the raw-score contribution for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Features used by this tree's splits (for importance reporting).
+    pub fn used_features(&self) -> Vec<usize> {
+        let mut f: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Split { feature, .. } => Some(*feature),
+                _ => None,
+            })
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 1 if x0 > 0.5 else 0 — a single split should nail it.
+    fn step_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64, 0.0]).collect();
+        // Gradients of logistic loss at score 0 (p = 0.5): g = p - y.
+        let grad: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 0.5 - 1.0 } else { 0.5 })
+            .collect();
+        let hess = vec![0.25; n];
+        (rows, grad, hess)
+    }
+
+    #[test]
+    fn binning_round_trips_thresholds() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let m = BinnedMatrix::build(&rows, 16);
+        // bin(x) <= b  ⇔  x <= threshold(b): verify over all edges and rows.
+        for b in 0..m.n_bins(0) - 1 {
+            let t = m.threshold(0, b);
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    (m.bin(0, r) as usize) <= b,
+                    row[0] <= t,
+                    "row {r} bin {} edge {b} thresh {t}",
+                    m.bin(0, r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_feature_gets_no_bins() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|_| vec![7.0]).collect();
+        let m = BinnedMatrix::build(&rows, 16);
+        assert_eq!(m.n_bins(0), 1);
+    }
+
+    #[test]
+    fn single_split_learned() {
+        let (rows, grad, hess) = step_data(200);
+        let m = BinnedMatrix::build(&rows, 64);
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
+        let tree = RegTree::fit(&m, &grad, &hess, &idx, &cfg);
+        // One split, two leaves; left negative class, right positive.
+        assert_eq!(tree.n_leaves(), 2);
+        let low = tree.predict_row(&[0.2, 0.0]);
+        let high = tree.predict_row(&[0.9, 0.0]);
+        assert!(low < 0.0, "low={low}");
+        assert!(high > 0.0, "high={high}");
+        assert_eq!(tree.used_features(), vec![0]);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let (rows, grad, hess) = step_data(20);
+        let m = BinnedMatrix::build(&rows, 64);
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let cfg = TreeConfig {
+            min_leaf: 15, // cannot split 20 rows into two >= 15
+            ..TreeConfig::default()
+        };
+        let tree = RegTree::fit(&m, &grad, &hess, &idx, &cfg);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn gamma_blocks_weak_splits() {
+        let (rows, grad, hess) = step_data(100);
+        let m = BinnedMatrix::build(&rows, 64);
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let strict = TreeConfig {
+            gamma: 1e9,
+            ..TreeConfig::default()
+        };
+        let tree = RegTree::fit(&m, &grad, &hess, &idx, &strict);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn leafwise_respects_max_leaves() {
+        // Rich 2-feature target so many splits are available.
+        let n = 300;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 17) as f64, (i % 23) as f64])
+            .collect();
+        let grad: Vec<f64> = (0..n)
+            .map(|i| if (i % 17 + i % 23) % 2 == 0 { -0.5 } else { 0.5 })
+            .collect();
+        let hess = vec![0.25; n];
+        let m = BinnedMatrix::build(&rows, 64);
+        let idx: Vec<usize> = (0..n).collect();
+        let cfg = TreeConfig {
+            leaf_wise: true,
+            max_leaves: 8,
+            min_leaf: 1,
+            max_depth: 64,
+            ..TreeConfig::default()
+        };
+        let tree = RegTree::fit(&m, &grad, &hess, &idx, &cfg);
+        assert!(tree.n_leaves() <= 8);
+        assert!(tree.n_leaves() >= 2);
+    }
+
+    #[test]
+    fn pure_node_not_split() {
+        // All gradients equal: no gain anywhere.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let grad = vec![0.5; 50];
+        let hess = vec![0.25; 50];
+        let m = BinnedMatrix::build(&rows, 16);
+        let idx: Vec<usize> = (0..50).collect();
+        let tree = RegTree::fit(&m, &grad, &hess, &idx, &TreeConfig::default());
+        assert_eq!(tree.n_leaves(), 1);
+        // Leaf value is -G/(H+λ) = -(25)/(12.5+1).
+        let v = tree.predict_row(&[3.0]);
+        assert!((v - (-25.0 / 13.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_trees_fit_and() {
+        // AND of two binary features needs depth 2. (A perfectly balanced
+        // XOR has *zero* first-order gain at the root — a known blind spot
+        // of greedy trees — so AND is the right depth-2 target here.)
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
+            .collect();
+        let grad: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                let y = ((r[0] as i32) & (r[1] as i32)) as f64;
+                0.5 - y
+            })
+            .collect();
+        let hess = vec![0.25; rows.len()];
+        let m = BinnedMatrix::build(&rows, 4);
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let cfg = TreeConfig {
+            max_depth: 2,
+            min_leaf: 1,
+            ..TreeConfig::default()
+        };
+        let tree = RegTree::fit(&m, &grad, &hess, &idx, &cfg);
+        assert!(tree.predict_row(&[1.0, 1.0]) > 0.0);
+        assert!(tree.predict_row(&[0.0, 1.0]) < 0.0);
+        assert!(tree.predict_row(&[1.0, 0.0]) < 0.0);
+        assert!(tree.predict_row(&[0.0, 0.0]) < 0.0);
+    }
+}

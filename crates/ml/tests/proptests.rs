@@ -1,0 +1,93 @@
+//! Property tests over the ML substrate.
+
+use freephish_ml::dataset::Dataset;
+use freephish_ml::gbdt::{Gbdt, GbdtConfig};
+use freephish_ml::metrics::{auc, BinaryMetrics, ConfusionMatrix};
+use freephish_ml::tree::BinnedMatrix;
+use freephish_simclock::Rng64;
+use proptest::prelude::*;
+
+fn small_dataset(rows: Vec<(f64, f64, bool)>) -> Dataset {
+    let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+    for (x, y, l) in rows {
+        d.push(vec![x, y], u8::from(l));
+    }
+    d
+}
+
+proptest! {
+    /// Binning invariant: bin(x) <= b  ⇔  x <= threshold(b), for every row
+    /// and every edge.
+    #[test]
+    fn binning_invariant(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..60),
+        max_bins in 2usize..32,
+    ) {
+        let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let m = BinnedMatrix::build(&rows, max_bins);
+        for b in 0..m.n_bins(0).saturating_sub(1) {
+            let t = m.threshold(0, b);
+            for (r, row) in rows.iter().enumerate() {
+                prop_assert_eq!((m.bin(0, r) as usize) <= b, row[0] <= t);
+            }
+        }
+    }
+
+    /// GBDT probabilities always lie in (0, 1).
+    #[test]
+    fn gbdt_proba_in_unit_interval(
+        rows in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0, any::<bool>()), 20..60),
+        seed in any::<u64>(),
+    ) {
+        // Ensure both classes are present so training is meaningful.
+        let mut rows = rows;
+        rows[0].2 = true;
+        rows[1].2 = false;
+        let d = small_dataset(rows);
+        let mut rng = Rng64::new(seed);
+        let cfg = GbdtConfig { n_trees: 5, ..GbdtConfig::tiny() };
+        let model = Gbdt::train(&cfg, &d, &mut rng);
+        for i in 0..d.len() {
+            let p = model.predict_proba(d.row(i));
+            prop_assert!(p > 0.0 && p < 1.0, "p={p}");
+        }
+    }
+
+    /// Confusion-matrix metrics all lie in [0, 1] and cells sum to n.
+    #[test]
+    fn metrics_in_range(
+        labels in proptest::collection::vec(0u8..=1, 1..50),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let scores: Vec<f64> = labels.iter().map(|_| rng.f64()).collect();
+        let cm = ConfusionMatrix::from_scores(&labels, &scores, 0.5);
+        prop_assert_eq!(cm.total(), labels.len());
+        let m = BinaryMetrics::from_scores(&labels, &scores);
+        for v in [m.accuracy, m.precision, m.recall, m.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let a = auc(&labels, &scores);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    /// AUC of scores equal to labels is exactly 1 (when both classes
+    /// present).
+    #[test]
+    fn auc_of_perfect_scores(labels in proptest::collection::vec(0u8..=1, 2..40)) {
+        prop_assume!(labels.contains(&1) && labels.contains(&0));
+        let scores: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        prop_assert_eq!(auc(&labels, &scores), 1.0);
+    }
+
+    /// Train/test split partitions the dataset exactly.
+    #[test]
+    fn split_partitions(n in 2usize..100, frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let rows: Vec<(f64, f64, bool)> =
+            (0..n).map(|i| (i as f64, 0.0, i % 2 == 0)).collect();
+        let d = small_dataset(rows);
+        let mut rng = Rng64::new(seed);
+        let (tr, te) = d.split(frac, &mut rng);
+        prop_assert_eq!(tr.len() + te.len(), n);
+    }
+}

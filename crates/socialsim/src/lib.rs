@@ -1,0 +1,31 @@
+//! Simulated social media platforms (Twitter and Facebook).
+//!
+//! The paper's streaming module polls the Twitter and CrowdTangle APIs
+//! every ten minutes for new posts, extracts URLs, and later re-polls to see
+//! whether the platform deleted the post (Section 4.4, Figure 9). This
+//! crate provides the same observable surface against synthetic traffic:
+//!
+//! * [`post`] — posts with lure text containing a URL, unique ids, and a
+//!   deletion timestamp once moderation acts;
+//! * [`moderation`] — per-platform, per-hosting-class moderation behaviour
+//!   calibrated to Table 3/Table 4's Platform columns and Figure 9 (Twitter
+//!   acts faster and more often than Facebook; both act far less on FWB
+//!   URLs than on self-hosted phishing);
+//! * [`stream`] — the platform feed: publish posts, poll windows of new
+//!   posts (the API the streaming module consumes), and query post status;
+//! * [`warning`] — the Figure 10 click-time experience: Twitter's
+//!   interstitial for flagged links, Facebook's silent deletion.
+//!
+//! The platform enum itself lives in `freephish-fwbsim::history::Platform`
+//! (shared with the historical generator) and is re-exported here.
+
+pub mod moderation;
+pub mod post;
+pub mod stream;
+pub mod warning;
+
+pub use freephish_fwbsim::history::Platform;
+pub use moderation::ModerationProfile;
+pub use post::{Post, PostId};
+pub use stream::PlatformFeed;
+pub use warning::{click, warning_page, ClickOutcome};

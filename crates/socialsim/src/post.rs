@@ -1,0 +1,127 @@
+//! Social-media posts.
+
+use freephish_fwbsim::history::Platform;
+use freephish_simclock::{Rng64, SimTime};
+
+/// Platform-unique post identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PostId(pub u64);
+
+/// One post sharing a URL.
+#[derive(Debug, Clone)]
+pub struct Post {
+    /// Identifier on its platform.
+    pub id: PostId,
+    /// Which platform carries the post.
+    pub platform: Platform,
+    /// The lure text, containing [`Post::url`] somewhere inside it.
+    pub text: String,
+    /// The shared URL.
+    pub url: String,
+    /// Synthetic author handle.
+    pub author: String,
+    /// When the post went up.
+    pub posted_at: SimTime,
+    /// When the platform deleted it, if it did.
+    pub deleted_at: Option<SimTime>,
+}
+
+impl Post {
+    /// True while the post is visible at `now`.
+    pub fn is_visible(&self, now: SimTime) -> bool {
+        self.posted_at <= now && self.deleted_at.map(|d| now < d).unwrap_or(true)
+    }
+}
+
+/// Generate a lure text embedding `url`. Mirrors the variety of real spam:
+/// urgency, giveaways, fake support, plain link drops.
+pub fn lure_text(url: &str, brand_name: Option<&str>, rng: &mut Rng64) -> String {
+    let brand = brand_name.unwrap_or("your account");
+    let templates: &[fn(&str, &str) -> String] = &[
+        |u, b| format!("⚠️ {b} users: unusual activity detected, verify now {u}"),
+        |u, b| format!("Final notice!! Your {b} access will be suspended today. Act here: {u}"),
+        |u, _| format!("I can't believe this still works 😂 {u}"),
+        |u, b| format!("{b} is giving away rewards for loyal members, claim yours 👉 {u}"),
+        |u, b| format!("Customer support for {b} has moved. Reach the new portal at {u} ."),
+        |u, _| format!("{u} check this before it gets taken down"),
+        |u, b| format!("Update {b} billing information to continue service: {u}"),
+    ];
+    templates[rng.index(templates.len())](url, brand)
+}
+
+/// Generate a synthetic author handle.
+pub fn author_handle(rng: &mut Rng64) -> String {
+    const FIRST: &[&str] = &["sunny", "real", "its", "the", "mr", "ms", "crypto", "daily"];
+    const SECOND: &[&str] = &["deals", "alerts", "support", "news", "fan", "helper", "zone"];
+    format!(
+        "{}{}{}",
+        rng.choose(FIRST),
+        rng.choose(SECOND),
+        rng.range_u64(10, 9999)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visibility_window() {
+        let p = Post {
+            id: PostId(1),
+            platform: Platform::Twitter,
+            text: "x https://a.weebly.com/".into(),
+            url: "https://a.weebly.com/".into(),
+            author: "a".into(),
+            posted_at: SimTime::from_hours(1),
+            deleted_at: Some(SimTime::from_hours(5)),
+        };
+        assert!(!p.is_visible(SimTime::from_mins(30)));
+        assert!(p.is_visible(SimTime::from_hours(1)));
+        assert!(p.is_visible(SimTime::from_hours(4)));
+        assert!(!p.is_visible(SimTime::from_hours(5)));
+    }
+
+    #[test]
+    fn undeleted_post_stays_visible() {
+        let p = Post {
+            id: PostId(2),
+            platform: Platform::Facebook,
+            text: String::new(),
+            url: String::new(),
+            author: String::new(),
+            posted_at: SimTime::ZERO,
+            deleted_at: None,
+        };
+        assert!(p.is_visible(SimTime::from_days(400)));
+    }
+
+    #[test]
+    fn lure_contains_url() {
+        let mut rng = Rng64::new(1);
+        for _ in 0..30 {
+            let t = lure_text("https://x.weebly.com/login", Some("PayPal"), &mut rng);
+            assert!(t.contains("https://x.weebly.com/login"));
+        }
+    }
+
+    #[test]
+    fn lure_url_extractable() {
+        // The streaming module must be able to pull the URL back out.
+        let mut rng = Rng64::new(2);
+        for i in 0..30 {
+            let url = format!("https://site{i}.weebly.com/a");
+            let t = lure_text(&url, None, &mut rng);
+            let found = freephish_urlparse::extract_urls(&t);
+            assert!(found.contains(&url), "text={t}");
+        }
+    }
+
+    #[test]
+    fn author_handles_plausible() {
+        let mut rng = Rng64::new(3);
+        let h = author_handle(&mut rng);
+        assert!(h.len() >= 8);
+        assert!(h.chars().all(|c| c.is_ascii_alphanumeric()));
+    }
+}

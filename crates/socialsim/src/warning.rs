@@ -1,0 +1,112 @@
+//! Platform-side navigation warnings (Figure 10).
+//!
+//! Before its rebrand, Twitter interposed a full-page warning when a user
+//! clicked a link the platform had flagged as malicious; Facebook deletes
+//! the post outright with no user-facing interstitial. This module models
+//! that click-time experience: given a post and a click time, what does
+//! the user get?
+
+use crate::post::Post;
+use freephish_fwbsim::history::Platform;
+use freephish_simclock::{SimDuration, SimTime};
+
+/// How long before deletion the platform's scanner has internally flagged
+/// the URL (the window in which Twitter shows the warning while the
+/// takedown pipeline grinds).
+const FLAG_LEAD: SimDuration = SimDuration(1800);
+
+/// What a user clicking the post experiences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClickOutcome {
+    /// Navigation proceeds to the shared URL.
+    Direct,
+    /// Twitter-style interstitial: carries the warning page HTML.
+    Warned(String),
+    /// The post is gone (deleted, or not yet published).
+    Gone,
+}
+
+/// Render the Figure 10 interstitial.
+pub fn warning_page(url: &str) -> String {
+    format!(
+        "<!DOCTYPE html><html><head><title>Warning: this link may be unsafe</title></head>\
+         <body class=\"platform-warning\"><h1>⚠ Warning: this link may be unsafe</h1>\
+         <p>The link <code>{url}</code> could lead to a site that steals personal \
+         information. It was identified as potentially harmful.</p>\
+         <p><a href=\"{url}\">Ignore this warning and continue</a> · \
+         <a href=\"/home\">Back to safety</a></p></body></html>"
+    )
+}
+
+/// Simulate a click on `post` at `now`.
+pub fn click(post: &Post, now: SimTime) -> ClickOutcome {
+    if !post.is_visible(now) {
+        return ClickOutcome::Gone;
+    }
+    match (post.platform, post.deleted_at) {
+        // Twitter warns once its scanner has flagged the URL, in the lead
+        // window before the post comes down.
+        (Platform::Twitter, Some(deleted)) if now + FLAG_LEAD >= deleted => {
+            ClickOutcome::Warned(warning_page(&post.url))
+        }
+        // Facebook has no interstitial: the post is either up or gone.
+        _ => ClickOutcome::Direct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::post::PostId;
+
+    fn post(platform: Platform, deleted_at: Option<SimTime>) -> Post {
+        Post {
+            id: PostId(1),
+            platform,
+            text: "see https://evil.weebly.com/".into(),
+            url: "https://evil.weebly.com/".into(),
+            author: "a".into(),
+            posted_at: SimTime::from_hours(1),
+            deleted_at,
+        }
+    }
+
+    #[test]
+    fn twitter_warns_in_flag_window() {
+        let p = post(Platform::Twitter, Some(SimTime::from_hours(10)));
+        // Well before flagging: direct.
+        assert_eq!(click(&p, SimTime::from_hours(2)), ClickOutcome::Direct);
+        // Inside the lead window: warned.
+        match click(&p, SimTime::from_secs(10 * 3600 - 600)) {
+            ClickOutcome::Warned(html) => {
+                assert!(html.contains("may be unsafe"));
+                assert!(html.contains("evil.weebly.com"));
+            }
+            other => panic!("expected warning, got {other:?}"),
+        }
+        // After deletion: gone.
+        assert_eq!(click(&p, SimTime::from_hours(11)), ClickOutcome::Gone);
+    }
+
+    #[test]
+    fn facebook_never_warns() {
+        let p = post(Platform::Facebook, Some(SimTime::from_hours(10)));
+        assert_eq!(
+            click(&p, SimTime::from_secs(10 * 3600 - 600)),
+            ClickOutcome::Direct
+        );
+        assert_eq!(click(&p, SimTime::from_hours(11)), ClickOutcome::Gone);
+    }
+
+    #[test]
+    fn unmoderated_post_is_direct_forever() {
+        let p = post(Platform::Twitter, None);
+        assert_eq!(click(&p, SimTime::from_days(30)), ClickOutcome::Direct);
+    }
+
+    #[test]
+    fn click_before_posting_is_gone() {
+        let p = post(Platform::Twitter, None);
+        assert_eq!(click(&p, SimTime::from_mins(1)), ClickOutcome::Gone);
+    }
+}

@@ -1,0 +1,118 @@
+//! Levenshtein edit distance, plain and bounded.
+
+/// Classic Wagner–Fischer edit distance over bytes, O(|a|·|b|) time and
+/// O(min(|a|,|b|)) space.
+///
+/// ```
+/// assert_eq!(freephish_textsim::distance("kitten", "sitting"), 3);
+/// ```
+pub fn distance(a: &str, b: &str) -> usize {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Edit distance with an upper bound: returns `None` as soon as the true
+/// distance provably exceeds `bound`. The Appendix-A inner loop searches for
+/// the *minimum* distance against many candidate tags, so most comparisons
+/// can abandon early once a good candidate is known.
+pub fn distance_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    // Length difference is a lower bound on the distance.
+    if a.len() - b.len() > bound {
+        return None;
+    }
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if b.is_empty() {
+        return (a.len() <= bound).then_some(a.len());
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[b.len()] <= bound).then_some(prev[b.len()])
+}
+
+/// Normalised similarity in [0, 100]: `100 · (1 − d / max(|a|, |b|))`.
+/// Two empty strings are identical (100).
+pub fn normalized_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 100.0;
+    }
+    100.0 * (1.0 - distance(a, b) as f64 / max_len as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(distance("kitten", "sitting"), 3);
+        assert_eq!(distance("flaw", "lawn"), 2);
+        assert_eq!(distance("", ""), 0);
+        assert_eq!(distance("abc", ""), 3);
+        assert_eq!(distance("", "abc"), 3);
+        assert_eq!(distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn bounded_agrees_when_within_bound() {
+        assert_eq!(distance_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(distance_bounded("kitten", "sitting", 10), Some(3));
+    }
+
+    #[test]
+    fn bounded_bails_when_exceeded() {
+        assert_eq!(distance_bounded("kitten", "sitting", 2), None);
+        // Length-difference shortcut.
+        assert_eq!(distance_bounded("a", "aaaaaaaaaa", 3), None);
+    }
+
+    #[test]
+    fn bounded_empty_cases() {
+        assert_eq!(distance_bounded("", "", 0), Some(0));
+        assert_eq!(distance_bounded("xyz", "", 3), Some(3));
+        assert_eq!(distance_bounded("xyz", "", 2), None);
+    }
+
+    #[test]
+    fn similarity_endpoints() {
+        assert_eq!(normalized_similarity("abc", "abc"), 100.0);
+        assert_eq!(normalized_similarity("", ""), 100.0);
+        assert_eq!(normalized_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn similarity_midpoint() {
+        // distance("abcd","abcx") = 1, max_len 4 -> 75%.
+        assert!((normalized_similarity("abcd", "abcx") - 75.0).abs() < 1e-9);
+    }
+}

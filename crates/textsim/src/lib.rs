@@ -1,0 +1,23 @@
+//! Text similarity: Levenshtein edit distance and the paper's Appendix-A
+//! website code-similarity measure.
+//!
+//! Section 3 of the paper quantifies how similar FWB *phishing* pages are to
+//! *benign* pages built on the same service (Table 1): because both start
+//! from the builder's templates, their HTML overlaps heavily, defeating
+//! code-similarity-based detectors. The measure (Appendix A):
+//!
+//! 1. extract the tag elements of each website;
+//! 2. for each tag `T` of website A, find the minimum Levenshtein distance
+//!    to any tag of website B ("the most similar tag");
+//! 3. `sim(A→B)` = median over A's tags of that per-tag similarity;
+//! 4. symmetrise: `sim(A,B)` = mean of `sim(A→B)` and `sim(B→A)`.
+//!
+//! Distances are converted to percentage similarities per tag pair as
+//! `100 · (1 − d / max(|T|, |T_B|))` so the headline numbers are comparable
+//! with the paper's Table 1.
+
+pub mod levenshtein;
+pub mod sitesim;
+
+pub use levenshtein::{distance, distance_bounded, normalized_similarity};
+pub use sitesim::{site_similarity, tag_similarity_one_way};

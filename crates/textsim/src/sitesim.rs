@@ -1,0 +1,120 @@
+//! The Appendix-A website code-similarity algorithm.
+
+use crate::levenshtein::{distance, distance_bounded};
+
+/// Per-tag best similarity: for tag `t`, the maximum normalised similarity
+/// against any tag in `others` (i.e. the tag with the minimum Levenshtein
+/// distance, converted to a percentage). Returns 0 when `others` is empty.
+fn best_tag_similarity(t: &str, others: &[String]) -> f64 {
+    let mut best_d = usize::MAX;
+    let mut best_len = t.len().max(1);
+    for o in others {
+        // Anything at or above the current best distance can bail early.
+        let bound = best_d.saturating_sub(1).min(t.len().max(o.len()));
+        let d = if best_d == usize::MAX {
+            Some(distance(t, o))
+        } else {
+            distance_bounded(t, o, bound)
+        };
+        if let Some(d) = d {
+            if d < best_d {
+                best_d = d;
+                best_len = t.len().max(o.len()).max(1);
+                if best_d == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    if best_d == usize::MAX {
+        return 0.0;
+    }
+    100.0 * (1.0 - best_d as f64 / best_len as f64)
+}
+
+/// `sim(A→B)`: median over A's tags of the per-tag best similarity against
+/// B's tags. Returns 0 when A is empty.
+pub fn tag_similarity_one_way(a_tags: &[String], b_tags: &[String]) -> f64 {
+    if a_tags.is_empty() {
+        return 0.0;
+    }
+    let mut sims: Vec<f64> = a_tags
+        .iter()
+        .map(|t| best_tag_similarity(t, b_tags))
+        .collect();
+    sims.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sims[(sims.len() - 1) / 2]
+}
+
+/// The symmetric Appendix-A similarity: mean of `sim(A→B)` and `sim(B→A)`,
+/// in [0, 100].
+pub fn site_similarity(a_tags: &[String], b_tags: &[String]) -> f64 {
+    (tag_similarity_one_way(a_tags, b_tags) + tag_similarity_one_way(b_tags, a_tags)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sites_are_100() {
+        let a = tags(&["<div class=\"x\">", "<p>", "<input type=\"text\">"]);
+        assert_eq!(site_similarity(&a, &a), 100.0);
+    }
+
+    #[test]
+    fn disjoint_sites_are_low() {
+        let a = tags(&["<aaaa>", "<bbbb>"]);
+        let b = tags(&["<zzzzzzzzzz qqq=\"1\">"]);
+        assert!(site_similarity(&a, &b) < 40.0);
+    }
+
+    #[test]
+    fn empty_side_yields_zero_direction() {
+        let a = tags(&["<p>"]);
+        let empty: Vec<String> = vec![];
+        assert_eq!(tag_similarity_one_way(&empty, &a), 0.0);
+        assert_eq!(tag_similarity_one_way(&a, &empty), 0.0);
+        assert_eq!(site_similarity(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = tags(&["<div>", "<p class=\"intro\">", "<img src=\"a.png\">"]);
+        let b = tags(&["<div class=\"hero\">", "<p>", "<form action=\"/x\">"]);
+        assert_eq!(site_similarity(&a, &b), site_similarity(&b, &a));
+    }
+
+    #[test]
+    fn shared_template_dominates() {
+        // Two sites sharing a large template skeleton but differing in one
+        // content tag score high — the Table 1 phenomenon.
+        let template = [
+            "<html>",
+            "<head>",
+            "<meta charset=\"utf-8\">",
+            "<link rel=\"stylesheet\" href=\"/site.css\">",
+            "<body class=\"w-body\">",
+            "<div class=\"w-container\">",
+            "<footer class=\"w-footer-banner\">",
+        ];
+        let mut a: Vec<String> = template.iter().map(|s| s.to_string()).collect();
+        let mut b = a.clone();
+        a.push("<h1 class=\"garden\">".to_string());
+        b.push("<form action=\"https://evil/collect\">".to_string());
+        let sim = site_similarity(&a, &b);
+        assert!(sim > 85.0, "sim={sim}");
+    }
+
+    #[test]
+    fn one_way_uses_median_not_mean() {
+        // Three tags: two perfect matches, one complete miss. Median = 100.
+        let a = tags(&["<p>", "<div>", "<qqqqqqqqqqqq>"]);
+        let b = tags(&["<p>", "<div>"]);
+        assert_eq!(tag_similarity_one_way(&a, &b), 100.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: Levenshtein metric axioms and similarity bounds.
+
+use freephish_textsim::{distance, distance_bounded, normalized_similarity, site_similarity};
+use proptest::prelude::*;
+
+proptest! {
+    /// d(a,a) = 0 (identity of indiscernibles, one direction).
+    #[test]
+    fn identity(a in "[a-z<>\"= ]{0,40}") {
+        prop_assert_eq!(distance(&a, &a), 0);
+    }
+
+    /// d(a,b) = d(b,a) (symmetry).
+    #[test]
+    fn symmetry(a in "[a-z]{0,30}", b in "[a-z]{0,30}") {
+        prop_assert_eq!(distance(&a, &b), distance(&b, &a));
+    }
+
+    /// d(a,c) <= d(a,b) + d(b,c) (triangle inequality).
+    #[test]
+    fn triangle(a in "[a-z]{0,20}", b in "[a-z]{0,20}", c in "[a-z]{0,20}") {
+        prop_assert!(distance(&a, &c) <= distance(&a, &b) + distance(&b, &c));
+    }
+
+    /// |len(a) - len(b)| <= d(a,b) <= max(len(a), len(b)).
+    #[test]
+    fn distance_bounds(a in "[a-z]{0,30}", b in "[a-z]{0,30}") {
+        let d = distance(&a, &b);
+        let lo = a.len().abs_diff(b.len());
+        let hi = a.len().max(b.len());
+        prop_assert!(d >= lo && d <= hi, "d={d}, lo={lo}, hi={hi}");
+    }
+
+    /// Bounded distance agrees with exact distance whenever it returns Some,
+    /// and returns None exactly when the distance exceeds the bound.
+    #[test]
+    fn bounded_consistent(a in "[a-z]{0,25}", b in "[a-z]{0,25}", bound in 0usize..30) {
+        let exact = distance(&a, &b);
+        match distance_bounded(&a, &b, bound) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d <= bound);
+            }
+            None => prop_assert!(exact > bound, "exact={exact} bound={bound}"),
+        }
+    }
+
+    /// Normalised similarity lies in [0, 100] and is 100 iff strings equal.
+    #[test]
+    fn similarity_in_range(a in "[a-z]{0,30}", b in "[a-z]{0,30}") {
+        let s = normalized_similarity(&a, &b);
+        prop_assert!((0.0..=100.0).contains(&s));
+        if a == b {
+            prop_assert_eq!(s, 100.0);
+        } else {
+            prop_assert!(s < 100.0);
+        }
+    }
+
+    /// Site similarity is symmetric and in [0, 100].
+    #[test]
+    fn site_similarity_props(
+        a in proptest::collection::vec("<[a-z]{1,8}( [a-z]{1,5}=\"[a-z]{0,6}\")?>", 0..8),
+        b in proptest::collection::vec("<[a-z]{1,8}( [a-z]{1,5}=\"[a-z]{0,6}\")?>", 0..8),
+    ) {
+        let ab = site_similarity(&a, &b);
+        let ba = site_similarity(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!((0.0..=100.0).contains(&ab));
+    }
+
+    /// A site is 100% similar to itself (when non-empty).
+    #[test]
+    fn site_self_similarity(
+        a in proptest::collection::vec("<[a-z]{1,8}>", 1..8),
+    ) {
+        prop_assert_eq!(site_similarity(&a, &a), 100.0);
+    }
+}

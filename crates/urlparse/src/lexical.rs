@@ -1,0 +1,251 @@
+//! Lexical URL signals used by the StackModel feature set (Li et al. 2019)
+//! and the FreePhish augmentation.
+//!
+//! These are pure string analyses: suspicious symbols, sensitive phishing
+//! vocabulary, embedded or slightly-misspelled brand names, digit density,
+//! and token extraction. They deliberately know nothing about the ecosystem;
+//! the feature-vector assembly lives in `freephish-core::features`.
+
+use crate::Url;
+
+/// Sensitive words whose presence in a URL correlates with credential
+/// phishing (drawn from the vocabulary the StackModel paper and OpenPhish
+/// reports use).
+pub const SENSITIVE_WORDS: &[&str] = &[
+    "login", "signin", "sign-in", "verify", "verification", "secure", "security", "account",
+    "update", "confirm", "password", "banking", "wallet", "recover", "unlock", "support",
+    "billing", "invoice", "alert", "suspend", "webscr", "authenticate", "validation", "helpdesk",
+];
+
+/// Symbols whose presence in a URL is suspicious (obfuscation, redirection
+/// tricks, encoded payloads).
+pub const SUSPICIOUS_SYMBOLS: &[char] = &['@', '~', '%', '$', '!', '*', '=', '&'];
+
+/// Count of suspicious symbols across the full URL string.
+pub fn suspicious_symbol_count(url: &str) -> usize {
+    url.chars().filter(|c| SUSPICIOUS_SYMBOLS.contains(c)).count()
+}
+
+/// Number of sensitive vocabulary words appearing anywhere in the URL
+/// (host + path + query), case-insensitive.
+pub fn sensitive_word_count(url: &str) -> usize {
+    let lower = url.to_ascii_lowercase();
+    SENSITIVE_WORDS.iter().filter(|w| lower.contains(*w)).count()
+}
+
+/// Fraction of characters that are ASCII digits.
+pub fn digit_ratio(s: &str) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    s.chars().filter(|c| c.is_ascii_digit()).count() as f64 / s.chars().count() as f64
+}
+
+/// Count of hyphens in the host (long hyphenated hosts imitate brand URLs:
+/// `paypal-secure-login.weebly.com`).
+pub fn host_hyphen_count(url: &Url) -> usize {
+    url.host().to_string().chars().filter(|&c| c == '-').count()
+}
+
+/// Number of dots in the full host string (depth of subdomain nesting).
+pub fn host_dot_count(url: &Url) -> usize {
+    url.host().to_string().chars().filter(|&c| c == '.').count()
+}
+
+/// Split a URL into lexical tokens: labels of the host plus path/query
+/// segments split on non-alphanumerics. Tokens are lower-cased.
+pub fn tokens(url: &Url) -> Vec<String> {
+    let mut out = Vec::new();
+    for label in url.host().labels() {
+        for t in label.split(|c: char| !c.is_ascii_alphanumeric()) {
+            if !t.is_empty() {
+                out.push(t.to_ascii_lowercase());
+            }
+        }
+    }
+    let tail = format!("{}{}", url.path(), url.query().unwrap_or(""));
+    for t in tail.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if !t.is_empty() {
+            out.push(t.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+/// Edit distance between two ASCII byte strings (used for typosquat
+/// detection over short tokens — a plain O(nm) Wagner–Fischer is right for
+/// token-sized inputs; the heavy-duty banded version lives in
+/// `freephish-textsim`).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// How a brand name appears in a URL, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrandMatch {
+    /// A token equals the brand exactly (`paypal` in `paypal-login…`).
+    Exact,
+    /// A token is within edit distance 1–2 of the brand (`paypa1`,
+    /// `rnicrosoft`) — classic typosquatting.
+    Misspelled,
+    /// The brand appears embedded inside a longer token
+    /// (`securepaypalverify`).
+    Embedded,
+    /// Not present.
+    None,
+}
+
+/// Detect the strongest match of `brand` (lower-case) within the URL's
+/// tokens. Exact beats misspelled beats embedded.
+pub fn brand_match(url: &Url, brand: &str) -> BrandMatch {
+    let brand = brand.to_ascii_lowercase();
+    if brand.is_empty() {
+        return BrandMatch::None;
+    }
+    let toks = tokens(url);
+    let mut best = BrandMatch::None;
+    for t in &toks {
+        if *t == brand {
+            return BrandMatch::Exact;
+        }
+        if brand.len() >= 4 {
+            let d = edit_distance(t, &brand);
+            let allowed = if brand.len() >= 8 { 2 } else { 1 };
+            if d <= allowed && d > 0 {
+                best = BrandMatch::Misspelled;
+                continue;
+            }
+        }
+        if t.len() > brand.len() && t.contains(&brand) && best == BrandMatch::None {
+            best = BrandMatch::Embedded;
+        }
+    }
+    best
+}
+
+/// Strongest match of *any* of `brands` within the URL; returns the brand
+/// index and the match kind, preferring Exact > Misspelled > Embedded.
+pub fn best_brand_match(url: &Url, brands: &[&str]) -> Option<(usize, BrandMatch)> {
+    let mut best: Option<(usize, BrandMatch)> = None;
+    for (i, b) in brands.iter().enumerate() {
+        let m = brand_match(url, b);
+        let rank = |m: BrandMatch| match m {
+            BrandMatch::Exact => 3,
+            BrandMatch::Misspelled => 2,
+            BrandMatch::Embedded => 1,
+            BrandMatch::None => 0,
+        };
+        if rank(m) > best.map(|(_, bm)| rank(bm)).unwrap_or(0) {
+            best = Some((i, m));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn suspicious_symbols_counted() {
+        assert_eq!(suspicious_symbol_count("https://a.com/x?y=1&z=2"), 3);
+        assert_eq!(suspicious_symbol_count("https://a.com/plain"), 0);
+    }
+
+    #[test]
+    fn sensitive_words_counted() {
+        assert_eq!(
+            sensitive_word_count("https://secure-login.weebly.com/verify"),
+            3
+        );
+        assert_eq!(sensitive_word_count("https://kittens.weebly.com/pics"), 0);
+    }
+
+    #[test]
+    fn digit_ratio_bounds() {
+        assert_eq!(digit_ratio(""), 0.0);
+        assert_eq!(digit_ratio("1234"), 1.0);
+        assert!((digit_ratio("a1b2") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_shape_counts() {
+        let u = url("https://pay-pal-secure.login.weebly.com/a");
+        assert_eq!(host_hyphen_count(&u), 2);
+        assert_eq!(host_dot_count(&u), 3);
+    }
+
+    #[test]
+    fn token_extraction() {
+        let u = url("https://att-login.weebly.com/verify/now?user=bob");
+        let t = tokens(&u);
+        assert!(t.contains(&"att".to_string()));
+        assert!(t.contains(&"login".to_string()));
+        assert!(t.contains(&"weebly".to_string()));
+        assert!(t.contains(&"verify".to_string()));
+        assert!(t.contains(&"bob".to_string()));
+    }
+
+    #[test]
+    fn brand_exact_match() {
+        let u = url("https://paypal-login.weebly.com/");
+        assert_eq!(brand_match(&u, "paypal"), BrandMatch::Exact);
+    }
+
+    #[test]
+    fn brand_misspelled_match() {
+        let u = url("https://paypa1-secure.weebly.com/");
+        assert_eq!(brand_match(&u, "paypal"), BrandMatch::Misspelled);
+        let u2 = url("https://rnicrosoft.000webhostapp.com/");
+        assert_eq!(brand_match(&u2, "microsoft"), BrandMatch::Misspelled);
+    }
+
+    #[test]
+    fn brand_embedded_match() {
+        let u = url("https://securepaypalverify.weebly.com/");
+        assert_eq!(brand_match(&u, "paypal"), BrandMatch::Embedded);
+    }
+
+    #[test]
+    fn brand_absent() {
+        let u = url("https://gardening-tips.weebly.com/");
+        assert_eq!(brand_match(&u, "paypal"), BrandMatch::None);
+    }
+
+    #[test]
+    fn short_brands_do_not_fuzzy_match() {
+        // "att" is 3 chars; edit-distance matching is disabled below 4 to
+        // avoid false positives like "art" ~ "att".
+        let u = url("https://art-gallery.weebly.com/");
+        assert_eq!(brand_match(&u, "att"), BrandMatch::None);
+    }
+
+    #[test]
+    fn best_brand_prefers_exact() {
+        let u = url("https://netflix.weebly.com/microsof");
+        let (i, m) = best_brand_match(&u, &["microsoft", "netflix"]).unwrap();
+        assert_eq!((i, m), (1, BrandMatch::Exact));
+    }
+
+    #[test]
+    fn best_brand_none() {
+        let u = url("https://flowers.weebly.com/");
+        assert!(best_brand_match(&u, &["paypal", "chase"]).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! A from-scratch URL parser and lexical-analysis toolkit.
+//!
+//! The FreePhish pipeline classifies URLs shared on social media; its
+//! StackModel-derived feature set needs structural access (scheme, host,
+//! registrable domain, subdomain labels, path, query) and lexical signals
+//! (suspicious characters, sensitive vocabulary, embedded brand names,
+//! IP-literal hosts). Nothing here touches the network: a [`Url`] is a pure
+//! value parsed from a string.
+//!
+//! The parser accepts the pragmatic subset of RFC 3986 that appears in
+//! social-media posts: `scheme://host[:port][/path][?query][#fragment]`,
+//! plus scheme-less strings (`example.com/login`) which are common in tweet
+//! bodies and are normalised to `http`.
+//!
+//! ```
+//! use freephish_urlparse::Url;
+//!
+//! let url = Url::parse("https://victim-login.weebly.com/verify?id=7").unwrap();
+//! assert!(url.is_https());
+//! assert_eq!(url.host().registrable_domain().as_deref(), Some("weebly.com"));
+//! assert_eq!(url.host().subdomain().as_deref(), Some("victim-login"));
+//! assert_eq!(url.path(), "/verify");
+//! ```
+
+pub mod host;
+pub mod lexical;
+pub mod parse;
+
+pub use host::{Host, SuffixClass};
+pub use parse::{ParseError, Url};
+
+/// Extract every URL-looking token from free text (a post body). This is the
+/// regular-expression step of the paper's streaming module, implemented as a
+/// hand-rolled scanner so the substrate stays dependency-free.
+///
+/// ```
+/// let found = freephish_urlparse::extract_urls(
+///     "urgent!! verify at https://evil.weebly.com/login today",
+/// );
+/// assert_eq!(found, vec!["https://evil.weebly.com/login"]);
+/// ```
+pub fn extract_urls(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Candidate start: "http://" or "https://" at a token boundary.
+        let rest = &text[i..];
+        let is_scheme = rest.starts_with("http://") || rest.starts_with("https://");
+        let at_boundary = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+        if is_scheme && at_boundary {
+            let end = rest
+                .char_indices()
+                .find(|&(_, c)| !c.is_ascii() || !is_url_char(c as u8))
+                .map(|(j, _)| j)
+                .unwrap_or(rest.len());
+            let mut candidate = &rest[..end];
+            // Trim trailing punctuation that belongs to the sentence.
+            candidate =
+                candidate.trim_end_matches(['.', ',', ')', ']', '!', '?', ';', ':', '\'', '"']);
+            // A bare scheme ("https://") is not a URL: require a host part.
+            let authority = candidate
+                .strip_prefix("https://")
+                .or_else(|| candidate.strip_prefix("http://"))
+                .unwrap_or("");
+            if !authority.is_empty() {
+                out.push(candidate.to_string());
+            }
+            i += end.max(1);
+        } else {
+            // Advance one full character (text may be non-ASCII).
+            i += rest.chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+        }
+    }
+    out
+}
+
+fn is_url_char(b: u8) -> bool {
+    matches!(b,
+        b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9'
+        | b'-' | b'.' | b'_' | b'~' | b':' | b'/' | b'?' | b'#'
+        | b'@' | b'!' | b'$' | b'&' | b'*' | b'+' | b',' | b';' | b'=' | b'%')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_plain_http_url() {
+        let urls = extract_urls("check this out http://evil.weebly.com/login now");
+        assert_eq!(urls, vec!["http://evil.weebly.com/login"]);
+    }
+
+    #[test]
+    fn extracts_multiple_and_trims_punctuation() {
+        let urls =
+            extract_urls("see https://a.wixsite.com/x, and (https://b.000webhostapp.com/y)!");
+        assert_eq!(
+            urls,
+            vec!["https://a.wixsite.com/x", "https://b.000webhostapp.com/y"]
+        );
+    }
+
+    #[test]
+    fn ignores_text_without_urls() {
+        assert!(extract_urls("no links here, just vibes").is_empty());
+    }
+
+    #[test]
+    fn mid_word_scheme_not_extracted() {
+        // "xhttp://..." is not at a token boundary.
+        let urls = extract_urls("weirdxhttp://nope.com");
+        assert!(urls.is_empty());
+    }
+
+    #[test]
+    fn unicode_text_around_urls() {
+        let urls = extract_urls("ver esto 👉 https://sitio.weebly.com/banco 👈 ya");
+        assert_eq!(urls, vec!["https://sitio.weebly.com/banco"]);
+    }
+
+    #[test]
+    fn url_at_start_and_end_of_text() {
+        let urls = extract_urls("https://x.weebly.com/a middle https://y.weebly.com/b");
+        assert_eq!(urls.len(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Edge-case regression tests for the URL parser — the obfuscation shapes
+//! attackers actually use.
+
+use freephish_urlparse::lexical::{brand_match, BrandMatch};
+use freephish_urlparse::{extract_urls, Host, SuffixClass, Url};
+
+#[test]
+fn percent_encoded_paths_pass_through() {
+    let u = Url::parse("https://a.weebly.com/p%20a?q=%2Fetc").unwrap();
+    assert_eq!(u.path(), "/p%20a");
+    assert_eq!(u.query(), Some("q=%2Fetc"));
+}
+
+#[test]
+fn port_zero_and_max() {
+    assert_eq!(Url::parse("https://a.com:0/").unwrap().port(), Some(0));
+    assert_eq!(Url::parse("https://a.com:65535/").unwrap().port(), Some(65535));
+    assert!(Url::parse("https://a.com:65536/").is_err());
+}
+
+#[test]
+fn very_long_url_handled() {
+    let long_path = "a/".repeat(4000);
+    let u = Url::parse(&format!("https://x.weebly.com/{long_path}")).unwrap();
+    assert!(u.path().len() > 7000);
+}
+
+#[test]
+fn double_at_obfuscation_keeps_last_host() {
+    // http://real.com@fake.com@actual-host.xyz/
+    let u = Url::parse("http://paypal.com@login@evil.xyz/").unwrap();
+    assert_eq!(u.host().to_string(), "evil.xyz");
+}
+
+#[test]
+fn numeric_labels_valid_when_not_ipv4_shaped() {
+    // "000webhostapp" style hosts with digits are fine.
+    let h = Host::parse("123abc.000webhostapp.com").unwrap();
+    assert_eq!(h.registrable_domain().as_deref(), Some("000webhostapp.com"));
+}
+
+#[test]
+fn single_label_host_has_no_registrable_domain() {
+    let h = Host::parse("localhost").unwrap();
+    assert_eq!(h.registrable_domain(), None);
+    assert_eq!(h.public_suffix(), None);
+}
+
+#[test]
+fn deep_subdomain_chain() {
+    let h = Host::parse("a.b.c.d.e.weebly.com").unwrap();
+    assert_eq!(h.registrable_domain().as_deref(), Some("weebly.com"));
+    assert_eq!(h.subdomain().as_deref(), Some("a.b.c.d.e"));
+}
+
+#[test]
+fn suffix_classes_for_abuse_tlds() {
+    for tld in ["xyz", "top", "live", "click", "icu"] {
+        let h = Host::parse(&format!("phish.{tld}")).unwrap();
+        assert_eq!(h.suffix_class(), SuffixClass::Cheap, "{tld}");
+    }
+    assert_eq!(
+        Host::parse("sites.google.com").unwrap().suffix_class(),
+        SuffixClass::Com
+    );
+}
+
+#[test]
+fn brand_match_does_not_cross_token_boundaries() {
+    // "applepie" embeds "apple" (Embedded), but "app" alone must not match
+    // "apple" fuzzily.
+    let u = Url::parse("https://applepie-recipes.weebly.com/").unwrap();
+    assert_eq!(brand_match(&u, "apple"), BrandMatch::Embedded);
+    let u2 = Url::parse("https://app-downloads.weebly.com/").unwrap();
+    assert_eq!(brand_match(&u2, "apple"), BrandMatch::None);
+}
+
+#[test]
+fn extract_urls_from_multiline_posts() {
+    let text = "line one\nhttps://a.weebly.com/x\nline three https://b.weebly.com/y\n";
+    let found = extract_urls(text);
+    assert_eq!(found.len(), 2);
+}
+
+#[test]
+fn extract_ignores_bare_scheme() {
+    assert!(extract_urls("the https:// prefix alone").is_empty());
+    assert!(extract_urls("see http://").is_empty());
+}
+
+#[test]
+fn url_with_fragment_and_query_order() {
+    // '#' before '?': everything after '#' is fragment (query inside the
+    // fragment belongs to the fragment).
+    let u = Url::parse("https://a.com/p#frag?notquery").unwrap();
+    assert_eq!(u.query(), None);
+    assert_eq!(u.fragment(), Some("frag?notquery"));
+}
+
+#[test]
+fn whitespace_padding_trimmed() {
+    let u = Url::parse("   https://a.weebly.com/x   ").unwrap();
+    assert_eq!(u.as_string(), "https://a.weebly.com/x");
+}
+
+#[test]
+fn is_under_not_fooled_by_prefix() {
+    let h = Host::parse("evilweebly.com").unwrap();
+    assert!(!h.is_under("weebly.com"));
+    let h2 = Host::parse("weebly.com.evil.xyz").unwrap();
+    assert!(!h2.is_under("weebly.com"));
+}

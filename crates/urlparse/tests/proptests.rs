@@ -1,0 +1,87 @@
+//! Property tests for the URL parser.
+
+use freephish_urlparse::{extract_urls, Host, Url};
+use proptest::prelude::*;
+
+/// Strategy producing syntactically valid DNS labels.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,10}(-[a-z0-9]{1,10}){0,2}"
+}
+
+fn hostname() -> impl Strategy<Value = String> {
+    (label(), label(), prop_oneof!["com", "net", "io", "me", "app"])
+        .prop_map(|(a, b, tld)| format!("{a}.{b}.{tld}"))
+}
+
+proptest! {
+    /// parse(serialise(parse(x))) is a fixed point: round-tripping the
+    /// canonical form must be lossless.
+    #[test]
+    fn round_trip_is_fixed_point(
+        host in hostname(),
+        https in any::<bool>(),
+        path in "(/[a-z0-9]{1,8}){0,3}",
+        query in proptest::option::of("[a-z]{1,5}=[a-z0-9]{1,5}"),
+    ) {
+        let scheme = if https { "https" } else { "http" };
+        let mut s = format!("{scheme}://{host}{path}");
+        if let Some(q) = &query {
+            s.push('?');
+            s.push_str(q);
+        }
+        let u1 = Url::parse(&s).expect("constructed URL must parse");
+        let u2 = Url::parse(&u1.as_string()).expect("canonical form must parse");
+        prop_assert_eq!(u1.as_string(), u2.as_string());
+        prop_assert_eq!(u1, u2);
+    }
+
+    /// The parser never panics on arbitrary input (it may error).
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = Url::parse(&s);
+    }
+
+    /// Host parsing never panics and any accepted domain host satisfies the
+    /// label grammar.
+    #[test]
+    fn host_never_panics(s in "\\PC{0,100}") {
+        if let Ok(Host::Domain(d)) = Host::parse(&s) {
+            for l in d.split('.') {
+                prop_assert!(!l.is_empty() && l.len() <= 63);
+                prop_assert!(l.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+            }
+        }
+    }
+
+    /// registrable_domain is always a suffix of the host and contains the
+    /// public suffix.
+    #[test]
+    fn registrable_domain_is_suffix(host in hostname()) {
+        let h = Host::parse(&host).unwrap();
+        let reg = h.registrable_domain().expect("3-label host has registrable domain");
+        prop_assert!(host.ends_with(&reg));
+        let ps = h.public_suffix().unwrap();
+        prop_assert!(reg.ends_with(&ps));
+    }
+
+    /// Every URL found by extract_urls parses.
+    #[test]
+    fn extracted_urls_parse(
+        pre in "[a-zA-Z ]{0,20}",
+        host in hostname(),
+        post in "[a-zA-Z ]{0,20}",
+    ) {
+        let text = format!("{pre} https://{host}/page {post}");
+        let found = extract_urls(&text);
+        prop_assert!(!found.is_empty());
+        for f in found {
+            prop_assert!(Url::parse(&f).is_ok(), "failed to parse extracted {f}");
+        }
+    }
+
+    /// extract_urls never panics on arbitrary unicode text.
+    #[test]
+    fn extract_never_panics(s in "\\PC{0,300}") {
+        let _ = extract_urls(&s);
+    }
+}

@@ -1,0 +1,108 @@
+//! Authentic brand login pages — the reference gallery a
+//! VisualPhishNet-style detector is trained against.
+//!
+//! The real VisualPhishNet ships with screenshots of the *genuine* login
+//! pages of protected brands. Those pages are built by each brand's own
+//! design system, not by an FWB template — which is precisely why
+//! template-built FWB spoofs often sit far from the gallery in embedding
+//! space and slip through (the Table 2 recall gap). This module generates
+//! that gallery: one deterministic page per brand, with a brand-specific
+//! class vocabulary and layout.
+
+use crate::brands::Brand;
+use freephish_simclock::Rng64;
+
+/// Render the genuine login page of `brand`. Deterministic per brand.
+pub fn authentic_login_page(brand: &Brand) -> String {
+    // Layout parameters derived deterministically from the brand token so
+    // each brand has its own stable design.
+    let mut rng = Rng64::new(
+        brand
+            .token
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)),
+    );
+    let p = brand.token;
+    let nav_items = 3 + rng.index(4);
+    let promo_blocks = 1 + rng.index(3);
+    let mut out = String::with_capacity(2048);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n");
+    out.push_str("<meta charset=\"utf-8\">\n");
+    out.push_str(&format!("<title>Log in to {}</title>\n", brand.name));
+    out.push_str(&format!(
+        "<link rel=\"stylesheet\" href=\"https://{}/assets/{p}-design-system.css\">\n",
+        brand.domain
+    ));
+    out.push_str("</head>\n");
+    out.push_str(&format!("<body class=\"{p}-app\">\n"));
+    out.push_str(&format!(
+        "<header class=\"{p}-masthead\"><img class=\"{p}-logo\" src=\"https://{}/assets/logo.svg\" alt=\"{} logo\"><nav class=\"{p}-topnav\">",
+        brand.domain, brand.name
+    ));
+    for i in 0..nav_items {
+        out.push_str(&format!("<a class=\"{p}-topnav-item\" href=\"/n{i}\">Item {i}</a>"));
+    }
+    out.push_str("</nav></header>\n");
+    out.push_str(&format!(
+        "<main class=\"{p}-login-shell\"><h1 class=\"{p}-heading\">Log in to {}</h1>\n",
+        brand.name
+    ));
+    out.push_str(&format!(
+        "<form class=\"{p}-login-card\" action=\"https://{}/session\" method=\"post\">\
+         <input class=\"{p}-field\" type=\"email\" name=\"email\" placeholder=\"Email\">\
+         <input class=\"{p}-field\" type=\"password\" name=\"password\" placeholder=\"Password\">\
+         <button class=\"{p}-cta\" type=\"submit\">Log in</button>\
+         <a class=\"{p}-aux\" href=\"https://{}/recover\">Forgot password?</a></form>\n",
+        brand.domain, brand.domain
+    ));
+    for i in 0..promo_blocks {
+        out.push_str(&format!(
+            "<aside class=\"{p}-promo-{i}\"><h2>{}</h2><p>Official {} services.</p></aside>\n",
+            brand.name, brand.name
+        ));
+    }
+    out.push_str("</main>\n");
+    out.push_str(&format!(
+        "<footer class=\"{p}-global-footer\"><a href=\"https://{}/privacy\">Privacy</a>\
+         <a href=\"https://{}/terms\">Terms</a></footer>\n",
+        brand.domain, brand.domain
+    ));
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brands::BRANDS;
+
+    #[test]
+    fn deterministic_per_brand() {
+        let a = authentic_login_page(&BRANDS[4]);
+        let b = authentic_login_page(&BRANDS[4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_across_brands() {
+        assert_ne!(
+            authentic_login_page(&BRANDS[0]),
+            authentic_login_page(&BRANDS[1])
+        );
+    }
+
+    #[test]
+    fn has_login_form_on_brand_domain() {
+        let html = authentic_login_page(&BRANDS[4]); // PayPal
+        assert!(html.contains("type=\"password\""));
+        assert!(html.contains("paypal.com"));
+        assert!(html.contains("Log in to PayPal"));
+    }
+
+    #[test]
+    fn uses_brand_class_vocabulary_not_fwb() {
+        let html = authentic_login_page(&BRANDS[2]); // Netflix
+        assert!(html.contains("netflix-login-card"));
+        assert!(!html.contains("wsite-"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The 109-brand catalog targeted by the simulated phishing campaigns.
+//!
+//! The paper's coders checked spoofing against the 409 brands of the
+//! OpenPhish August-2022 monthly list and observed 109 distinct brands
+//! across the six-month measurement (Figure 5 shows the head of the
+//! distribution). That list is not redistributable, so this catalog
+//! reconstructs a 109-brand population with the same *shape*: the heavily
+//! hit consumer platforms at the head, then banks, logistics, crypto,
+//! telcos and regional services in the tail. Campaign generators sample it
+//! with a Zipf law so a handful of brands dominate, as in Figure 5.
+
+/// Sector of a spoofed brand; used to pick page vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sector {
+    /// Social networks and messaging.
+    Social,
+    /// Technology / software / email providers.
+    Tech,
+    /// Banks and payment processors.
+    Finance,
+    /// Streaming and entertainment.
+    Streaming,
+    /// Parcel carriers and postal services.
+    Logistics,
+    /// Telecom operators.
+    Telecom,
+    /// Online retail.
+    Retail,
+    /// Cryptocurrency exchanges and wallets.
+    Crypto,
+    /// Travel, government and everything else.
+    Other,
+}
+
+/// One spoofable brand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Brand {
+    /// Display name ("PayPal").
+    pub name: &'static str,
+    /// Lower-case token used in URLs and matching ("paypal").
+    pub token: &'static str,
+    /// Legitimate domain, for page chrome ("paypal.com").
+    pub domain: &'static str,
+    /// Sector, for page vocabulary.
+    pub sector: Sector,
+}
+
+macro_rules! brand {
+    ($name:literal, $token:literal, $domain:literal, $sector:ident) => {
+        Brand {
+            name: $name,
+            token: $token,
+            domain: $domain,
+            sector: Sector::$sector,
+        }
+    };
+}
+
+/// The catalog, ordered head-first (index 0 is the most-targeted brand, as
+/// in Figure 5). Exactly 109 entries.
+pub const BRANDS: &[Brand] = &[
+    brand!("Facebook", "facebook", "facebook.com", Social),
+    brand!("Microsoft", "microsoft", "microsoft.com", Tech),
+    brand!("Netflix", "netflix", "netflix.com", Streaming),
+    brand!("AT&T", "att", "att.com", Telecom),
+    brand!("PayPal", "paypal", "paypal.com", Finance),
+    brand!("Instagram", "instagram", "instagram.com", Social),
+    brand!("WhatsApp", "whatsapp", "whatsapp.com", Social),
+    brand!("Amazon", "amazon", "amazon.com", Retail),
+    brand!("Apple", "apple", "apple.com", Tech),
+    brand!("Chase", "chase", "chase.com", Finance),
+    brand!("Google", "google", "google.com", Tech),
+    brand!("Outlook", "outlook", "outlook.com", Tech),
+    brand!("DHL", "dhl", "dhl.com", Logistics),
+    brand!("USPS", "usps", "usps.com", Logistics),
+    brand!("Adobe", "adobe", "adobe.com", Tech),
+    brand!("Coinbase", "coinbase", "coinbase.com", Crypto),
+    brand!("Wells Fargo", "wellsfargo", "wellsfargo.com", Finance),
+    brand!("Bank of America", "bankofamerica", "bankofamerica.com", Finance),
+    brand!("Yahoo", "yahoo", "yahoo.com", Tech),
+    brand!("Twitter", "twitter", "twitter.com", Social),
+    brand!("LinkedIn", "linkedin", "linkedin.com", Social),
+    brand!("Office 365", "office365", "office.com", Tech),
+    brand!("OneDrive", "onedrive", "onedrive.com", Tech),
+    brand!("Dropbox", "dropbox", "dropbox.com", Tech),
+    brand!("FedEx", "fedex", "fedex.com", Logistics),
+    brand!("UPS", "ups", "ups.com", Logistics),
+    brand!("eBay", "ebay", "ebay.com", Retail),
+    brand!("Binance", "binance", "binance.com", Crypto),
+    brand!("MetaMask", "metamask", "metamask.io", Crypto),
+    brand!("Trust Wallet", "trustwallet", "trustwallet.com", Crypto),
+    brand!("Citibank", "citibank", "citi.com", Finance),
+    brand!("Capital One", "capitalone", "capitalone.com", Finance),
+    brand!("American Express", "americanexpress", "americanexpress.com", Finance),
+    brand!("HSBC", "hsbc", "hsbc.com", Finance),
+    brand!("Barclays", "barclays", "barclays.co.uk", Finance),
+    brand!("Santander", "santander", "santander.com", Finance),
+    brand!("Credit Agricole", "creditagricole", "credit-agricole.fr", Finance),
+    brand!("BNP Paribas", "bnpparibas", "bnpparibas.com", Finance),
+    brand!("ING", "ing", "ing.com", Finance),
+    brand!("Venmo", "venmo", "venmo.com", Finance),
+    brand!("Cash App", "cashapp", "cash.app", Finance),
+    brand!("Zelle", "zelle", "zellepay.com", Finance),
+    brand!("Spotify", "spotify", "spotify.com", Streaming),
+    brand!("Disney+", "disneyplus", "disneyplus.com", Streaming),
+    brand!("Hulu", "hulu", "hulu.com", Streaming),
+    brand!("HBO Max", "hbomax", "hbomax.com", Streaming),
+    brand!("Steam", "steam", "steampowered.com", Streaming),
+    brand!("Epic Games", "epicgames", "epicgames.com", Streaming),
+    brand!("Roblox", "roblox", "roblox.com", Streaming),
+    brand!("Verizon", "verizon", "verizon.com", Telecom),
+    brand!("T-Mobile", "tmobile", "t-mobile.com", Telecom),
+    brand!("Vodafone", "vodafone", "vodafone.com", Telecom),
+    brand!("Orange", "orange", "orange.fr", Telecom),
+    brand!("Telstra", "telstra", "telstra.com.au", Telecom),
+    brand!("Comcast", "comcast", "xfinity.com", Telecom),
+    brand!("Spectrum", "spectrum", "spectrum.net", Telecom),
+    brand!("Walmart", "walmart", "walmart.com", Retail),
+    brand!("Target", "target", "target.com", Retail),
+    brand!("Costco", "costco", "costco.com", Retail),
+    brand!("Alibaba", "alibaba", "alibaba.com", Retail),
+    brand!("Mercado Libre", "mercadolibre", "mercadolibre.com", Retail),
+    brand!("Shopify", "shopify", "shopify.com", Retail),
+    brand!("Etsy", "etsy", "etsy.com", Retail),
+    brand!("Rakuten", "rakuten", "rakuten.co.jp", Retail),
+    brand!("Kraken", "kraken", "kraken.com", Crypto),
+    brand!("Crypto.com", "cryptocom", "crypto.com", Crypto),
+    brand!("Gemini", "gemini", "gemini.com", Crypto),
+    brand!("Ledger", "ledger", "ledger.com", Crypto),
+    brand!("Exodus", "exodus", "exodus.com", Crypto),
+    brand!("OpenSea", "opensea", "opensea.io", Crypto),
+    brand!("Gmail", "gmail", "gmail.com", Tech),
+    brand!("iCloud", "icloud", "icloud.com", Tech),
+    brand!("Zoom", "zoom", "zoom.us", Tech),
+    brand!("Slack", "slack", "slack.com", Tech),
+    brand!("GitHub", "github", "github.com", Tech),
+    brand!("Docusign", "docusign", "docusign.com", Tech),
+    brand!("Norton", "norton", "norton.com", Tech),
+    brand!("McAfee", "mcafee", "mcafee.com", Tech),
+    brand!("Telegram", "telegram", "telegram.org", Social),
+    brand!("Snapchat", "snapchat", "snapchat.com", Social),
+    brand!("TikTok", "tiktok", "tiktok.com", Social),
+    brand!("Pinterest", "pinterest", "pinterest.com", Social),
+    brand!("Reddit", "reddit", "reddit.com", Social),
+    brand!("Discord", "discord", "discord.com", Social),
+    brand!("Royal Mail", "royalmail", "royalmail.com", Logistics),
+    brand!("Canada Post", "canadapost", "canadapost.ca", Logistics),
+    brand!("Australia Post", "auspost", "auspost.com.au", Logistics),
+    brand!("La Poste", "laposte", "laposte.fr", Logistics),
+    brand!("Correos", "correos", "correos.es", Logistics),
+    brand!("Hermes", "hermes", "myhermes.co.uk", Logistics),
+    brand!("IRS", "irs", "irs.gov", Other),
+    brand!("HMRC", "hmrc", "gov.uk", Other),
+    brand!("Netflix Brasil", "netflixbr", "netflix.com", Streaming),
+    brand!("Caixa", "caixa", "caixa.gov.br", Finance),
+    brand!("Itau", "itau", "itau.com.br", Finance),
+    brand!("Bradesco", "bradesco", "bradesco.com.br", Finance),
+    brand!("BBVA", "bbva", "bbva.com", Finance),
+    brand!("Standard Bank", "standardbank", "standardbank.co.za", Finance),
+    brand!("Absa", "absa", "absa.co.za", Finance),
+    brand!("SBI", "sbi", "onlinesbi.sbi", Finance),
+    brand!("ICICI", "icici", "icicibank.com", Finance),
+    brand!("HDFC", "hdfc", "hdfcbank.com", Finance),
+    brand!("Airbnb", "airbnb", "airbnb.com", Other),
+    brand!("Booking.com", "booking", "booking.com", Other),
+    brand!("Expedia", "expedia", "expedia.com", Other),
+    brand!("Uber", "uber", "uber.com", Other),
+    brand!("Lyft", "lyft", "lyft.com", Other),
+    brand!("DoorDash", "doordash", "doordash.com", Other),
+    brand!("Instacart", "instacart", "instacart.com", Other),
+];
+
+/// Tokens of all brands, for URL brand matching.
+pub fn brand_tokens() -> Vec<&'static str> {
+    BRANDS.iter().map(|b| b.token).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_109_brands() {
+        assert_eq!(BRANDS.len(), 109);
+    }
+
+    #[test]
+    fn tokens_unique_and_lowercase() {
+        let mut tokens: Vec<&str> = BRANDS.iter().map(|b| b.token).collect();
+        tokens.sort_unstable();
+        let before = tokens.len();
+        tokens.dedup();
+        assert_eq!(tokens.len(), before, "duplicate brand tokens");
+        for b in BRANDS {
+            assert_eq!(b.token, b.token.to_ascii_lowercase());
+            assert!(!b.token.is_empty());
+        }
+    }
+
+    #[test]
+    fn head_is_consumer_platforms() {
+        assert_eq!(BRANDS[0].name, "Facebook");
+        assert_eq!(BRANDS[1].name, "Microsoft");
+        assert_eq!(BRANDS[2].name, "Netflix");
+    }
+
+    #[test]
+    fn every_brand_has_domain() {
+        for b in BRANDS {
+            assert!(b.domain.contains('.'), "{} has no domain", b.name);
+        }
+    }
+}

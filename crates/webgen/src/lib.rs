@@ -1,0 +1,24 @@
+//! Synthetic website generation for the FreePhish reproduction.
+//!
+//! The original study crawled live websites built on 17 Free Website
+//! Building services. Those services and sites cannot be crawled offline,
+//! so this crate *synthesises* them: per-FWB HTML templates (with the
+//! service's banner, asset links and class vocabulary), benign sites over a
+//! set of mundane topics, credential-phishing sites spoofing a 109-brand
+//! catalog, and the three evasive variants of Section 5.5 (two-step
+//! link-out pages, embedded i-frames, drive-by downloads).
+//!
+//! Generated pages are real HTML: the feature extractor, the similarity
+//! algorithm and the classifiers all operate on this output exactly as they
+//! would on crawled snapshots. Every page is deterministic given its
+//! [`page::PageSpec`].
+
+pub mod authentic;
+pub mod brands;
+pub mod fwb;
+pub mod page;
+pub mod template;
+
+pub use brands::{Brand, BRANDS};
+pub use fwb::{FwbDescriptor, FwbKind, ALL_FWBS};
+pub use page::{GeneratedSite, PageKind, PageSpec};

@@ -1,0 +1,741 @@
+//! Page specifications and generators: benign sites, credential-phishing
+//! sites, and the three evasive variants of Section 5.5.
+
+use crate::brands::{Brand, Sector, BRANDS};
+use crate::fwb::FwbKind;
+use crate::template::{self, rand_token, RenderOptions};
+use freephish_simclock::Rng64;
+
+/// What kind of page to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PageKind {
+    /// A legitimate site over a mundane topic (index into
+    /// [`BENIGN_TOPICS`]).
+    Benign {
+        /// Topic index.
+        topic: usize,
+    },
+    /// A legitimate brand-adjacent site: fan page, review blog, "how to set
+    /// up X" tutorial. Mentions the brand prominently (title, logo) but
+    /// collects nothing — the benign class human coders argued over.
+    BenignFan {
+        /// Index into [`BRANDS`].
+        brand: usize,
+    },
+    /// Classic credential phishing: spoofed brand with a login form.
+    CredentialPhish {
+        /// Index into [`BRANDS`].
+        brand: usize,
+    },
+    /// Two-step attack: a landing page with only a button that links to an
+    /// attacker page elsewhere — no credential fields on the FWB page.
+    TwoStep {
+        /// Index into [`BRANDS`].
+        brand: usize,
+        /// Where the button leads.
+        target_url: String,
+    },
+    /// A concealed iframe loads the real attack from another domain.
+    IframeEmbed {
+        /// Index into [`BRANDS`].
+        brand: usize,
+        /// The iframe's src.
+        iframe_url: String,
+    },
+    /// Drive-by download: the page pushes a malicious file hosted on a
+    /// third-party site.
+    DriveBy {
+        /// Index into [`BRANDS`].
+        brand: usize,
+        /// URL of the payload file.
+        payload_url: String,
+    },
+}
+
+impl PageKind {
+    /// True for every non-benign variant.
+    pub fn is_malicious(&self) -> bool {
+        !matches!(self, PageKind::Benign { .. } | PageKind::BenignFan { .. })
+    }
+
+    /// True for the Section 5.5 evasive variants (no credential fields on
+    /// the FWB-hosted page itself).
+    pub fn is_evasive(&self) -> bool {
+        matches!(
+            self,
+            PageKind::TwoStep { .. } | PageKind::IframeEmbed { .. } | PageKind::DriveBy { .. }
+        )
+    }
+
+    /// The spoofed brand, if any.
+    pub fn brand(&self) -> Option<&'static Brand> {
+        match self {
+            PageKind::Benign { .. } => None,
+            PageKind::BenignFan { brand } => BRANDS.get(*brand),
+            PageKind::CredentialPhish { brand }
+            | PageKind::TwoStep { brand, .. }
+            | PageKind::IframeEmbed { brand, .. }
+            | PageKind::DriveBy { brand, .. } => BRANDS.get(*brand),
+        }
+    }
+}
+
+/// Topics for benign sites. The last three are *member-portal* topics:
+/// legitimate community sites with a real login form — the benign
+/// population that makes FWB phishing genuinely hard to separate (a yoga
+/// studio's member sign-in is structurally a login page).
+pub const BENIGN_TOPICS: &[(&str, &str)] = &[
+    ("garden", "Seasonal planting guides and greenhouse tips"),
+    ("bakery", "Sourdough, pastries and weekend baking classes"),
+    ("photography", "Portrait and landscape photography portfolio"),
+    ("yoga", "Community yoga schedules and breathing exercises"),
+    ("bookclub", "Monthly reading list and discussion notes"),
+    ("cycling", "Local cycling routes and maintenance guides"),
+    ("pottery", "Hand-thrown ceramics and studio opening hours"),
+    ("wedding", "Our wedding weekend: schedule, venue and registry"),
+    ("band", "Tour dates, demos and rehearsal diaries"),
+    ("charity", "Neighbourhood food-drive volunteering hub"),
+    ("recipes", "Family recipes measured in grandmother units"),
+    ("astronomy", "Backyard telescope logs and star party calendar"),
+    ("members", "Member portal for our community studio"),
+    ("alumni", "Alumni network: directory and mentoring sign-in"),
+    ("league", "Rec league standings and player accounts"),
+];
+
+/// Index of the first member-portal topic (see [`BENIGN_TOPICS`]).
+pub const FIRST_PORTAL_TOPIC: usize = 12;
+
+/// Is this benign topic a member portal (login-bearing)?
+pub fn is_portal_topic(topic: usize) -> bool {
+    topic % BENIGN_TOPICS.len() >= FIRST_PORTAL_TOPIC
+}
+
+/// Full specification of one generated site. Generation is a pure function
+/// of this value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageSpec {
+    /// Hosting service.
+    pub fwb: FwbKind,
+    /// Page variant.
+    pub kind: PageKind,
+    /// Site name (the subdomain or path token).
+    pub site_name: String,
+    /// Ask search engines not to index (Section 3: 44.7% of FWB phishing).
+    pub noindex: bool,
+    /// Hide the FWB banner with an inline style.
+    pub obfuscate_banner: bool,
+    /// Seed for all randomised content.
+    pub seed: u64,
+}
+
+/// A generated site: the spec, its URL on the service, and the HTML.
+#[derive(Debug, Clone)]
+pub struct GeneratedSite {
+    /// The input specification.
+    pub spec: PageSpec,
+    /// Site URL (e.g. `https://x.weebly.com/`).
+    pub url: String,
+    /// Full page HTML.
+    pub html: String,
+}
+
+/// A plausible attacker-chosen site name for a brand spoof.
+///
+/// The distribution mirrors what the paper observed: most FWB phishing
+/// URLs are *opaque* (Figure 3's `oofifhdfhehdy`) or generically urgent —
+/// brand-laden names would trip lexical URL detectors, and FWB attackers
+/// know it. Only a minority still embed the brand token.
+pub fn phishy_site_name(brand: &Brand, rng: &mut Rng64) -> String {
+    let roll = rng.f64();
+    if roll < 0.70 {
+        // Opaque gibberish.
+        let len = 8 + rng.index(7);
+        rand_token(rng, len)
+    } else if roll < 0.80 {
+        // Generic-urgent, brandless (kept rare: it lights up lexical detectors).
+        let word = *rng.choose(&[
+            "account-update-center",
+            "secure-portal",
+            "verification-required",
+            "billing-desk",
+            "service-notice",
+            "docreview",
+        ]);
+        format!("{word}-{}", rand_token(rng, 4))
+    } else {
+        // Brand-laden (the classic shapes).
+        let patterns: &[fn(&Brand, &mut Rng64) -> String] = &[
+            |b, r| format!("{}-login-{}", b.token, rand_token(r, 4)),
+            |b, _| format!("secure-{}-verify", b.token),
+            |b, r| format!("{}{}", b.token, r.range_u64(100, 9999)),
+            |b, _| format!("{}-support-billing", b.token),
+        ];
+        patterns[rng.index(patterns.len())](brand, rng)
+    }
+}
+
+/// A plausible benign site name for a topic. A quarter of legitimate free
+/// sites also use opaque auto-generated names, overlapping the attacker
+/// distribution.
+pub fn benign_site_name(topic: usize, rng: &mut Rng64) -> String {
+    if rng.chance(0.40) {
+        let len = 7 + rng.index(7);
+        return rand_token(rng, len);
+    }
+    // Member portals name themselves the way portals do — with the same
+    // "sensitive" vocabulary lexical detectors key on.
+    if is_portal_topic(topic) && rng.chance(0.5) {
+        let (word, _) = BENIGN_TOPICS[topic % BENIGN_TOPICS.len()];
+        let suffix = *rng.choose(&["login", "portal", "account", "members"]);
+        return format!("{word}-{suffix}");
+    }
+    let (word, _) = BENIGN_TOPICS[topic % BENIGN_TOPICS.len()];
+    let styles: &[fn(&str, &mut Rng64) -> String] = &[
+        |w, r| format!("{w}-{}", rand_token(r, 4)),
+        |w, r| format!("{}s-{w}", rand_token(r, 5)),
+        |w, _| format!("the-{w}-corner"),
+        |w, r| format!("{w}{}", r.range_u64(1, 99)),
+        |w, _| format!("my-{w}-journal"),
+    ];
+    styles[rng.index(styles.len())](word, rng)
+}
+
+fn lorem_sentences(rng: &mut Rng64, n: usize) -> String {
+    const PHRASES: &[&str] = &[
+        "We update this page every week with new material.",
+        "Thanks for stopping by and supporting a small project.",
+        "Everything here is shared freely with the community.",
+        "Send questions through the contact page and we will reply soon.",
+        "The calendar below lists everything happening this month.",
+        "Scroll down for photographs from our latest meetup.",
+        "This started as a weekend hobby and simply kept growing.",
+        "All levels of experience are welcome to join us.",
+    ];
+    (0..n)
+        .map(|_| *rng.choose(PHRASES))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn benign_body(topic: usize, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+    let (word, tagline) = BENIGN_TOPICS[topic % BENIGN_TOPICS.len()];
+    let d = fwb.descriptor();
+    let p = d.class_prefix;
+    let title = format!("{} — {}", capitalize(word), tagline);
+    let mut body = vec![
+        format!("<h1 class=\"{p}-title\">{}</h1>", capitalize(word)),
+        format!("<p class=\"{p}-section\">{tagline}</p>"),
+    ];
+    // Page size varies wildly across real small sites.
+    for _ in 0..1 + rng.index(3) {
+        let n = 1 + rng.index(3);
+        body.push(format!(
+            "<section class=\"{p}-section\"><p>{}</p></section>",
+            lorem_sentences(rng, n)
+        ));
+    }
+    if rng.chance(0.7) {
+        body.push(format!(
+            "<section class=\"{p}-section\"><h2>About</h2><p>{}</p></section>",
+            lorem_sentences(rng, 2)
+        ));
+    }
+    let mut nav_items = String::new();
+    if rng.chance(0.7) {
+        nav_items.push_str("<li><a href=\"/gallery\">Gallery</a></li>");
+    }
+    if rng.chance(0.7) {
+        nav_items.push_str("<li><a href=\"/about\">About us</a></li>");
+    }
+    if rng.chance(0.5) {
+        nav_items.push_str(&format!(
+            "<li><a href=\"https://en.wikipedia.org/wiki/{word}\">Learn more</a></li>"
+        ));
+    }
+    if !nav_items.is_empty() {
+        body.push(format!("<ul class=\"{p}-list\">{nav_items}</ul>"));
+    }
+    // Photo blocks: small sites are image-heavy.
+    if rng.chance(0.6) {
+        for i in 0..1 + rng.index(3) {
+            body.push(format!(
+                "<div class=\"{p}-image-block\"><img class=\"{p}-image\" src=\"/assets/photo-{i}.jpg\" alt=\"{word} photo\"></div>"
+            ));
+        }
+    }
+    // Embedded media: maps and videos use iframes on benign sites too.
+    if rng.chance(0.25) {
+        body.push(format!(
+            "<iframe class=\"{p}-embed\" src=\"https://www.youtube.com/embed/{}\" width=\"560\" height=\"315\"></iframe>",
+            rand_token(rng, 8)
+        ));
+    }
+    // Downloadable schedules/flyers (own-domain, unlike drive-by payloads).
+    if rng.chance(0.15) {
+        body.push(format!(
+            "<a class=\"{p}-button\" href=\"/files/{word}-schedule.pdf\" download>Download our schedule</a>"
+        ));
+    }
+    // Template builders leave placeholder navigation behind ("#" hrefs are
+    // everywhere on small free sites).
+    for _ in 0..rng.index(4) {
+        body.push(format!(
+            "<a class=\"{p}-placeholder\" href=\"#\">Coming soon</a>"
+        ));
+    }
+    // Many legitimate sites mention big brands innocently: social links,
+    // payment badges.
+    if rng.chance(0.4) {
+        body.push(format!(
+            "<div class=\"{p}-social\">Follow us on \
+             <a href=\"https://facebook.com/ourpage\">Facebook</a> and \
+             <a href=\"https://instagram.com/ourpage\">Instagram</a>. \
+             We accept PayPal for class bookings.</div>"
+        ));
+    }
+    // Member-portal topics carry a *legitimate* login form — structurally
+    // identical to a credential-phishing form, which is exactly why
+    // HTML-feature and visual detectors struggle on FWB populations.
+    if is_portal_topic(topic) {
+        body.push(format!(
+            "<form class=\"{p}-form\" action=\"/members/login\" method=\"post\">\
+             <h2>Member sign in</h2>\
+             <input class=\"{p}-input\" type=\"email\" name=\"email\" placeholder=\"Email\">\
+             <input class=\"{p}-input\" type=\"password\" name=\"password\" placeholder=\"Password\">\
+             <button class=\"{p}-button\" type=\"submit\">Sign in</button></form>"
+        ));
+    } else if rng.chance(0.3) {
+        // Some benign sites have a harmless newsletter form (email only, no
+        // password) — keeps the classifier honest about "has a form" alone.
+        body.push(format!(
+            "<form class=\"{p}-form\" action=\"/subscribe\" method=\"post\">\
+             <input class=\"{p}-input\" type=\"email\" name=\"newsletter_email\" placeholder=\"Email for updates\">\
+             <button class=\"{p}-button\" type=\"submit\">Subscribe</button></form>"
+        ));
+    }
+    (title, body)
+}
+
+/// A brand-adjacent benign page: fan blog / setup tutorial. Prominent
+/// brand presence, zero data collection.
+fn fan_body(brand: &Brand, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+    let p = fwb.descriptor().class_prefix;
+    let angle = *rng.choose(&[
+        "fan blog",
+        "setup guide",
+        "review corner",
+        "tips and tricks",
+        "unofficial news",
+    ]);
+    let title = format!("{} {angle}", brand.name);
+    let mut body = vec![
+        format!(
+            "<div class=\"{p}-image-block\"><img class=\"{p}-image\" src=\"/assets/{}-logo.png\" alt=\"{} logo\"></div>",
+            brand.token, brand.name
+        ),
+        format!("<h1 class=\"{p}-title\">{} {angle}</h1>", brand.name),
+        format!(
+            "<section class=\"{p}-section\"><p>Everything we publish about {} is unofficial. {}</p></section>",
+            brand.name,
+            lorem_sentences(rng, 2)
+        ),
+        format!(
+            "<section class=\"{p}-section\"><h2>Getting started with {}</h2><p>{}</p></section>",
+            brand.name,
+            lorem_sentences(rng, 3)
+        ),
+        format!(
+            "<ul class=\"{p}-list\"><li><a href=\"https://{}\">Official site</a></li>{}</ul>",
+            brand.domain,
+            if rng.chance(0.6) {
+                "<li><a href=\"/archive\">Archive</a></li>"
+            } else {
+                ""
+            }
+        ),
+    ];
+    // Fan pages embed videos about the brand and link out to communities —
+    // the same structural shapes the evasive attacks use.
+    if rng.chance(0.4) {
+        body.push(format!(
+            "<iframe class=\"{p}-embed\" src=\"https://www.youtube.com/embed/{}\" width=\"560\" height=\"315\"></iframe>",
+            rand_token(rng, 8)
+        ));
+    }
+    if rng.chance(0.4) {
+        body.push(format!(
+            "<div class=\"{p}-section\"><a class=\"{p}-button\" href=\"https://community-{}.example.org/\">Join the {} community</a></div>",
+            brand.token, brand.name
+        ));
+    }
+    // Some fan pages are a single teaser block.
+    if rng.chance(0.35) {
+        body.truncate(2 + rng.index(2));
+    }
+    (title, body)
+}
+
+fn sector_extra_fields(sector: Sector, p: &str) -> String {
+    match sector {
+        Sector::Finance => format!(
+            "<input class=\"{p}-input\" type=\"text\" name=\"card_number\" placeholder=\"Card number\">\
+             <input class=\"{p}-input\" type=\"text\" name=\"ssn\" placeholder=\"Social Security Number\">"
+        ),
+        Sector::Telecom => format!(
+            "<input class=\"{p}-input\" type=\"tel\" name=\"phone\" placeholder=\"Phone number\">\
+             <input class=\"{p}-input\" type=\"text\" name=\"account_pin\" placeholder=\"Account PIN\">"
+        ),
+        Sector::Crypto => format!(
+            "<input class=\"{p}-input\" type=\"text\" name=\"wallet_seed\" placeholder=\"12-word recovery phrase\">"
+        ),
+        _ => String::new(),
+    }
+}
+
+fn credential_body(brand: &Brand, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+    let d = fwb.descriptor();
+    let p = d.class_prefix;
+    // A third of attackers keep the page title generic — another lexical
+    // detector dodge; the logo still carries the spoof.
+    let title = if rng.chance(0.35) {
+        (*rng.choose(&[
+            "Sign In to continue",
+            "Account Verification",
+            "Security Check",
+            "Login required",
+        ]))
+        .to_string()
+    } else {
+        format!("{} — Sign In", brand.name)
+    };
+    let urgency = *rng.choose(&[
+        "Unusual sign-in activity detected. Verify your account to avoid suspension.",
+        "Your account has been limited. Confirm your details within 24 hours.",
+        "Security update required: please re-enter your credentials.",
+        "We noticed a new login from an unrecognised device.",
+    ]);
+    let mut body = vec![
+        format!(
+            "<div class=\"{p}-image-block\"><img src=\"/assets/{}-logo.png\" alt=\"{} logo\" class=\"{p}-image\"></div>",
+            brand.token, brand.name
+        ),
+        format!("<h1 class=\"{p}-title\">Sign in to {}</h1>", brand.name),
+        format!("<p class=\"{p}-section\">{}</p>",
+            if rng.chance(0.8) { urgency } else { "Welcome back. Please enter your details." }),
+        format!(
+            "<form class=\"{p}-form\" action=\"/collect/{}\" method=\"post\">\
+             <input class=\"{p}-input\" type=\"email\" name=\"email\" placeholder=\"Email or username\" required>\
+             <input class=\"{p}-input\" type=\"password\" name=\"password\" placeholder=\"Password\" required>\
+             {}\
+             <button class=\"{p}-button\" type=\"submit\">Sign In</button></form>",
+            rand_token(rng, 8),
+            sector_extra_fields(brand.sector, p)
+        ),
+        {
+            // Aux navigation varies per kit; half borrow legitimacy with
+            // real links to the genuine brand's policy pages, some add
+            // internal help pages like any site.
+            let mut items = String::new();
+            if rng.chance(0.8) {
+                items.push_str("<li><a href=\"#\">Forgot password?</a></li>");
+            }
+            if rng.chance(0.6) {
+                items.push_str("<li><a href=\"#\">Create account</a></li>");
+            }
+            if rng.chance(0.5) {
+                items.push_str("<li><a href=\"javascript:void(0)\">Help</a></li>");
+            }
+            for page in ["/support", "/contact", "/faq"] {
+                if rng.chance(0.4) {
+                    items.push_str(&format!("<li><a href=\"{page}\">Info</a></li>"));
+                }
+            }
+            if rng.chance(0.5) {
+                items.push_str(&format!(
+                    "<li><a href=\"https://{}/privacy\">Privacy</a></li>\
+                     <li><a href=\"https://{}/terms\">Terms</a></li>",
+                    brand.domain, brand.domain
+                ));
+            }
+            format!("<ul class=\"{p}-list\">{items}</ul>")
+        },
+        format!(
+            "<p class=\"{p}-section\">© {} {}. All rights reserved.</p>",
+            2022 + rng.range_u64(0, 1),
+            brand.name
+        ),
+    ];
+    // Kits pad with helper prose, too.
+    for _ in 0..rng.index(3) {
+        let n = 1 + rng.index(2);
+        body.push(format!(
+            "<section class=\"{p}-section\"><p>{}</p></section>",
+            lorem_sentences(rng, n)
+        ));
+    }
+    (title, body)
+}
+
+fn twostep_body(brand: &Brand, target_url: &str, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+    let p = fwb.descriptor().class_prefix;
+    // Not every lure page even names the brand in the title.
+    let title = if rng.chance(0.7) {
+        format!("{} — Account Notice", brand.name)
+    } else {
+        "Important account notice".to_string()
+    };
+    let pitch = *rng.choose(&[
+        "Your mailbox storage is almost full.",
+        "A document has been shared with you.",
+        "Your package could not be delivered.",
+        "Your subscription payment failed.",
+    ]);
+    let mut body = vec![
+        format!("<h1 class=\"{p}-title\">{}</h1>", brand.name),
+        format!("<p class=\"{p}-section\">{pitch}</p>"),
+        // The single button that carries the whole attack.
+        format!(
+            "<div class=\"{p}-section\"><a class=\"{p}-button\" href=\"{target_url}\">Continue to {}</a></div>",
+            brand.name
+        ),
+        format!("<p class=\"{p}-section\">This link expires in 24 hours.</p>"),
+    ];
+    for _ in 0..rng.index(3) {
+        let n = 1 + rng.index(2);
+        body.push(format!(
+            "<section class=\"{p}-section\"><p>{}</p></section>",
+            lorem_sentences(rng, n)
+        ));
+    }
+    if rng.chance(0.4) {
+        body.push(format!("<a class=\"{p}-placeholder\" href=\"/faq\">Questions?</a>"));
+    }
+    (title, body)
+}
+
+fn iframe_body(brand: &Brand, iframe_url: &str, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+    let p = fwb.descriptor().class_prefix;
+    let title = format!("{} Portal", brand.name);
+    let mut body = vec![
+        format!("<h1 class=\"{p}-title\">{} Portal</h1>", brand.name),
+        format!("<p>{}</p>", lorem_sentences(rng, 1)),
+        // The embedded attack, styled to fill the viewport.
+        format!(
+            "<iframe class=\"{p}-embed\" src=\"{iframe_url}\" width=\"100%\" height=\"900\" frameborder=\"0\"></iframe>"
+        ),
+    ];
+    for _ in 0..rng.index(3) {
+        let n = 1 + rng.index(2);
+        body.push(format!(
+            "<section class=\"{p}-section\"><p>{}</p></section>",
+            lorem_sentences(rng, n)
+        ));
+    }
+    if rng.chance(0.5) {
+        body.push(format!("<ul class=\"{p}-list\"><li><a href=\"/about\">About</a></li></ul>"));
+    }
+    (title, body)
+}
+
+fn driveby_body(brand: &Brand, payload_url: &str, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+    let p = fwb.descriptor().class_prefix;
+    let doc_name = *rng.choose(&[
+        "Invoice_Q4_final.xlsm",
+        "Payment_Advice.doc",
+        "Scanned_Contract.pdf.exe",
+        "Shared_Document.iso",
+        "Remittance_Details.zip",
+    ]);
+    let title = format!("{} — Shared document", brand.name);
+    let mut body = vec![
+        format!(
+            "<div class=\"{p}-image-block\"><img class=\"{p}-image\" src=\"/assets/{}-doc.png\" alt=\"{} document\"></div>",
+            brand.token, brand.name
+        ),
+        format!("<h1 class=\"{p}-title\">{doc_name}</h1>"),
+        format!("<p class=\"{p}-section\">This file was shared with you via {}.</p>", brand.name),
+        format!(
+            "<a class=\"{p}-button\" href=\"{payload_url}\" download=\"{doc_name}\">Download ({} KB)</a>",
+            rng.range_u64(180, 4200)
+        ),
+        // Auto-trigger: the classic drive-by refresh.
+        format!("<meta http-equiv=\"refresh\" content=\"3;url={payload_url}\">"),
+    ];
+    for _ in 0..rng.index(3) {
+        let n = 1 + rng.index(2);
+        body.push(format!(
+            "<section class=\"{p}-section\"><p>{}</p></section>",
+            lorem_sentences(rng, n)
+        ));
+    }
+    if rng.chance(0.4) {
+        body.push(format!(
+            "<ul class=\"{p}-list\"><li><a href=\"/shared\">All shared files</a></li>\
+             <li><a href=\"/help\">Help</a></li></ul>"
+        ));
+    }
+    (title, body)
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+impl PageSpec {
+    /// Generate the site for this spec. Pure: equal specs produce equal
+    /// output.
+    pub fn generate(&self) -> GeneratedSite {
+        let mut rng = Rng64::new(self.seed ^ 0x5eed_f00d);
+        let d = self.fwb.descriptor();
+        let (title, body) = match &self.kind {
+            PageKind::Benign { topic } => benign_body(*topic, self.fwb, &mut rng),
+            PageKind::BenignFan { brand } => fan_body(&BRANDS[*brand], self.fwb, &mut rng),
+            PageKind::CredentialPhish { brand } => {
+                credential_body(&BRANDS[*brand], self.fwb, &mut rng)
+            }
+            PageKind::TwoStep { brand, target_url } => {
+                twostep_body(&BRANDS[*brand], target_url, self.fwb, &mut rng)
+            }
+            PageKind::IframeEmbed { brand, iframe_url } => {
+                iframe_body(&BRANDS[*brand], iframe_url, self.fwb, &mut rng)
+            }
+            PageKind::DriveBy { brand, payload_url } => {
+                driveby_body(&BRANDS[*brand], payload_url, self.fwb, &mut rng)
+            }
+        };
+        let opts = RenderOptions {
+            noindex: self.noindex,
+            obfuscate_banner: self.obfuscate_banner && d.has_banner,
+        };
+        let html = template::render(d, &title, &body, opts, &mut rng);
+        GeneratedSite {
+            url: self.fwb.site_url(&self.site_name),
+            html,
+            spec: self.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: PageKind) -> PageSpec {
+        PageSpec {
+            fwb: FwbKind::Weebly,
+            kind,
+            site_name: "test-site".into(),
+            noindex: false,
+            obfuscate_banner: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn benign_page_has_no_password_field() {
+        let site = spec(PageKind::Benign { topic: 0 }).generate();
+        assert!(!site.html.contains("type=\"password\""));
+        assert!(site.html.contains("Garden"));
+    }
+
+    #[test]
+    fn credential_page_has_login_form() {
+        let site = spec(PageKind::CredentialPhish { brand: 4 }).generate();
+        assert!(site.html.contains("type=\"password\""));
+        assert!(site.html.contains("Sign in to PayPal"));
+        assert!(site.html.contains("<form"));
+    }
+
+    #[test]
+    fn finance_brand_asks_for_card_and_ssn() {
+        let site = spec(PageKind::CredentialPhish { brand: 9 }).generate(); // Chase
+        assert!(site.html.contains("card_number"));
+        assert!(site.html.contains("ssn"));
+    }
+
+    #[test]
+    fn twostep_has_button_but_no_credentials() {
+        let site = spec(PageKind::TwoStep {
+            brand: 1,
+            target_url: "https://evil.example.net/login".into(),
+        })
+        .generate();
+        assert!(site.html.contains("https://evil.example.net/login"));
+        assert!(!site.html.contains("type=\"password\""));
+    }
+
+    #[test]
+    fn iframe_embeds_external_attack() {
+        let site = spec(PageKind::IframeEmbed {
+            brand: 2,
+            iframe_url: "https://attack.example.org/frame".into(),
+        })
+        .generate();
+        assert!(site.html.contains("<iframe"));
+        assert!(site.html.contains("https://attack.example.org/frame"));
+        assert!(!site.html.contains("type=\"password\""));
+    }
+
+    #[test]
+    fn driveby_has_download_and_refresh() {
+        let site = spec(PageKind::DriveBy {
+            brand: 1,
+            payload_url: "https://files.example.org/x.iso".into(),
+        })
+        .generate();
+        assert!(site.html.contains("download="));
+        assert!(site.html.contains("http-equiv=\"refresh\""));
+        assert!(!site.html.contains("type=\"password\""));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec(PageKind::CredentialPhish { brand: 0 });
+        assert_eq!(s.generate().html, s.generate().html);
+        assert_eq!(s.generate().url, "https://test-site.weebly.com/");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = spec(PageKind::Benign { topic: 1 }).generate();
+        let mut s2 = spec(PageKind::Benign { topic: 1 });
+        s2.seed = 8;
+        let b = s2.generate();
+        assert_ne!(a.html, b.html);
+    }
+
+    #[test]
+    fn noindex_and_banner_flags_flow_through() {
+        let mut s = spec(PageKind::CredentialPhish { brand: 0 });
+        s.noindex = true;
+        s.obfuscate_banner = true;
+        let html = s.generate().html;
+        assert!(html.contains("noindex"));
+        assert!(html.contains("visibility: hidden"));
+    }
+
+    #[test]
+    fn site_names_are_plausible() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..50 {
+            let n = phishy_site_name(&BRANDS[4], &mut rng);
+            assert!(!n.is_empty() && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+            let b = benign_site_name(2, &mut rng);
+            assert!(!b.is_empty() && b.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!PageKind::Benign { topic: 0 }.is_malicious());
+        assert!(PageKind::CredentialPhish { brand: 0 }.is_malicious());
+        assert!(!PageKind::CredentialPhish { brand: 0 }.is_evasive());
+        let ts = PageKind::TwoStep { brand: 0, target_url: "x".into() };
+        assert!(ts.is_malicious() && ts.is_evasive());
+        assert_eq!(ts.brand().unwrap().name, "Facebook");
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-FWB HTML template engine.
+//!
+//! Each builder stamps every hosted site with the same skeleton — asset
+//! links, wrapper divs with the service's class vocabulary, and (for most
+//! services) a promotional banner. Sites differ in generated element ids
+//! and in their content. The *rigidity* of a service controls how much
+//! random variation its builder injects into the skeleton: rigid builders
+//! (Weebly, Google Forms) produce nearly identical markup across sites;
+//! loose ones (github.io, glitch.me) barely share anything. This is the
+//! mechanism behind Table 1's phishing↔benign similarity numbers — they
+//! *emerge* from these templates when measured with Appendix A.
+
+use crate::fwb::FwbDescriptor;
+use freephish_simclock::Rng64;
+
+/// Random lower-case alphanumeric token of the given length.
+pub fn rand_token(rng: &mut Rng64, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..len)
+        .map(|_| ALPHABET[rng.index(ALPHABET.len())] as char)
+        .collect()
+}
+
+/// Length of the random id fragments this service's builder injects into
+/// skeleton tags. Rigid services inject short fragments into long fixed
+/// markup; loose services do the opposite. The multiplier is calibrated so
+/// the Appendix-A similarity of generated phishing/benign pairs lands on
+/// the paper's Table 1 medians.
+fn variable_len(fwb: &FwbDescriptor) -> usize {
+    (((1.0 - fwb.template_rigidity) * 90.0).round() as usize).max(3)
+}
+
+/// Service banner markup (the header/footer advertisement free sites
+/// carry). `obfuscated` reproduces the attacker trick of hiding it with an
+/// inline style (Section 4.2's "Obfuscating FWB Footer" feature).
+pub fn banner_html(fwb: &FwbDescriptor, obfuscated: bool, rng: &mut Rng64) -> String {
+    let id = rand_token(rng, 6);
+    let style = if obfuscated {
+        " style=\"visibility: hidden\""
+    } else {
+        ""
+    };
+    format!(
+        "<div class=\"{p}-banner\" id=\"banner-{id}\"{style}>\
+         <a class=\"{p}-banner-link\" href=\"https://{host}/\">\
+         Create a free website with {name}</a></div>",
+        p = fwb.class_prefix,
+        host = fwb.host,
+        name = fwb.display_name,
+    )
+}
+
+/// Options controlling page chrome.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderOptions {
+    /// Add `<meta name="robots" content="noindex, nofollow">`.
+    pub noindex: bool,
+    /// Hide the FWB banner with an inline style.
+    pub obfuscate_banner: bool,
+}
+
+/// Render a complete page: the service skeleton wrapped around
+/// caller-supplied body fragments.
+pub fn render(
+    fwb: &FwbDescriptor,
+    title: &str,
+    body: &[String],
+    opts: RenderOptions,
+    rng: &mut Rng64,
+) -> String {
+    let v = variable_len(fwb);
+    let p = fwb.class_prefix;
+    // Per-site fragment generator: every skeleton tag carries one. On rigid
+    // builders the fragments are short (pages nearly identical); on loose
+    // ones they dominate the markup.
+    let frag = move |rng: &mut Rng64| rand_token(rng, v);
+    let site_id = frag(rng);
+    let theme_id = frag(rng);
+
+    let mut out = String::with_capacity(4096);
+    out.push_str("<!DOCTYPE html>\n");
+    out.push_str(&format!(
+        "<html lang=\"en\" class=\"{p}-root-{}\">\n",
+        frag(rng)
+    ));
+    out.push_str("<head>\n");
+    out.push_str("<meta charset=\"utf-8\">\n");
+    out.push_str("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n");
+    if opts.noindex {
+        out.push_str("<meta name=\"robots\" content=\"noindex, nofollow\">\n");
+    }
+    out.push_str(&format!(
+        "<meta name=\"generator\" content=\"{} build {}\">\n",
+        fwb.display_name,
+        frag(rng)
+    ));
+    out.push_str(&format!("<title>{title}</title>\n"));
+    out.push_str(&format!(
+        "<link rel=\"stylesheet\" href=\"https://{}/static/{p}-base-{}.css\">\n",
+        fwb.host,
+        frag(rng)
+    ));
+    out.push_str(&format!(
+        "<link rel=\"stylesheet\" href=\"https://{}/static/themes/{theme_id}.css\">\n",
+        fwb.host
+    ));
+    out.push_str(&format!(
+        "<script src=\"https://{}/static/{p}-runtime-{}.js\" defer></script>\n",
+        fwb.host,
+        frag(rng)
+    ));
+    out.push_str("</head>\n");
+    out.push_str(&format!(
+        "<body class=\"{p}-body {p}-theme-{theme_id}\" data-site=\"{site_id}\">\n"
+    ));
+
+    // Banner at the top for half the services' layouts; FWBs without a
+    // banner skip it entirely.
+    let banner = if fwb.has_banner {
+        Some(banner_html(fwb, opts.obfuscate_banner, rng))
+    } else {
+        None
+    };
+    let banner_on_top = fwb.class_prefix.len().is_multiple_of(2);
+    if banner_on_top {
+        if let Some(b) = &banner {
+            out.push_str(b);
+            out.push('\n');
+        }
+    }
+
+    out.push_str(&format!(
+        "<div class=\"{p}-page-wrapper\" id=\"pw-{}\">\n",
+        frag(rng)
+    ));
+    out.push_str(&format!(
+        "<header class=\"{p}-header\" id=\"hd-{}\">\n",
+        frag(rng)
+    ));
+    out.push_str(&format!(
+        "<nav class=\"{p}-nav {p}-nav-{}\"><a class=\"{p}-nav-home\" href=\"/\">Home</a>\
+         <a class=\"{p}-nav-item-{}\" href=\"#\"></a></nav>\n",
+        frag(rng),
+        frag(rng)
+    ));
+    out.push_str("</header>\n");
+    out.push_str(&format!(
+        "<main class=\"{p}-main\" id=\"main-{}\">\n",
+        frag(rng)
+    ));
+    for fragment in body {
+        out.push_str(fragment);
+        out.push('\n');
+    }
+    out.push_str("</main>\n");
+    // Builder-emitted filler sections; loose services have more bespoke
+    // structure per site.
+    let fillers = 1 + (v / 12).min(4);
+    for _ in 0..fillers {
+        out.push_str(&format!(
+            "<div class=\"{p}-block-{}\" data-w=\"{}\"></div>\n",
+            frag(rng),
+            frag(rng)
+        ));
+    }
+    out.push_str(&format!(
+        "<footer class=\"{p}-footer\" id=\"ft-{}\">\n",
+        frag(rng)
+    ));
+    if !banner_on_top {
+        if let Some(b) = &banner {
+            out.push_str(b);
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "<span class=\"{p}-footer-note-{}\">Powered by {}</span>\n",
+        frag(rng),
+        if fwb.has_banner { fwb.display_name } else { "" }
+    ));
+    out.push_str("</footer>\n");
+    out.push_str("</div>\n</body>\n</html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fwb::FwbKind;
+
+    fn rng() -> Rng64 {
+        Rng64::new(42)
+    }
+
+    #[test]
+    fn render_is_valid_page() {
+        let fwb = FwbKind::Weebly.descriptor();
+        let html = render(
+            fwb,
+            "Test",
+            &["<p>hello</p>".to_string()],
+            RenderOptions::default(),
+            &mut rng(),
+        );
+        assert!(html.contains("<title>Test</title>"));
+        assert!(html.contains("wsite-body"));
+        assert!(html.contains("<p>hello</p>"));
+        assert!(html.contains("Create a free website with Weebly"));
+    }
+
+    #[test]
+    fn noindex_emitted_when_requested() {
+        let fwb = FwbKind::Weebly.descriptor();
+        let with = render(fwb, "t", &[], RenderOptions { noindex: true, obfuscate_banner: false }, &mut rng());
+        assert!(with.contains("noindex"));
+        let without = render(fwb, "t", &[], RenderOptions::default(), &mut rng());
+        assert!(!without.contains("noindex"));
+    }
+
+    #[test]
+    fn banner_obfuscation() {
+        let fwb = FwbKind::Weebly.descriptor();
+        let hidden = render(
+            fwb,
+            "t",
+            &[],
+            RenderOptions { noindex: false, obfuscate_banner: true },
+            &mut rng(),
+        );
+        assert!(hidden.contains("visibility: hidden"));
+    }
+
+    #[test]
+    fn bannerless_services_have_no_banner() {
+        let fwb = FwbKind::GithubIo.descriptor();
+        let html = render(fwb, "t", &[], RenderOptions::default(), &mut rng());
+        assert!(!html.contains("-banner\""));
+        assert!(!html.contains("Create a free website"));
+    }
+
+    #[test]
+    fn rigid_service_injects_less_randomness() {
+        // The per-site random fragments are short on rigid services and
+        // long on loose ones — the mechanism behind Table 1's ordering.
+        let extract_site_token = |kind: FwbKind, seed: u64| {
+            let d = kind.descriptor();
+            let html = render(d, "t", &[], RenderOptions::default(), &mut Rng64::new(seed));
+            let start = html.find("data-site=\"").unwrap() + "data-site=\"".len();
+            let end = html[start..].find('"').unwrap();
+            html[start..start + end].to_string()
+        };
+        let weebly = extract_site_token(FwbKind::Weebly, 1);
+        let github = extract_site_token(FwbKind::GithubIo, 1);
+        assert!(
+            weebly.len() < github.len(),
+            "weebly fragment {} should be shorter than github.io {}",
+            weebly.len(),
+            github.len()
+        );
+    }
+
+    #[test]
+    fn rand_token_len_and_charset() {
+        let t = rand_token(&mut rng(), 12);
+        assert_eq!(t.len(), 12);
+        assert!(t.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fwb = FwbKind::Wix.descriptor();
+        let a = render(fwb, "t", &[], RenderOptions::default(), &mut Rng64::new(9));
+        let b = render(fwb, "t", &[], RenderOptions::default(), &mut Rng64::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+//! Campaign forensics: run the Section 5.5 evasive-attack heuristics and
+//! the Section 3 characterization over a simulated month of FWB phishing.
+//!
+//! ```sh
+//! cargo run --release --example campaign_forensics
+//! ```
+
+use freephish::core::campaign::{self, CampaignConfig, RecordClass};
+use freephish::core::characterize::{characterize, self_hosted_median_age};
+use freephish::core::evasion::{classify_evasion, EvasionVector};
+use freephish::core::world::World;
+use freephish::htmlparse::parse;
+use freephish::urlparse::Url;
+use std::collections::HashMap;
+
+fn main() {
+    println!("== Campaign forensics (simulated month) ==\n");
+    let mut world = World::new(31);
+    let records = campaign::run(
+        &CampaignConfig {
+            scale: 0.05,
+            days: 30,
+            benign_fraction: 0.0,
+            seed: 31,
+        },
+        &mut world,
+    );
+
+    // Rebuild the FWB snapshots and run the evasive heuristics.
+    let mut census: HashMap<EvasionVector, usize> = HashMap::new();
+    let mut examples: HashMap<EvasionVector, (String, String)> = HashMap::new();
+    let mut sites = Vec::new();
+    for r in &records {
+        let RecordClass::FwbPhish(fwb) = r.class else { continue };
+        let Some(id) = world.host(fwb).site_by_url(&r.url) else { continue };
+        let site = world.host(fwb).site(id).site.clone();
+        let doc = parse(&site.html);
+        let url = Url::parse(&r.url).unwrap();
+        if let Some((vector, target)) = classify_evasion(&url, &doc) {
+            *census.entry(vector).or_default() += 1;
+            examples.entry(vector).or_insert((r.url.clone(), target));
+        }
+        sites.push(site);
+    }
+
+    println!("evasive attacks found among {} FWB phishing sites:", sites.len());
+    for (vector, count) in &census {
+        println!("  {vector:<20} {count}");
+        if let Some((url, target)) = examples.get(vector) {
+            println!("      e.g. {url}");
+            println!("           -> {target}");
+        }
+    }
+
+    // Section 3 style characterization of the same population.
+    let c = characterize(&world, &sites, 30);
+    println!("\npopulation characteristics (Section 3):");
+    println!("  on .com-granting FWBs:        {:.1}%", c.on_com_tld * 100.0);
+    println!(
+        "  median WHOIS domain age:      {:.1} years",
+        c.median_domain_age_days.unwrap_or(0) as f64 / 365.25
+    );
+    println!(
+        "  self-hosted comparison age:   {} days",
+        self_hosted_median_age(&world, 30).unwrap_or(0)
+    );
+    println!("  noindex meta tag:             {:.1}%", c.noindex_rate * 100.0);
+    println!("  visible in CT logs:           {:.1}%", c.ct_visible_rate * 100.0);
+    println!("  banner hidden by attacker:    {:.1}%", c.banner_obfuscation_rate * 100.0);
+
+    println!("\nEvery number above is *measured* from generated artifacts — the same");
+    println!("pipeline would run unchanged over live crawls.");
+}

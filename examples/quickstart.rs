@@ -1,0 +1,89 @@
+//! Quickstart: train the FreePhish classifier and judge a handful of
+//! freshly generated FWB sites.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use freephish::core::groundtruth::{build, GroundTruthConfig};
+use freephish::core::models::augmented::AugmentedStackModel;
+use freephish::core::models::{NoFetch, PhishDetector};
+use freephish::ml::StackModelConfig;
+use freephish::simclock::Rng64;
+use freephish::webgen::{FwbKind, PageKind, PageSpec};
+
+fn main() {
+    // 1. Build a labelled corpus of synthetic FWB sites (phishing+benign)
+    //    and train the augmented StackModel on it.
+    println!("training the augmented StackModel on a synthetic corpus ...");
+    let corpus = build(&GroundTruthConfig {
+        n_phish: 600,
+        n_benign: 600,
+        seed: 7,
+    });
+    let mut rng = Rng64::new(42);
+    let model = AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng);
+
+    // 2. Generate a few new sites the model has never seen.
+    let suspects = [
+        (
+            "credential phish on Weebly",
+            PageSpec {
+                fwb: FwbKind::Weebly,
+                kind: PageKind::CredentialPhish { brand: 4 }, // PayPal
+                site_name: "secure-paypal-verify".into(),
+                noindex: true,
+                obfuscate_banner: true,
+                seed: 1001,
+            },
+        ),
+        (
+            "two-step lure on Google Sites",
+            PageSpec {
+                fwb: FwbKind::GoogleSites,
+                kind: PageKind::TwoStep {
+                    brand: 1, // Microsoft
+                    target_url: "https://mailbox-fix.top/login".into(),
+                },
+                site_name: "xkljzhqpwrtn".into(),
+                noindex: true,
+                obfuscate_banner: false,
+                seed: 1002,
+            },
+        ),
+        (
+            "legitimate bakery site on Wix",
+            PageSpec {
+                fwb: FwbKind::Wix,
+                kind: PageKind::Benign { topic: 1 },
+                site_name: "downtown-bakery".into(),
+                noindex: false,
+                obfuscate_banner: false,
+                seed: 1003,
+            },
+        ),
+        (
+            "legitimate member portal on Weebly",
+            PageSpec {
+                fwb: FwbKind::Weebly,
+                kind: PageKind::Benign { topic: 12 }, // member portal (login form!)
+                site_name: "yoga-members".into(),
+                noindex: false,
+                obfuscate_banner: false,
+                seed: 1004,
+            },
+        ),
+    ];
+
+    // 3. Classify each one.
+    println!("\n{:<38} {:<44} {:>8}  verdict", "scenario", "url", "score");
+    println!("{}", "-".repeat(104));
+    for (label, spec) in suspects {
+        let site = spec.generate();
+        let score = model.score(&site.url, &site.html, &NoFetch);
+        let verdict = if score >= 0.5 { "PHISHING" } else { "benign" };
+        println!("{:<38} {:<44} {:>8.3}  {verdict}", label, site.url, score);
+    }
+    println!("\nNote the member portal: a real login form on an FWB, correctly kept");
+    println!("benign — the hard case that defeats naive 'has a password field' rules.");
+}

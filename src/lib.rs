@@ -1,0 +1,20 @@
+//! # freephish
+//!
+//! Facade crate for the FreePhish reproduction ("Phishing in the Free
+//! Waters", IMC 2023). Re-exports every workspace crate under one roof so
+//! examples, integration tests and downstream users can depend on a single
+//! package.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use freephish_core as core;
+pub use freephish_ecosim as ecosim;
+pub use freephish_fwbsim as fwbsim;
+pub use freephish_htmlparse as htmlparse;
+pub use freephish_ml as ml;
+pub use freephish_simclock as simclock;
+pub use freephish_socialsim as socialsim;
+pub use freephish_textsim as textsim;
+pub use freephish_urlparse as urlparse;
+pub use freephish_webgen as webgen;

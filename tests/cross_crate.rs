@@ -1,0 +1,83 @@
+//! Cross-crate invariants that no single crate can check alone.
+
+use freephish::core::groundtruth::{build, to_dataset, GroundTruthConfig};
+use freephish::core::FeatureSet;
+use freephish::fwbsim::history::{self, HistoryConfig};
+use freephish::htmlparse::parse;
+use freephish::simclock::Rng64;
+use freephish::textsim::site_similarity;
+use freephish::urlparse::Url;
+use freephish::webgen::{FwbKind, PageKind, PageSpec};
+
+#[test]
+fn every_generated_site_is_parseable_and_featurisable() {
+    let corpus = build(&GroundTruthConfig {
+        n_phish: 120,
+        n_benign: 120,
+        seed: 11,
+    });
+    for set in [FeatureSet::Base, FeatureSet::Augmented] {
+        let data = to_dataset(&corpus, set);
+        assert_eq!(data.len(), 240);
+        // No NaNs/inf anywhere.
+        for i in 0..data.len() {
+            for &v in data.row(i) {
+                assert!(v.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn same_fwb_phish_and_benign_share_more_code_than_cross_fwb() {
+    // The Table 1 mechanism as a cross-crate invariant: a Weebly phish is
+    // closer (in Appendix-A similarity) to a Weebly benign site than to a
+    // github.io benign site.
+    let tags = |fwb: FwbKind, kind: PageKind, seed: u64| {
+        let s = PageSpec {
+            fwb,
+            kind,
+            site_name: format!("x{seed}"),
+            noindex: false,
+            obfuscate_banner: false,
+            seed,
+        }
+        .generate();
+        parse(&s.html).tag_elements()
+    };
+    let weebly_phish = tags(FwbKind::Weebly, PageKind::CredentialPhish { brand: 0 }, 1);
+    let weebly_benign = tags(FwbKind::Weebly, PageKind::Benign { topic: 0 }, 2);
+    let gh_benign = tags(FwbKind::GithubIo, PageKind::Benign { topic: 0 }, 3);
+    let same = site_similarity(&weebly_phish, &weebly_benign);
+    let cross = site_similarity(&weebly_phish, &gh_benign);
+    assert!(same > cross, "same-FWB {same} vs cross-FWB {cross}");
+}
+
+#[test]
+fn historical_records_map_to_valid_urls() {
+    let mut rng = Rng64::new(2020);
+    let records = history::generate(
+        &HistoryConfig {
+            total: 500,
+            ..HistoryConfig::default()
+        },
+        &mut rng,
+    );
+    for r in records.iter().take(100) {
+        let url = r.fwb.site_url("sample-site");
+        let parsed = Url::parse(&url).unwrap();
+        assert!(parsed.is_https());
+        assert_eq!(FwbKind::classify_url(&url), Some(r.fwb));
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade crate exposes every substrate under one roof.
+    let _ = freephish::simclock::SimTime::from_days(1);
+    let _ = freephish::ml::GbdtConfig::tiny();
+    let _ = freephish::ecosim::BlocklistKind::ALL;
+    let _ = freephish::socialsim::Platform::ALL;
+    assert_eq!(freephish::webgen::BRANDS.len(), 109);
+    assert_eq!(freephish::webgen::ALL_FWBS.len(), 17);
+}

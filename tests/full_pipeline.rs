@@ -1,0 +1,109 @@
+//! End-to-end integration: the complete FreePhish stack — webgen sites,
+//! fwbsim hosting, socialsim feeds, ecosim entities, the classifier, the
+//! polling pipeline and the analysis module — over a small simulated
+//! campaign.
+
+use freephish::core::analysis::{self, Entity};
+use freephish::core::campaign::{self, CampaignConfig, RecordClass};
+use freephish::core::groundtruth::{build, GroundTruthConfig};
+use freephish::core::models::augmented::AugmentedStackModel;
+use freephish::core::pipeline::Pipeline;
+use freephish::core::world::World;
+use freephish::ml::StackModelConfig;
+use freephish::simclock::{Rng64, SimTime};
+use std::collections::HashSet;
+
+fn run_small() -> (
+    World,
+    Vec<freephish::core::campaign::CampaignRecord>,
+    Vec<freephish::core::pipeline::Detection>,
+) {
+    let corpus = build(&GroundTruthConfig::tiny());
+    let mut rng = Rng64::new(5);
+    let model = AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng);
+    let mut world = World::new(123);
+    let records = campaign::run(
+        &CampaignConfig {
+            scale: 0.01,
+            days: 14,
+            benign_fraction: 0.3,
+            seed: 123,
+        },
+        &mut world,
+    );
+    let pipeline = Pipeline::new(model);
+    let (detections, _) = pipeline.run_batch(&mut world, SimTime::from_days(14));
+    (world, records, detections)
+}
+
+#[test]
+fn pipeline_recall_and_precision() {
+    let (_, records, detections) = run_small();
+    let phish: HashSet<&str> = records
+        .iter()
+        .filter(|r| matches!(r.class, RecordClass::FwbPhish(_)))
+        .map(|r| r.url.as_str())
+        .collect();
+    let benign: HashSet<&str> = records
+        .iter()
+        .filter(|r| matches!(r.class, RecordClass::BenignFwb(_)))
+        .map(|r| r.url.as_str())
+        .collect();
+
+    let detected: HashSet<&str> = detections.iter().map(|d| d.url.as_str()).collect();
+    let tp = detected.intersection(&phish).count();
+    let fp = detected.intersection(&benign).count();
+    let recall = tp as f64 / phish.len() as f64;
+    let fp_rate = fp as f64 / benign.len() as f64;
+    assert!(recall > 0.85, "recall {recall}");
+    assert!(fp_rate < 0.10, "false-positive rate {fp_rate}");
+}
+
+#[test]
+fn measured_coverage_orders_fwb_below_self_hosted() {
+    let (world, records, _) = run_small();
+    let obs = analysis::observe(&world, &records);
+    let rows = analysis::table3(&obs);
+    for row in rows {
+        assert!(
+            row.self_hosted.coverage >= row.fwb.coverage,
+            "{}: {} vs {}",
+            row.entity.label(),
+            row.fwb.coverage,
+            row.self_hosted.coverage
+        );
+    }
+}
+
+#[test]
+fn detections_feed_host_takedowns() {
+    let (world, records, detections) = run_small();
+    // Some detected sites must end up actually removed by their hosts, and
+    // the removal must be visible to the crawler.
+    let removed = detections
+        .iter()
+        .filter(|d| world.crawl(&d.url, SimTime::from_days(60)).is_none())
+        .count();
+    assert!(removed > 0, "no takedowns resulted from reporting");
+    assert!(removed < detections.len(), "not every FWB removes (paper: ~29%)");
+    drop(records);
+}
+
+#[test]
+fn analysis_entities_cover_every_population() {
+    let (world, records, _) = run_small();
+    let obs = analysis::observe(&world, &records);
+    // Every entity yields a delay for at least one URL within two weeks.
+    for entity in Entity::ALL {
+        let any = obs
+            .iter()
+            .any(|o| analysis::entity_delay(o, entity).is_some());
+        assert!(any, "{} never fired", entity.label());
+    }
+    // Observation count = phishing records (benign excluded).
+    let phish = records
+        .iter()
+        .filter(|r| !matches!(r.class, RecordClass::BenignFwb(_)))
+        .count();
+    assert_eq!(obs.len(), phish);
+}
