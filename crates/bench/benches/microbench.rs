@@ -11,7 +11,9 @@ use freephish_core::features::{FeatureSet, FeatureVector};
 use freephish_core::groundtruth::{build, GroundTruthConfig};
 use freephish_core::models::augmented::AugmentedStackModel;
 use freephish_core::models::{NoFetch, PhishDetector};
+use freephish_core::pipeline::reporting::Reporter;
 use freephish_core::pipeline::streaming::StreamingModule;
+use freephish_core::pipeline::Pipeline;
 use freephish_core::world::World;
 use freephish_htmlparse::parse;
 use freephish_ml::StackModelConfig;
@@ -119,6 +121,68 @@ fn bench_streaming_poll(c: &mut Criterion) {
     });
 }
 
+fn bench_pipeline_tick(c: &mut Criterion) {
+    // The instrumented counterpart of `streaming_poll_tick_1k_posts`: one
+    // full pipeline tick (poll + crawl + metrics) over the same 1,000-post
+    // feed. None of the URLs host a live snapshot, so every crawl misses —
+    // the comparison against the bare streaming bench isolates the
+    // observability overhead of the tick path.
+    let mut world = World::new(9);
+    let quiet = ModerationProfile {
+        delete_prob: 0.0,
+        median_mins: 1.0,
+        sigma: 0.1,
+    };
+    for i in 0..1000u64 {
+        world.twitter.publish(
+            &format!("https://site{i}.weebly.com/"),
+            None,
+            SimTime::from_secs(i),
+            &quiet,
+        );
+    }
+    let corpus = build(&GroundTruthConfig::tiny());
+    let mut rng = Rng64::new(77);
+    let model = AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng);
+    let pipeline = Pipeline::new(model);
+    c.bench_function("pipeline_tick_1k_posts", |b| {
+        b.iter_batched(
+            StreamingModule::new,
+            |mut s| {
+                let mut reporter = Reporter::new();
+                let mut detections = Vec::new();
+                pipeline.run_tick(
+                    &mut world,
+                    &mut s,
+                    &mut reporter,
+                    &mut detections,
+                    SimTime::from_mins(60),
+                );
+                detections
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The uninstrumented equivalent of the tick above (poll + crawl, no
+    // metrics): the denominator for the observability-overhead comparison.
+    c.bench_function("pipeline_tick_1k_posts_baseline", |b| {
+        b.iter_batched(
+            StreamingModule::new,
+            |mut s| {
+                let observed = s.poll(std::hint::black_box(&world), SimTime::from_mins(60));
+                let mut gone = 0u64;
+                for obs in &observed {
+                    if world.crawl(&obs.url, SimTime::from_mins(60)).is_none() {
+                        gone += 1;
+                    }
+                }
+                gone
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group!(
     benches,
     bench_url_parse,
@@ -126,6 +190,7 @@ criterion_group!(
     bench_feature_extraction,
     bench_classifier,
     bench_site_similarity,
-    bench_streaming_poll
+    bench_streaming_poll,
+    bench_pipeline_tick
 );
 criterion_main!(benches);

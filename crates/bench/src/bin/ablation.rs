@@ -11,13 +11,13 @@
 
 use freephish_bench::harness::write_json;
 use freephish_bench::{fmt_duration_opt, fmt_pct, TableWriter};
-use freephish_core::groundtruth::{build, to_dataset, GroundTruthConfig};
 use freephish_core::features::FeatureSet;
+use freephish_core::groundtruth::{build, to_dataset, GroundTruthConfig};
+use freephish_fwbsim::{FwbHost, TakedownProfile};
 use freephish_ml::metrics::BinaryMetrics;
 use freephish_ml::{Dataset, StackModel, StackModelConfig};
 use freephish_simclock::stats::median_u64;
 use freephish_simclock::{Rng64, SimTime};
-use freephish_fwbsim::{FwbHost, TakedownProfile};
 use freephish_webgen::{FwbKind, PageKind, PageSpec};
 
 /// Drop named columns from a dataset.
@@ -54,9 +54,7 @@ fn feature_ablation() -> Vec<serde_json::Value> {
     let evasive_idx: Vec<usize> = test
         .iter()
         .enumerate()
-        .filter(|(_, ls)| {
-            ls.label == 0 || ls.site.spec.kind.is_evasive()
-        })
+        .filter(|(_, ls)| ls.label == 0 || ls.site.spec.kind.is_evasive())
         .map(|(i, _)| i)
         .collect();
 
@@ -64,7 +62,10 @@ fn feature_ablation() -> Vec<serde_json::Value> {
         ("augmented (both FWB features)", &[]),
         ("without noindex", &["has_noindex"]),
         ("without banner-obfuscation", &["banner_obfuscated"]),
-        ("without both (≈ base layout)", &["has_noindex", "banner_obfuscated"]),
+        (
+            "without both (≈ base layout)",
+            &["has_noindex", "banner_obfuscated"],
+        ),
     ];
 
     let mut t = TableWriter::new(&["Variant", "F1 (all)", "F1 (evasive subset)"]);
@@ -98,7 +99,10 @@ fn takedown_ablation() -> Vec<serde_json::Value> {
     let mut json = Vec::new();
     let mut t = TableWriter::new(&["World", "Removal rate", "Median removal"]);
 
-    for (label, counterfactual) in [("as measured (paper profiles)", false), ("all FWBs as responsive as Weebly", true)] {
+    for (label, counterfactual) in [
+        ("as measured (paper profiles)", false),
+        ("all FWBs as responsive as Weebly", true),
+    ] {
         let mut removed = 0usize;
         let mut total = 0usize;
         let mut delays: Vec<u64> = Vec::new();
@@ -158,12 +162,8 @@ fn feature_importance() -> Vec<serde_json::Value> {
     let mut rng = Rng64::new(0xAB4);
     let model = freephish_ml::Gbdt::train(&freephish_ml::GbdtConfig::classic(), &data, &mut rng);
     let counts = model.feature_split_counts(data.n_features());
-    let mut ranked: Vec<(String, usize)> = data
-        .feature_names()
-        .iter()
-        .cloned()
-        .zip(counts)
-        .collect();
+    let mut ranked: Vec<(String, usize)> =
+        data.feature_names().iter().cloned().zip(counts).collect();
     ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     let mut t = TableWriter::new(&["Feature", "Splits"]);
     for (name, c) in ranked.iter().take(10) {

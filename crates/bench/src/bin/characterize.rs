@@ -26,8 +26,14 @@ fn main() {
     let c = characterize(&m.world, &sites, 180);
     let sh_age = self_hosted_median_age(&m.world, 180);
 
-    println!("\nSection 3 — characterization of {} FWB phishing sites\n", c.n);
-    println!("Hosted on .com-granting FWBs:   {:.1}%   [paper: ~89%]", c.on_com_tld * 100.0);
+    println!(
+        "\nSection 3 — characterization of {} FWB phishing sites\n",
+        c.n
+    );
+    println!(
+        "Hosted on .com-granting FWBs:   {:.1}%   [paper: ~89%]",
+        c.on_com_tld * 100.0
+    );
     println!(
         "Median WHOIS domain age:        {:.1} years [paper: 13.7 years]",
         c.median_domain_age_days.unwrap_or(0) as f64 / 365.25
@@ -36,10 +42,22 @@ fn main() {
         "Self-hosted median domain age:  {} days  [paper: 71 days]",
         sh_age.unwrap_or(0)
     );
-    println!("noindex meta tag present:       {:.1}%   [paper: 44.7%]", c.noindex_rate * 100.0);
-    println!("Indexed by the search engine:   {:.1}%   [paper: 4.1%]", c.indexed_rate * 100.0);
-    println!("Visible in CT logs:             {:.1}%   [paper: 0% — shared certs]", c.ct_visible_rate * 100.0);
-    println!("FWB banner hidden by attacker:  {:.1}%", c.banner_obfuscation_rate * 100.0);
+    println!(
+        "noindex meta tag present:       {:.1}%   [paper: 44.7%]",
+        c.noindex_rate * 100.0
+    );
+    println!(
+        "Indexed by the search engine:   {:.1}%   [paper: 4.1%]",
+        c.indexed_rate * 100.0
+    );
+    println!(
+        "Visible in CT logs:             {:.1}%   [paper: 0% — shared certs]",
+        c.ct_visible_rate * 100.0
+    );
+    println!(
+        "FWB banner hidden by attacker:  {:.1}%",
+        c.banner_obfuscation_rate * 100.0
+    );
 
     let fwb_life = lifetime_stats(&m.observations, true, TWO_WEEKS_SECS);
     let sh_life = lifetime_stats(&m.observations, false, TWO_WEEKS_SECS);
@@ -47,12 +65,18 @@ fn main() {
     println!(
         "  FWB:          {:.1}% still alive; removed ones lived {} (median)",
         fwb_life.survival_rate * 100.0,
-        fwb_life.median_uptime.map(|d| d.as_hhmm()).unwrap_or_else(|| "N/A".into())
+        fwb_life
+            .median_uptime
+            .map(|d| d.as_hhmm())
+            .unwrap_or_else(|| "N/A".into())
     );
     println!(
         "  self-hosted:  {:.1}% still alive; removed ones lived {} (median)",
         sh_life.survival_rate * 100.0,
-        sh_life.median_uptime.map(|d| d.as_hhmm()).unwrap_or_else(|| "N/A".into())
+        sh_life
+            .median_uptime
+            .map(|d| d.as_hhmm())
+            .unwrap_or_else(|| "N/A".into())
     );
 
     write_json(

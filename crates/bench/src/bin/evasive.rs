@@ -26,10 +26,14 @@ fn main() {
     let mut sp_driveby = 0usize;
 
     for r in &m.records {
-        let RecordClass::FwbPhish(fwb) = r.class else { continue };
+        let RecordClass::FwbPhish(fwb) = r.class else {
+            continue;
+        };
         total += 1;
         *fwb_totals.entry(fwb).or_default() += 1;
-        let Some(id) = m.world.host(fwb).site_by_url(&r.url) else { continue };
+        let Some(id) = m.world.host(fwb).site_by_url(&r.url) else {
+            continue;
+        };
         let site = m.world.host(fwb).site(id);
         let doc = parse(&site.site.html);
         let url = Url::parse(&r.url).expect("campaign urls parse");
@@ -50,7 +54,10 @@ fn main() {
         }
     }
 
-    println!("\nSection 5.5 — evasive attack census ({} FWB phishing URLs)\n", total);
+    println!(
+        "\nSection 5.5 — evasive attack census ({} FWB phishing URLs)\n",
+        total
+    );
     println!(
         "URLs without credential fields: {no_cred} ({:.1}%)  [paper: 14.2%]\n",
         100.0 * no_cred as f64 / total as f64

@@ -31,7 +31,8 @@ fn main() {
     let tw_total: usize = series.iter().map(|(_, t, _)| t).sum();
     let fb_total: usize = series.iter().map(|(_, _, f)| f).sum();
     println!("\nTotals: Twitter {tw_total} (paper: 16.3K), Facebook {fb_total} (paper: 8.9K)");
-    println!("Trend: first quarter {} vs last quarter {} — {}x growth",
+    println!(
+        "Trend: first quarter {} vs last quarter {} — {}x growth",
         series[0].1 + series[0].2,
         series.last().unwrap().1 + series.last().unwrap().2,
         (series.last().unwrap().1 + series.last().unwrap().2) / (series[0].1 + series[0].2).max(1),

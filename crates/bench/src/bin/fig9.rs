@@ -3,9 +3,7 @@
 
 use freephish_bench::harness::{full_measurement, scale_from_env, write_json};
 use freephish_bench::TableWriter;
-use freephish_core::analysis::{
-    entity_delay, is_fwb, Entity, CURVE_CHECKPOINT_HOURS,
-};
+use freephish_core::analysis::{entity_delay, is_fwb, Entity, CURVE_CHECKPOINT_HOURS};
 use freephish_core::campaign::RecordClass;
 use freephish_fwbsim::history::Platform;
 use freephish_simclock::stats::coverage_curve;
@@ -35,8 +33,7 @@ fn main() {
                 })
                 .map(|o| entity_delay(o, Entity::SocialPlatform))
                 .collect();
-            let checkpoints: Vec<u64> =
-                CURVE_CHECKPOINT_HOURS.iter().map(|h| h * 3600).collect();
+            let checkpoints: Vec<u64> = CURVE_CHECKPOINT_HOURS.iter().map(|h| h * 3600).collect();
             let curve = coverage_curve(&delays, &checkpoints);
             let mut row = vec![platform.to_string(), label.to_string()];
             row.extend(curve.iter().map(|&(_, f)| format!("{:.0}%", f * 100.0)));

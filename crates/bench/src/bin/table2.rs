@@ -122,7 +122,10 @@ fn main() {
     ];
 
     println!("\nTable 2 — comparison of phishing detection models");
-    println!("(test set: {} URLs; runtimes are compute-only — see note)\n", test.len());
+    println!(
+        "(test set: {} URLs; runtimes are compute-only — see note)\n",
+        test.len()
+    );
     let mut t = TableWriter::new(&[
         "Model",
         "Accuracy",

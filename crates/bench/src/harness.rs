@@ -1,4 +1,11 @@
 //! The end-to-end measurement run shared by the Section 5 experiments.
+//!
+//! Progress is reported as structured events through `freephish-obs`
+//! (target `harness`), so runs are silent under the default `FREEPHISH_LOG`
+//! filter and chatty when it is set to `info`. Each [`full_measurement`]
+//! also times its phases and merges the pipeline's own metrics into a
+//! snapshot that [`write_json`] embeds in every experiment record under a
+//! `"metrics"` key.
 
 use freephish_core::analysis::{self, UrlObservation};
 use freephish_core::campaign::{self, CampaignConfig, CampaignRecord};
@@ -8,7 +15,9 @@ use freephish_core::pipeline::reporting::Reporter;
 use freephish_core::pipeline::{Detection, Pipeline};
 use freephish_core::world::World;
 use freephish_ml::StackModelConfig;
+use freephish_obs::{Level, MetricsSnapshot, Registry, Stopwatch};
 use freephish_simclock::{Rng64, SimTime};
+use parking_lot::Mutex;
 
 /// Everything a Section 5 experiment needs.
 pub struct Measurement {
@@ -24,7 +33,14 @@ pub struct Measurement {
     pub observations: Vec<UrlObservation>,
     /// The scale the run used.
     pub scale: f64,
+    /// Pipeline + harness metrics collected during the run.
+    pub metrics: MetricsSnapshot,
 }
+
+/// The snapshot of the most recent [`full_measurement`] in this process,
+/// picked up by [`write_json`] so every experiment record carries the
+/// metrics of the run that produced it.
+static LAST_METRICS: Mutex<Option<serde_json::Value>> = Mutex::new(None);
 
 /// Read the workload scale from `FREEPHISH_SCALE` (default 1.0).
 pub fn scale_from_env() -> f64 {
@@ -56,12 +72,21 @@ pub fn stack_config() -> StackModelConfig {
 /// corpus, generate the campaign, run streaming/classification/reporting
 /// over the full window, then observe with the analysis module.
 pub fn full_measurement(scale: f64, seed: u64) -> Measurement {
+    let registry = Registry::new();
+    let phase = |p| registry.histogram("harness_phase_seconds", &[("phase", p)]);
     let mut rng = Rng64::new(seed);
-    eprintln!("[harness] training classifier (scale {scale}) ...");
+
+    freephish_obs::info(
+        "harness",
+        format!("training classifier (scale {scale}) ..."),
+    );
+    let watch = Stopwatch::start();
     let corpus = build(&ground_truth_config(scale.min(0.25)));
     let model = AugmentedStackModel::train(&corpus, &stack_config(), &mut rng);
+    watch.record(&phase("train"));
 
-    eprintln!("[harness] generating campaign ...");
+    freephish_obs::info("harness", "generating campaign ...");
+    let watch = Stopwatch::start();
     let mut world = World::new(seed);
     let config = CampaignConfig {
         scale,
@@ -70,13 +95,31 @@ pub fn full_measurement(scale: f64, seed: u64) -> Measurement {
         seed,
     };
     let records = campaign::run(&config, &mut world);
-    eprintln!("[harness] {} URLs injected; running pipeline ...", records.len());
+    watch.record(&phase("campaign"));
+    freephish_obs::info(
+        "harness",
+        format!("{} URLs injected; running pipeline ...", records.len()),
+    );
 
+    let watch = Stopwatch::start();
     let pipeline = Pipeline::new(model);
     let (detections, reporter) = pipeline.run_batch(&mut world, SimTime::from_days(config.days));
-    eprintln!("[harness] {} detections; observing ...", detections.len());
+    watch.record(&phase("pipeline"));
+    freephish_obs::event_at(
+        Level::Info,
+        "harness",
+        format!("{} detections; observing ...", detections.len()),
+        SimTime::from_days(config.days),
+    );
 
+    let watch = Stopwatch::start();
     let observations = analysis::observe(&world, &records);
+    watch.record(&phase("observe"));
+
+    let mut metrics = registry.snapshot();
+    metrics.merge(&pipeline.metrics());
+    *LAST_METRICS.lock() = Some(freephish_obs::to_json(&metrics));
+
     Measurement {
         world,
         records,
@@ -84,16 +127,33 @@ pub fn full_measurement(scale: f64, seed: u64) -> Measurement {
         reporter,
         observations,
         scale,
+        metrics,
     }
 }
 
 /// Write an experiment's JSON record under `target/experiments/`.
+///
+/// When the record is a JSON object without a `"metrics"` key and a
+/// [`full_measurement`] ran in this process, the snapshot of that run is
+/// embedded under `"metrics"` so every experiment documents the
+/// pipeline/harness behavior that produced it.
 pub fn write_json(name: &str, value: &serde_json::Value) {
+    let mut value = value.clone();
+    if let Some(obj) = value.as_object_mut() {
+        if !obj.contains_key("metrics") {
+            if let Some(metrics) = LAST_METRICS.lock().clone() {
+                obj.insert("metrics".to_string(), metrics);
+            }
+        }
+    }
     let dir = std::path::Path::new("target/experiments");
     let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
-        Ok(()) => eprintln!("[harness] wrote {}", path.display()),
-        Err(e) => eprintln!("[harness] could not write {}: {e}", path.display()),
+    match std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap()) {
+        Ok(()) => freephish_obs::info("harness", format!("wrote {}", path.display())),
+        Err(e) => freephish_obs::error(
+            "harness",
+            format!("could not write {}: {e}", path.display()),
+        ),
     }
 }

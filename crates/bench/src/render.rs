@@ -81,10 +81,7 @@ mod tests {
     fn pct_and_duration_formatting() {
         assert_eq!(fmt_pct(0.1844), "18.44%");
         assert_eq!(fmt_pct(0.0), "0.00%");
-        assert_eq!(
-            fmt_duration_opt(Some(SimDuration::from_mins(361))),
-            "6:01"
-        );
+        assert_eq!(fmt_duration_opt(Some(SimDuration::from_mins(361))), "6:01");
         assert_eq!(fmt_duration_opt(None), "N/A");
     }
 

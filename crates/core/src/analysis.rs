@@ -67,7 +67,9 @@ pub fn observe(world: &World, records: &[CampaignRecord]) -> Vec<UrlObservation>
     for r in records {
         let (host_removed, is_phish) = match r.class {
             RecordClass::FwbPhish(fwb) => {
-                let site = world.host(fwb).site(r.site_id.expect("fwb record has site"));
+                let site = world
+                    .host(fwb)
+                    .site(r.site_id.expect("fwb record has site"));
                 let removed = match site.state {
                     SiteState::Removed(at) => Some(at),
                     SiteState::Active => None,
@@ -383,7 +385,10 @@ pub fn vt_daily_at_most(
 
 /// Figure 5: brand frequency among FWB phishing, most-targeted first.
 /// Returns (brand name, count) limited to `top_n`.
-pub fn brand_distribution(observations: &[UrlObservation], top_n: usize) -> Vec<(&'static str, usize)> {
+pub fn brand_distribution(
+    observations: &[UrlObservation],
+    top_n: usize,
+) -> Vec<(&'static str, usize)> {
     let mut counts = vec![0usize; BRANDS.len()];
     for o in observations.iter().filter(|o| is_fwb(o)) {
         if let Some(b) = o.brand {
@@ -479,9 +484,7 @@ mod tests {
         let to_report: Vec<(FwbKind, String, SimTime)> = records
             .iter()
             .filter_map(|r| match r.class {
-                RecordClass::FwbPhish(f) => {
-                    Some((f, r.url.clone(), quantize_to_poll(r.posted_at)))
-                }
+                RecordClass::FwbPhish(f) => Some((f, r.url.clone(), quantize_to_poll(r.posted_at))),
                 _ => None,
             })
             .collect();
@@ -494,9 +497,14 @@ mod tests {
     #[test]
     fn observations_exclude_benign() {
         let obs = measured();
-        assert!(obs.iter().all(|o| !matches!(o.class, RecordClass::BenignFwb(_))));
+        assert!(obs
+            .iter()
+            .all(|o| !matches!(o.class, RecordClass::BenignFwb(_))));
         let fwb = obs.iter().filter(|o| is_fwb(o)).count();
-        let sh = obs.iter().filter(|o| o.class == RecordClass::SelfHostedPhish).count();
+        let sh = obs
+            .iter()
+            .filter(|o| o.class == RecordClass::SelfHostedPhish)
+            .count();
         assert_eq!(fwb, sh);
         assert!(fwb > 1000);
     }
@@ -550,7 +558,10 @@ mod tests {
         let gs = rows.iter().find(|r| r.fwb == FwbKind::GoogleSites).unwrap();
         assert!(weebly.domain.coverage > gs.domain.coverage * 3.0);
         // PhishTank has no coverage for GoDaddySites / hpage.
-        let gd = rows.iter().find(|r| r.fwb == FwbKind::GoDaddySites).unwrap();
+        let gd = rows
+            .iter()
+            .find(|r| r.fwb == FwbKind::GoDaddySites)
+            .unwrap();
         assert_eq!(gd.phishtank.covered, 0);
     }
 
@@ -576,7 +587,12 @@ mod tests {
         let sh = entity_curve(&obs, Entity::Blocklist(BlocklistKind::Gsb), false);
         // At 24h: paper shows ~31% (FWB) vs ~83% (self-hosted).
         let at24 = |c: &[(u64, f64)]| c.iter().find(|&&(h, _)| h == 24).unwrap().1;
-        assert!(at24(&sh) > at24(&fwb) + 0.2, "sh {} fwb {}", at24(&sh), at24(&fwb));
+        assert!(
+            at24(&sh) > at24(&fwb) + 0.2,
+            "sh {} fwb {}",
+            at24(&sh),
+            at24(&fwb)
+        );
     }
 
     #[test]

@@ -176,8 +176,7 @@ pub fn run(config: &CampaignConfig, world: &mut World) -> Vec<CampaignRecord> {
                 // 32% of two-step targets are themselves FWB-hosted
                 // (the paper's 174-of-539 observation on Google Sites).
                 let target_url = if rng.chance(0.32) {
-                    let target_fwb =
-                        ALL_FWBS[rng.index(ALL_FWBS.len())].kind;
+                    let target_fwb = ALL_FWBS[rng.index(ALL_FWBS.len())].kind;
                     let spec = PageSpec {
                         fwb: target_fwb,
                         kind: PageKind::CredentialPhish { brand },
@@ -273,9 +272,10 @@ pub fn run(config: &CampaignConfig, world: &mut World) -> Vec<CampaignRecord> {
         match p.kind {
             PendingKind::FwbPhish(spec, linked) => {
                 let fwb = spec.fwb;
-                let brand = spec.kind.brand().map(|b| {
-                    BRANDS.iter().position(|x| x.token == b.token).unwrap()
-                });
+                let brand = spec
+                    .kind
+                    .brand()
+                    .map(|b| BRANDS.iter().position(|x| x.token == b.token).unwrap());
                 let site = spec.generate();
                 let url = site.url.clone();
                 let page_kind = Some(site.spec.kind.clone());
@@ -303,10 +303,9 @@ pub fn run(config: &CampaignConfig, world: &mut World) -> Vec<CampaignRecord> {
                 }
                 let profile = ModerationProfile::fwb(p.platform, fwb);
                 let brand_name = brand.map(|b| BRANDS[b].name);
-                let post =
-                    world
-                        .feed_mut(p.platform)
-                        .publish(&url, brand_name, p.at, &profile);
+                let post = world
+                    .feed_mut(p.platform)
+                    .publish(&url, brand_name, p.at, &profile);
                 records.push(CampaignRecord {
                     url,
                     class: RecordClass::FwbPhish(fwb),
@@ -320,12 +319,9 @@ pub fn run(config: &CampaignConfig, world: &mut World) -> Vec<CampaignRecord> {
                 });
             }
             PendingKind::SelfHosted { brand } => {
-                let idx = world.self_hosted.spawn(
-                    brand,
-                    p.at,
-                    &mut world.whois,
-                    &mut world.ctlog,
-                );
+                let idx = world
+                    .self_hosted
+                    .spawn(brand, p.at, &mut world.whois, &mut world.ctlog);
                 let url = world.self_hosted.sites()[idx].url.clone();
                 for bl in &mut world.blocklists {
                     bl.ingest(&url, HostClass::SelfHosted, p.at);
@@ -418,7 +414,10 @@ mod tests {
             .iter()
             .filter(|r| matches!(r.class, RecordClass::FwbPhish(_)))
             .collect();
-        let tw = fwb.iter().filter(|r| r.platform == Platform::Twitter).count();
+        let tw = fwb
+            .iter()
+            .filter(|r| r.platform == Platform::Twitter)
+            .count();
         let frac = tw as f64 / fwb.len() as f64;
         assert!((0.55..0.72).contains(&frac), "twitter frac {frac}");
     }
@@ -496,7 +495,12 @@ mod tests {
             .collect();
         let evasive = phish
             .iter()
-            .filter(|r| r.page_kind.as_ref().map(|k| k.is_evasive()).unwrap_or(false))
+            .filter(|r| {
+                r.page_kind
+                    .as_ref()
+                    .map(|k| k.is_evasive())
+                    .unwrap_or(false)
+            })
             .count();
         let frac = evasive as f64 / phish.len() as f64;
         // Paper: 14.2% of URLs lacked credential fields.
@@ -510,6 +514,9 @@ mod tests {
         let a = run(&CampaignConfig::tiny(), &mut w1);
         let b = run(&CampaignConfig::tiny(), &mut w2);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.url == y.url && x.posted_at == y.posted_at));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.url == y.url && x.posted_at == y.posted_at));
     }
 }

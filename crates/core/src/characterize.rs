@@ -155,13 +155,21 @@ mod tests {
         let (c, sh_age) = characterized();
         assert!(c.n > 700);
         // ~89% on .com FWBs.
-        assert!((0.80..0.97).contains(&c.on_com_tld), "com rate {}", c.on_com_tld);
+        assert!(
+            (0.80..0.97).contains(&c.on_com_tld),
+            "com rate {}",
+            c.on_com_tld
+        );
         // Median domain age in years ≈ 13.7 (paper) — ours should be a
         // decade-plus because the hosting FWBs are old.
         let age = c.median_domain_age_days.unwrap();
         assert!(age > 3650, "median age {age} days");
         // noindex ≈ 44.7%.
-        assert!((0.38..0.52).contains(&c.noindex_rate), "noindex {}", c.noindex_rate);
+        assert!(
+            (0.38..0.52).contains(&c.noindex_rate),
+            "noindex {}",
+            c.noindex_rate
+        );
         // Indexed ≈ 4.1%.
         assert!(c.indexed_rate < 0.09, "indexed {}", c.indexed_rate);
         // CT invisibility is structural: zero FWB sites visible.

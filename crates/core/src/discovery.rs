@@ -31,8 +31,12 @@ pub trait DiscoveryChannel {
     fn name(&self) -> &'static str;
 
     /// URLs surfaced by this channel up to `horizon`.
-    fn discovered(&self, world: &World, records: &[CampaignRecord], horizon: SimTime)
-        -> HashSet<String>;
+    fn discovered(
+        &self,
+        world: &World,
+        records: &[CampaignRecord],
+        horizon: SimTime,
+    ) -> HashSet<String>;
 }
 
 /// Watch the CT log for new certificates and derive candidate URLs.
@@ -124,8 +128,7 @@ impl DiscoveryChannel for SocialStreamWatcher {
                     .feed(r.platform)
                     .post(r.post)
                     .map(|p| {
-                        let first_poll =
-                            crate::pipeline::quantize_to_poll(r.posted_at);
+                        let first_poll = crate::pipeline::quantize_to_poll(r.posted_at);
                         p.is_visible(first_poll) && first_poll < horizon
                     })
                     .unwrap_or(false)
@@ -173,8 +176,7 @@ pub fn discovery_report(
                 if pop.is_empty() {
                     0.0
                 } else {
-                    pop.iter().filter(|r| found.contains(&r.url)).count() as f64
-                        / pop.len() as f64
+                    pop.iter().filter(|r| found.contains(&r.url)).count() as f64 / pop.len() as f64
                 }
             };
             DiscoveryReport {
@@ -209,7 +211,10 @@ mod tests {
     fn ct_log_blind_to_fwb_attacks() {
         let (world, records) = measured();
         let report = discovery_report(&world, &records, SimTime::from_days(30));
-        let ct = report.iter().find(|r| r.channel == "CT-log watcher").unwrap();
+        let ct = report
+            .iter()
+            .find(|r| r.channel == "CT-log watcher")
+            .unwrap();
         // The paper's structural finding: FWB sites inherit the service
         // cert, so CT-based discovery finds none of them...
         assert_eq!(ct.fwb_recall, 0.0);
@@ -241,7 +246,10 @@ mod tests {
         // The stream sees nearly everything (a few posts are moderated
         // away before the first poll).
         assert!(social.fwb_recall > 0.9, "{}", social.fwb_recall);
-        let ct = report.iter().find(|r| r.channel == "CT-log watcher").unwrap();
+        let ct = report
+            .iter()
+            .find(|r| r.channel == "CT-log watcher")
+            .unwrap();
         assert!(social.fwb_recall > ct.fwb_recall + 0.8);
     }
 }

@@ -37,7 +37,9 @@ pub fn lacks_credential_fields(doc: &Document) -> bool {
 }
 
 fn registrable(url: &str) -> Option<String> {
-    Url::parse(url).ok().and_then(|u| u.host().registrable_domain())
+    Url::parse(url)
+        .ok()
+        .and_then(|u| u.host().registrable_domain())
 }
 
 fn mentions_brand(doc: &Document) -> bool {
@@ -90,10 +92,11 @@ fn is_trusted_destination(domain: &str) -> bool {
     {
         return true;
     }
-    if freephish_webgen::ALL_FWBS
-        .iter()
-        .any(|d| domain == d.host || d.host.ends_with(&format!(".{domain}")) || domain.ends_with(&format!(".{}", d.host)))
-    {
+    if freephish_webgen::ALL_FWBS.iter().any(|d| {
+        domain == d.host
+            || d.host.ends_with(&format!(".{domain}"))
+            || domain.ends_with(&format!(".{}", d.host))
+    }) {
         return true;
     }
     freephish_webgen::BRANDS
@@ -180,10 +183,7 @@ pub fn detect_drive_by(page_url: &Url, doc: &Document) -> Option<String> {
     if !lacks_credential_fields(doc) {
         return None;
     }
-    let own = page_url
-        .host()
-        .registrable_domain()
-        .unwrap_or_default();
+    let own = page_url.host().registrable_domain().unwrap_or_default();
     // Explicit download attribute pointing off-domain.
     if let Some(a) = doc.elements().iter().find(|e| {
         e.tag == "a"

@@ -16,8 +16,15 @@
 //! UTF-8, `\n`-terminated) and implemented over a [`bytes::BytesMut`]
 //! accumulation buffer, tokio-tutorial style, so partial reads are handled
 //! correctly.
+//!
+//! The server keeps a full metrics registry — connections, requests by
+//! kind, verdicts by kind, protocol/IO errors, per-request latency — and
+//! exposes it two ways: in-process via [`VerdictServer::metrics`], and
+//! over the wire via the `STATS\n` command, which replies with one line of
+//! compact JSON (`STATS <json>\n`) so any client can scrape the service.
 
 use bytes::BytesMut;
+use freephish_obs::{Counter, MetricsSnapshot, Registry, Stopwatch};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -100,11 +107,13 @@ impl UrlChecker for KnownSetChecker {
 // Wire protocol
 // ---------------------------------------------------------------------------
 
-/// Protocol request: currently only `CHECK <url>`.
+/// Protocol request: `CHECK <url>` or `STATS`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Ask for a verdict on a URL.
     Check(String),
+    /// Ask for the server's metrics snapshot.
+    Stats,
 }
 
 /// Parse one complete line out of the accumulation buffer, if available.
@@ -117,6 +126,9 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, String> {
     let line = buf.split_to(pos + 1);
     let line = std::str::from_utf8(&line[..pos]).map_err(|_| "non-utf8 request".to_string())?;
     let line = line.trim_end_matches('\r');
+    if line == "STATS" {
+        return Ok(Some(Request::Stats));
+    }
     match line.split_once(' ') {
         Some(("CHECK", url)) if !url.trim().is_empty() => {
             Ok(Some(Request::Check(url.trim().to_string())))
@@ -154,11 +166,52 @@ pub fn decode_verdict(line: &str) -> Result<Verdict, String> {
 // Server
 // ---------------------------------------------------------------------------
 
+/// Metric handles for the verdict service, shared across connection
+/// threads. One registry per server; handles resolved at startup.
+struct ServerMetrics {
+    registry: Registry,
+    connections_accepted: Arc<Counter>,
+    connections_active: Arc<freephish_obs::Gauge>,
+    requests_check: Arc<Counter>,
+    requests_stats: Arc<Counter>,
+    verdicts_phishing: Arc<Counter>,
+    verdicts_safe: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    io_errors: Arc<Counter>,
+    request_seconds: Arc<freephish_obs::Histogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        ServerMetrics {
+            connections_accepted: registry.counter("verdict_connections_accepted_total", &[]),
+            connections_active: registry.gauge("verdict_connections_active", &[]),
+            requests_check: registry.counter("verdict_requests_total", &[("kind", "check")]),
+            requests_stats: registry.counter("verdict_requests_total", &[("kind", "stats")]),
+            verdicts_phishing: registry.counter("verdict_verdicts_total", &[("kind", "phishing")]),
+            verdicts_safe: registry.counter("verdict_verdicts_total", &[("kind", "safe")]),
+            protocol_errors: registry.counter("verdict_protocol_errors_total", &[]),
+            io_errors: registry.counter("verdict_io_errors_total", &[]),
+            request_seconds: registry.histogram("verdict_request_seconds", &[]),
+            registry,
+        }
+    }
+
+    /// One line of compact JSON for the `STATS` reply.
+    fn stats_line(&self) -> String {
+        let json = freephish_obs::to_json(&self.registry.snapshot());
+        let line = serde_json::to_string(&json).expect("metrics snapshot serializes");
+        format!("STATS {line}\n")
+    }
+}
+
 /// The verdict service: a threaded TCP accept loop.
 pub struct VerdictServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl VerdictServer {
@@ -168,15 +221,31 @@ impl VerdictServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
+        let metrics = Arc::new(ServerMetrics::new());
+        let accept_metrics = metrics.clone();
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if flag.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        accept_metrics.io_errors.inc();
+                        freephish_obs::warn("verdict_server", format!("accept failed: {e}"));
+                        continue;
+                    }
+                };
+                accept_metrics.connections_accepted.inc();
+                accept_metrics.connections_active.inc();
                 let checker = checker.clone();
+                let conn_metrics = accept_metrics.clone();
                 std::thread::spawn(move || {
-                    let _ = handle_connection(stream, checker);
+                    if let Err(e) = handle_connection(stream, checker, &conn_metrics) {
+                        conn_metrics.io_errors.inc();
+                        freephish_obs::warn("verdict_server", format!("connection failed: {e}"));
+                    }
+                    conn_metrics.connections_active.dec();
                 });
             }
         });
@@ -184,12 +253,19 @@ impl VerdictServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            metrics,
         })
     }
 
     /// Where the service listens.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Snapshot of the server's metrics: connection and request counters,
+    /// verdicts by kind, error counters and the request latency histogram.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.registry.snapshot()
     }
 
     /// Stop accepting connections.
@@ -209,7 +285,11 @@ impl Drop for VerdictServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, checker: Arc<dyn UrlChecker>) -> std::io::Result<()> {
+fn handle_connection(
+    mut stream: TcpStream,
+    checker: Arc<dyn UrlChecker>,
+    metrics: &ServerMetrics,
+) -> std::io::Result<()> {
     let mut buf = BytesMut::with_capacity(1024);
     let mut chunk = [0u8; 512];
     loop {
@@ -217,11 +297,29 @@ fn handle_connection(mut stream: TcpStream, checker: Arc<dyn UrlChecker>) -> std
         loop {
             match decode_request(&mut buf) {
                 Ok(Some(Request::Check(url))) => {
+                    metrics.requests_check.inc();
+                    // Record before writing the reply so a client that saw
+                    // the answer also sees this request in the snapshot.
+                    let watch = Stopwatch::start();
                     let verdict = checker.check(&url);
-                    stream.write_all(encode_verdict(&verdict).as_bytes())?;
+                    match verdict {
+                        Verdict::Phishing(_) => metrics.verdicts_phishing.inc(),
+                        Verdict::Safe(_) => metrics.verdicts_safe.inc(),
+                    }
+                    let reply = encode_verdict(&verdict);
+                    watch.record(&metrics.request_seconds);
+                    stream.write_all(reply.as_bytes())?;
+                }
+                Ok(Some(Request::Stats)) => {
+                    metrics.requests_stats.inc();
+                    let watch = Stopwatch::start();
+                    let reply = metrics.stats_line();
+                    watch.record(&metrics.request_seconds);
+                    stream.write_all(reply.as_bytes())?;
                 }
                 Ok(None) => break,
                 Err(msg) => {
+                    metrics.protocol_errors.inc();
                     stream.write_all(format!("ERROR {msg}\n").as_bytes())?;
                 }
             }
@@ -242,6 +340,8 @@ fn handle_connection(mut stream: TcpStream, checker: Arc<dyn UrlChecker>) -> std
 pub struct VerdictClient {
     addr: SocketAddr,
     cache: RwLock<HashMap<String, Verdict>>,
+    cache_hits: Counter,
+    cache_misses: Counter,
 }
 
 impl VerdictClient {
@@ -250,14 +350,18 @@ impl VerdictClient {
         VerdictClient {
             addr,
             cache: RwLock::new(HashMap::new()),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
         }
     }
 
     /// Check a URL, consulting the local cache first.
     pub fn check(&self, url: &str) -> std::io::Result<Verdict> {
         if let Some(v) = self.cache.read().get(url) {
+            self.cache_hits.inc();
             return Ok(*v);
         }
+        self.cache_misses.inc();
         let mut stream = TcpStream::connect(self.addr)?;
         stream.write_all(format!("CHECK {url}\n").as_bytes())?;
         let mut reader = BufReader::new(stream);
@@ -269,9 +373,48 @@ impl VerdictClient {
         Ok(verdict)
     }
 
+    /// Scrape the server's metrics over the wire (`STATS\n` → one line of
+    /// JSON, as produced by [`freephish_obs::to_json`]).
+    pub fn stats(&self) -> std::io::Result<serde_json::Value> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.write_all(b"STATS\n")?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let payload = line.trim_end().strip_prefix("STATS ").ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed STATS reply: {line:?}"),
+            )
+        })?;
+        let value: serde_json::Value = serde_json::from_str(payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(value)
+    }
+
     /// Cached verdict count.
     pub fn cache_len(&self) -> usize {
         self.cache.read().len()
+    }
+
+    /// Verdicts answered from the local cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Verdicts that needed a round trip to the service.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.get()
+    }
+
+    /// Fraction of checks answered locally; 0 when nothing was checked.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let (h, m) = (self.cache_hits.get(), self.cache_misses.get());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
     }
 }
 
@@ -344,6 +487,16 @@ mod tests {
     }
 
     #[test]
+    fn codec_decodes_stats() {
+        let mut buf = BytesMut::from(&b"STATS\n"[..]);
+        assert_eq!(decode_request(&mut buf), Ok(Some(Request::Stats)));
+        assert!(buf.is_empty());
+        // CRLF tolerated, like CHECK.
+        let mut buf2 = BytesMut::from(&b"STATS\r\n"[..]);
+        assert_eq!(decode_request(&mut buf2), Ok(Some(Request::Stats)));
+    }
+
+    #[test]
     fn codec_rejects_malformed() {
         let mut buf = BytesMut::from(&b"FETCH x\n"[..]);
         assert!(decode_request(&mut buf).is_err());
@@ -388,7 +541,10 @@ mod tests {
         // Cache: second check does not need the server.
         assert_eq!(client.cache_len(), 2);
         server.shutdown();
-        assert!(client.check("https://evil.weebly.com/").unwrap().is_phishing());
+        assert!(client
+            .check("https://evil.weebly.com/")
+            .unwrap()
+            .is_phishing());
     }
 
     #[test]
@@ -406,7 +562,10 @@ mod tests {
             }
             Navigation::Allowed => panic!("should block"),
         }
-        assert_eq!(guard.navigate("https://ok.wixsite.com/"), Navigation::Allowed);
+        assert_eq!(
+            guard.navigate("https://ok.wixsite.com/"),
+            Navigation::Allowed
+        );
     }
 
     #[test]

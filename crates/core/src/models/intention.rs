@@ -145,7 +145,9 @@ impl IntentionStyle {
         let mut external_total = 0usize;
 
         for t in targets.iter().take(DYNAMIC_FETCH_BUDGET) {
-            let Ok(target_url) = Url::parse(t) else { continue };
+            let Ok(target_url) = Url::parse(t) else {
+                continue;
+            };
             let external = target_url
                 .host()
                 .registrable_domain()

@@ -48,7 +48,8 @@ impl PhishDetector for UrlNetStyle {
     }
 
     fn score(&self, url: &str, _html: &str, _fetcher: &dyn PageFetcher) -> f64 {
-        self.model.predict_proba(&char_ngram_vector(url, NGRAM, DIM))
+        self.model
+            .predict_proba(&char_ngram_vector(url, NGRAM, DIM))
     }
 }
 

@@ -14,11 +14,13 @@ use crate::features::{FeatureSet, FeatureVector};
 use crate::models::augmented::AugmentedStackModel;
 use crate::world::World;
 use freephish_fwbsim::history::Platform;
+use freephish_obs::{Counter, Gauge, Histogram, Level, MetricsSnapshot, Registry, Span, Stopwatch};
 use freephish_simclock::{SimDuration, SimTime};
 use freephish_socialsim::PostId;
 use freephish_urlparse::Url;
 use freephish_webgen::FwbKind;
 use reporting::Reporter;
+use std::sync::Arc;
 use streaming::{ObservedPost, StreamingModule, POLL_INTERVAL};
 
 /// One URL the classifier flagged as phishing.
@@ -38,11 +40,57 @@ pub struct Detection {
     pub score: f64,
 }
 
+/// Metric handles for the pipeline hot loop. Resolved against the registry
+/// once at construction; the loop itself only touches atomics.
+struct PipelineMetrics {
+    registry: Registry,
+    ticks: Arc<Counter>,
+    posts_observed: Arc<Counter>,
+    crawl_attempts: Arc<Counter>,
+    sites_gone: Arc<Counter>,
+    detections: Arc<Counter>,
+    reports: Arc<Counter>,
+    stage_poll: Arc<Histogram>,
+    stage_crawl: Arc<Histogram>,
+    stage_feature: Arc<Histogram>,
+    stage_classify: Arc<Histogram>,
+    stage_report: Arc<Histogram>,
+    tick_seconds: Arc<Histogram>,
+    last_tick_sim: Arc<Gauge>,
+}
+
+impl PipelineMetrics {
+    fn new() -> PipelineMetrics {
+        let registry = Registry::new();
+        let stage = |s| registry.histogram("pipeline_stage_seconds", &[("stage", s)]);
+        let (stage_poll, stage_crawl) = (stage("poll"), stage("crawl"));
+        let (stage_feature, stage_classify) = (stage("feature"), stage("classify"));
+        let stage_report = stage("report");
+        PipelineMetrics {
+            ticks: registry.counter("pipeline_ticks_total", &[]),
+            posts_observed: registry.counter("pipeline_posts_observed_total", &[]),
+            crawl_attempts: registry.counter("pipeline_crawl_attempts_total", &[]),
+            sites_gone: registry.counter("pipeline_sites_gone_total", &[]),
+            detections: registry.counter("pipeline_detections_total", &[]),
+            reports: registry.counter("pipeline_reports_total", &[]),
+            stage_poll,
+            stage_crawl,
+            stage_feature,
+            stage_classify,
+            stage_report,
+            tick_seconds: registry.histogram("pipeline_tick_seconds", &[]),
+            last_tick_sim: registry.gauge("pipeline_last_tick_sim_secs", &[]),
+            registry,
+        }
+    }
+}
+
 /// The assembled pipeline.
 pub struct Pipeline {
     model: AugmentedStackModel,
     /// Classification threshold (paper uses 0.5).
     pub threshold: f64,
+    metrics: PipelineMetrics,
 }
 
 impl Pipeline {
@@ -51,15 +99,28 @@ impl Pipeline {
         Pipeline {
             model,
             threshold: 0.5,
+            metrics: PipelineMetrics::new(),
         }
+    }
+
+    /// Snapshot of every pipeline metric recorded so far: per-stage latency
+    /// histograms (`pipeline_stage_seconds{stage=...}`), per-tick timing,
+    /// and the observation/detection/report counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.registry.snapshot()
     }
 
     /// Classify one observed snapshot; `Some(score)` when phishing.
     fn classify(&self, url: &str, html: &str) -> Option<f64> {
+        let feature_watch = Stopwatch::start();
         let parsed = Url::parse(url).ok()?;
         let doc = freephish_htmlparse::parse(html);
         let v = FeatureVector::extract(FeatureSet::Augmented, &parsed, &doc);
+        feature_watch.record(&self.metrics.stage_feature);
+
+        let classify_watch = Stopwatch::start();
         let score = self.model.score_features(&v.values);
+        classify_watch.record(&self.metrics.stage_classify);
         (score >= self.threshold).then_some(score)
     }
 
@@ -75,28 +136,83 @@ impl Pipeline {
         let mut now = SimTime::ZERO;
         while now < end {
             let next = now + POLL_INTERVAL;
-            let observed: Vec<ObservedPost> = stream.poll(world, next);
-            for obs in observed {
-                let Some(html) = world.crawl(&obs.url, next).map(|s| s.to_string()) else {
-                    continue; // site already gone when we got to it
-                };
-                if let Some(score) = self.classify(&obs.url, &html) {
-                    // Report to the hosting FWB (with screenshot, per the
-                    // paper's evidence-based reporting) and the platform.
-                    reporter.report(world, obs.fwb, &obs.url, next);
-                    detections.push(Detection {
-                        url: obs.url,
-                        fwb: obs.fwb,
-                        platform: obs.platform,
-                        post: obs.post,
-                        observed_at: next,
-                        score,
-                    });
-                }
-            }
+            self.run_tick(world, &mut stream, &mut reporter, &mut detections, next);
             now = next;
         }
+        if freephish_obs::global_events().enabled(Level::Debug) {
+            freephish_obs::event_at(
+                Level::Debug,
+                "pipeline",
+                format!(
+                    "batch complete: {} detections, {} reports",
+                    detections.len(),
+                    reporter.total_reports()
+                ),
+                end,
+            );
+        }
         (detections, reporter)
+    }
+
+    /// One ten-minute poll tick ending at `next`: poll both feeds, crawl
+    /// and classify everything observed, report detections. Exposed so
+    /// callers (live monitors, benchmarks) can drive the loop themselves;
+    /// [`Pipeline::run_batch`] is this in a loop over the poll grid.
+    pub fn run_tick(
+        &self,
+        world: &mut World,
+        stream: &mut StreamingModule,
+        reporter: &mut Reporter,
+        detections: &mut Vec<Detection>,
+        next: SimTime,
+    ) {
+        let m = &self.metrics;
+        m.ticks.inc();
+        let _tick = Span::enter(&m.tick_seconds).at(&m.last_tick_sim, next);
+
+        let poll_watch = Stopwatch::start();
+        let observed: Vec<ObservedPost> = stream.poll(world, next);
+        poll_watch.record(&m.stage_poll);
+        m.posts_observed.add(observed.len() as u64);
+
+        for obs in observed {
+            // Crawl latency is sampled 1-in-16: a crawl miss is a hash
+            // lookup, and unconditional timestamping would cost more than
+            // the work being measured.
+            let sampled = m.crawl_attempts.inc_and_get() & 0xF == 0;
+            let crawl_watch = sampled.then(Stopwatch::start);
+            // Classify straight off the borrowed snapshot: the borrow of
+            // `world` ends with `score`, so no HTML copy is needed before
+            // the mutating `report` below.
+            let crawled = world.crawl(&obs.url, next);
+            if let Some(watch) = crawl_watch {
+                watch.record(&m.stage_crawl);
+            }
+            let score = match crawled {
+                None => {
+                    m.sites_gone.inc(); // site already gone when we got to it
+                    None
+                }
+                Some(html) => self.classify(&obs.url, html),
+            };
+            if let Some(score) = score {
+                m.detections.inc();
+                // Report to the hosting FWB (with screenshot, per the
+                // paper's evidence-based reporting) and the platform.
+                let report_watch = Stopwatch::start();
+                reporter.report(world, obs.fwb, &obs.url, next);
+                report_watch.record(&m.stage_report);
+                m.reports.inc();
+                detections.push(Detection {
+                    url: obs.url,
+                    fwb: obs.fwb,
+                    platform: obs.platform,
+                    post: obs.post,
+                    observed_at: next,
+                    score,
+                });
+            }
+        }
     }
 }
 
@@ -150,8 +266,7 @@ mod tests {
         };
         let records = campaign::run(&config, &mut world);
         let pipeline = Pipeline::new(trained_model());
-        let (detections, reporter) =
-            pipeline.run_batch(&mut world, SimTime::from_days(10));
+        let (detections, reporter) = pipeline.run_batch(&mut world, SimTime::from_days(10));
 
         let n_phish = records
             .iter()
@@ -160,7 +275,11 @@ mod tests {
         // Recall: most FWB phishing URLs should be detected. Some are
         // legitimately missed (deleted before the first poll).
         let recall = detections.len() as f64 / n_phish as f64;
-        assert!(recall > 0.75, "recall {recall} ({}/{n_phish})", detections.len());
+        assert!(
+            recall > 0.75,
+            "recall {recall} ({}/{n_phish})",
+            detections.len()
+        );
 
         // Precision: benign URLs should rarely be flagged.
         let benign_urls: std::collections::HashSet<&str> = records

@@ -165,7 +165,12 @@ mod tests {
         let (mut world, urls) = seeded_world_with_site(FwbKind::Weebly, 1);
         let mut reporter = Reporter::new();
         for _ in 0..5 {
-            reporter.report(&mut world, FwbKind::Weebly, &urls[0], SimTime::from_mins(10));
+            reporter.report(
+                &mut world,
+                FwbKind::Weebly,
+                &urls[0],
+                SimTime::from_mins(10),
+            );
         }
         assert_eq!(reporter.stats(FwbKind::Weebly).filed, 1);
         assert_eq!(reporter.total_reports(), 1);

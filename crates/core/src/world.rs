@@ -61,7 +61,10 @@ impl World {
 
     /// The host for one FWB service.
     pub fn host(&self, kind: FwbKind) -> &FwbHost {
-        self.hosts.iter().find(|h| h.kind == kind).expect("all kinds present")
+        self.hosts
+            .iter()
+            .find(|h| h.kind == kind)
+            .expect("all kinds present")
     }
 
     /// Mutable host access.
@@ -119,11 +122,9 @@ impl World {
 
     /// Crawl `url` at time `now`: the page HTML if the site is up.
     pub fn crawl(&self, url: &str, now: SimTime) -> Option<&str> {
-        self.snapshots.get(url).and_then(|(html, down)| {
-            match down {
-                Some(at) if now >= *at => None,
-                _ => Some(html.as_str()),
-            }
+        self.snapshots.get(url).and_then(|(html, down)| match down {
+            Some(at) if now >= *at => None,
+            _ => Some(html.as_str()),
         })
     }
 
@@ -169,19 +170,38 @@ mod tests {
     fn snapshot_crawl_and_takedown() {
         let mut w = World::new(2);
         w.register_snapshot("https://a.weebly.com/", "<p>up</p>".into(), None);
-        assert_eq!(w.crawl("https://a.weebly.com/", SimTime::from_days(30)), Some("<p>up</p>"));
+        assert_eq!(
+            w.crawl("https://a.weebly.com/", SimTime::from_days(30)),
+            Some("<p>up</p>")
+        );
         w.set_snapshot_down_at("https://a.weebly.com/", Some(SimTime::from_hours(5)));
-        assert!(w.crawl("https://a.weebly.com/", SimTime::from_hours(4)).is_some());
-        assert!(w.crawl("https://a.weebly.com/", SimTime::from_hours(5)).is_none());
-        assert!(w.crawl("https://unknown.weebly.com/", SimTime::ZERO).is_none());
+        assert!(w
+            .crawl("https://a.weebly.com/", SimTime::from_hours(4))
+            .is_some());
+        assert!(w
+            .crawl("https://a.weebly.com/", SimTime::from_hours(5))
+            .is_none());
+        assert!(w
+            .crawl("https://unknown.weebly.com/", SimTime::ZERO)
+            .is_none());
     }
 
     #[test]
     fn fetcher_respects_time() {
         let mut w = World::new(3);
-        w.register_snapshot("https://b.weebly.com/", "<p>x</p>".into(), Some(SimTime::from_hours(2)));
-        assert!(w.fetcher_at(SimTime::from_hours(1)).fetch("https://b.weebly.com/").is_some());
-        assert!(w.fetcher_at(SimTime::from_hours(3)).fetch("https://b.weebly.com/").is_none());
+        w.register_snapshot(
+            "https://b.weebly.com/",
+            "<p>x</p>".into(),
+            Some(SimTime::from_hours(2)),
+        );
+        assert!(w
+            .fetcher_at(SimTime::from_hours(1))
+            .fetch("https://b.weebly.com/")
+            .is_some());
+        assert!(w
+            .fetcher_at(SimTime::from_hours(3))
+            .fetch("https://b.weebly.com/")
+            .is_none());
     }
 
     #[test]

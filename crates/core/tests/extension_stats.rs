@@ -1,0 +1,129 @@
+//! Integration test: the verdict service's `STATS` command over real TCP.
+//!
+//! Issues a known mix of CHECK requests through a `VerdictClient`, then
+//! scrapes `STATS` and asserts the served counters match what was issued —
+//! both via the wire protocol and via `VerdictServer::metrics()`.
+
+use freephish_core::extension::{KnownSetChecker, VerdictClient, VerdictServer};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+#[test]
+fn stats_over_tcp_matches_issued_requests() {
+    let checker = Arc::new(KnownSetChecker::new([
+        ("https://evil.weebly.com/".to_string(), 0.97),
+        ("https://bad.wixsite.com/login".to_string(), 0.91),
+    ]));
+    let mut server = VerdictServer::start(checker).unwrap();
+    let client = VerdictClient::new(server.addr());
+
+    // 2 phishing + 3 safe checks; one repeat answered from the cache (no
+    // server round trip).
+    assert!(client
+        .check("https://evil.weebly.com/")
+        .unwrap()
+        .is_phishing());
+    assert!(client
+        .check("https://bad.wixsite.com/login")
+        .unwrap()
+        .is_phishing());
+    assert!(!client
+        .check("https://fine.weebly.com/")
+        .unwrap()
+        .is_phishing());
+    assert!(!client
+        .check("https://ok.wixsite.com/")
+        .unwrap()
+        .is_phishing());
+    assert!(!client
+        .check("https://blog.weebly.com/")
+        .unwrap()
+        .is_phishing());
+    assert!(client
+        .check("https://evil.weebly.com/")
+        .unwrap()
+        .is_phishing());
+
+    assert_eq!(client.cache_misses(), 5);
+    assert_eq!(client.cache_hits(), 1);
+    assert!((client.cache_hit_ratio() - 1.0 / 6.0).abs() < 1e-9);
+
+    // Scrape over the wire.
+    let stats = client.stats().unwrap();
+    let counters = &stats["counters"];
+    assert_eq!(counters["verdict_requests_total{kind=\"check\"}"], 5);
+    assert_eq!(counters["verdict_verdicts_total{kind=\"phishing\"}"], 2);
+    assert_eq!(counters["verdict_verdicts_total{kind=\"safe\"}"], 3);
+    assert_eq!(counters["verdict_connections_accepted_total"], 6);
+    // The scrape itself was counted before the reply was rendered.
+    assert_eq!(counters["verdict_requests_total{kind=\"stats\"}"], 1);
+    // Latency histogram saw every CHECK.
+    let latency = &stats["histograms"]["verdict_request_seconds"];
+    assert_eq!(latency["count"], 5);
+    assert!(latency["p99"].as_f64().unwrap() >= 0.0);
+
+    // The in-process snapshot agrees with the wire. Connection threads
+    // decrement the active gauge asynchronously after the socket closes,
+    // so only the monotone counters are compared.
+    let local = server.metrics();
+    assert_eq!(
+        local.counter("verdict_requests_total", &[("kind", "check")]),
+        5
+    );
+    assert_eq!(
+        local.counter("verdict_requests_total", &[("kind", "stats")]),
+        1
+    );
+    assert_eq!(local.counter("verdict_protocol_errors_total", &[]), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_checks_interleave_on_one_connection() {
+    let checker = Arc::new(KnownSetChecker::new([(
+        "https://p.weebly.com/".to_string(),
+        0.9,
+    )]));
+    let server = VerdictServer::start(checker).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"CHECK https://p.weebly.com/\nSTATS\nCHECK https://s.weebly.com/\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        lines.push(l);
+    }
+    assert!(lines[0].starts_with("PHISHING"));
+    assert!(lines[1].starts_with("STATS {"));
+    assert!(lines[2].starts_with("SAFE"));
+    let payload: serde_json::Value =
+        serde_json::from_str(lines[1].trim_end().strip_prefix("STATS ").unwrap()).unwrap();
+    // At the instant the STATS reply was rendered, exactly one CHECK had
+    // been served on this connection.
+    assert_eq!(
+        payload["counters"]["verdict_requests_total{kind=\"check\"}"],
+        1
+    );
+}
+
+#[test]
+fn protocol_errors_are_counted_not_swallowed() {
+    let checker = Arc::new(KnownSetChecker::new([]));
+    let server = VerdictServer::start(checker).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(b"FETCH x\nSTATS\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut err_line = String::new();
+    reader.read_line(&mut err_line).unwrap();
+    assert!(err_line.starts_with("ERROR"));
+    let mut stats_line = String::new();
+    reader.read_line(&mut stats_line).unwrap();
+    let payload: serde_json::Value =
+        serde_json::from_str(stats_line.trim_end().strip_prefix("STATS ").unwrap()).unwrap();
+    assert_eq!(payload["counters"]["verdict_protocol_errors_total"], 1);
+}

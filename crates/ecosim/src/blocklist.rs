@@ -193,7 +193,9 @@ impl Blocklist {
         }
         let profile = BlocklistProfile::paper_default(self.kind, class);
         if profile.coverage > 0.0 && self.rng.chance(profile.coverage) {
-            let mins = self.rng.lognormal_median(profile.median_mins, profile.sigma);
+            let mins = self
+                .rng
+                .lognormal_median(profile.median_mins, profile.sigma);
             let at = first_seen + SimDuration::from_secs((mins * 60.0) as u64);
             self.listed.insert(url.to_string(), at);
         }

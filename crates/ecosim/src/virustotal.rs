@@ -147,7 +147,9 @@ mod tests {
     use freephish_webgen::FwbKind;
 
     fn counts_after(vt: &VirusTotal, urls: &[String], d: SimDuration) -> Vec<u64> {
-        urls.iter().map(|u| vt.scan(u, SimTime::ZERO + d) as u64).collect()
+        urls.iter()
+            .map(|u| vt.scan(u, SimTime::ZERO + d) as u64)
+            .collect()
     }
 
     fn populate(vt: &mut VirusTotal, class: HostClass, prefix: &str, n: usize) -> Vec<String> {
@@ -208,7 +210,10 @@ mod tests {
     #[test]
     fn unregistered_scans_clean() {
         let vt = VirusTotal::new(4);
-        assert_eq!(vt.scan("https://unknown.example/", SimTime::from_days(9)), 0);
+        assert_eq!(
+            vt.scan("https://unknown.example/", SimTime::from_days(9)),
+            0
+        );
     }
 
     #[test]
@@ -216,7 +221,11 @@ mod tests {
         let mut vt = VirusTotal::new(5);
         vt.register("https://a.example/", HostClass::SelfHosted, SimTime::ZERO);
         let first = vt.final_count("https://a.example/");
-        vt.register("https://a.example/", HostClass::SelfHosted, SimTime::from_days(1));
+        vt.register(
+            "https://a.example/",
+            HostClass::SelfHosted,
+            SimTime::from_days(1),
+        );
         assert_eq!(vt.final_count("https://a.example/"), first);
         assert_eq!(vt.len(), 1);
     }

@@ -127,7 +127,11 @@ pub fn generate(config: &HistoryConfig, rng: &mut Rng64) -> Vec<HistoricalRecord
             .map(|k| {
                 // Newly adopted services get a novelty boost: attackers pile
                 // onto hosts blocklists have not tuned for yet.
-                let novelty = if adoption_quarter(*k) + 2 >= q { 1.6 } else { 1.0 };
+                let novelty = if adoption_quarter(*k) + 2 >= q {
+                    1.6
+                } else {
+                    1.0
+                };
                 abuse_weight(*k) * novelty
             })
             .collect();

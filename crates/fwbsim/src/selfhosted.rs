@@ -179,8 +179,11 @@ mod tests {
         for b in 0..4000 {
             pop.spawn(b, SimTime::ZERO, &mut whois, &mut ct);
         }
-        let removed: Vec<&SelfHostedSite> =
-            pop.sites().iter().filter(|s| s.removed_at.is_some()).collect();
+        let removed: Vec<&SelfHostedSite> = pop
+            .sites()
+            .iter()
+            .filter(|s| s.removed_at.is_some())
+            .collect();
         let rate = removed.len() as f64 / pop.len() as f64;
         assert!((0.74..0.81).contains(&rate), "rate={rate}");
         let delays: Vec<u64> = removed

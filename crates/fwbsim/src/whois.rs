@@ -45,8 +45,7 @@ impl WhoisDb {
 
     /// Register a fresh domain on simulation day `day`.
     pub fn register_fresh(&mut self, domain: &str, day: u64) {
-        self.created_during
-            .insert(domain.to_ascii_lowercase(), day);
+        self.created_during.insert(domain.to_ascii_lowercase(), day);
     }
 
     /// Age in days of `domain` as seen on simulation day `now_day`, or

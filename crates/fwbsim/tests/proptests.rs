@@ -14,7 +14,9 @@ fn any_fwb() -> impl Strategy<Value = FwbKind> {
 fn make_site(fwb: FwbKind, i: u64) -> freephish_webgen::GeneratedSite {
     PageSpec {
         fwb,
-        kind: PageKind::CredentialPhish { brand: (i % 100) as usize },
+        kind: PageKind::CredentialPhish {
+            brand: (i % 100) as usize,
+        },
         site_name: format!("prop-{i}"),
         noindex: false,
         obfuscate_banner: false,

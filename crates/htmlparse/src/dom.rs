@@ -32,8 +32,8 @@ pub enum Node {
 
 /// Elements that never have children.
 const VOID: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// A parsed HTML document: an arena of nodes plus the root list.
@@ -52,19 +52,17 @@ impl Document {
         // Stack of open element ids.
         let mut stack: Vec<NodeId> = Vec::new();
 
-        let attach = |nodes: &mut Vec<Node>,
-                          roots: &mut Vec<NodeId>,
-                          stack: &[NodeId],
-                          id: NodeId| {
-            match stack.last() {
-                Some(&parent) => {
-                    if let Node::Element { children, .. } = &mut nodes[parent.0] {
-                        children.push(id);
+        let attach =
+            |nodes: &mut Vec<Node>, roots: &mut Vec<NodeId>, stack: &[NodeId], id: NodeId| {
+                match stack.last() {
+                    Some(&parent) => {
+                        if let Node::Element { children, .. } = &mut nodes[parent.0] {
+                            children.push(id);
+                        }
                     }
+                    None => roots.push(id),
                 }
-                None => roots.push(id),
-            }
-        };
+            };
 
         for tok in tokens {
             match tok {
@@ -86,9 +84,9 @@ impl Document {
                 }
                 Token::Close { tag } => {
                     // Unwind to the matching open element, if any.
-                    if let Some(pos) = stack.iter().rposition(|&id| {
-                        matches!(&nodes[id.0], Node::Element { tag: t, .. } if *t == tag)
-                    }) {
+                    if let Some(pos) = stack.iter().rposition(
+                        |&id| matches!(&nodes[id.0], Node::Element { tag: t, .. } if *t == tag),
+                    ) {
                         stack.truncate(pos);
                     }
                     // Otherwise: stray close tag, ignored.

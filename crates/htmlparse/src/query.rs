@@ -65,7 +65,10 @@ impl Document {
 
     /// Elements with the given (lower-case) tag name.
     pub fn elements_by_tag(&self, tag: &str) -> Vec<ElementRef<'_>> {
-        self.elements().into_iter().filter(|e| e.tag == tag).collect()
+        self.elements()
+            .into_iter()
+            .filter(|e| e.tag == tag)
+            .collect()
     }
 
     /// The `<title>` text, if any.
@@ -270,7 +273,9 @@ impl Document {
 /// parsing lives in `freephish-urlparse`; this avoids a dependency cycle and
 /// is only used for internal/external link counting).
 fn freephish_urlparse_lite_host(url: &str) -> Option<String> {
-    let rest = url.strip_prefix("https://").or_else(|| url.strip_prefix("http://"))?;
+    let rest = url
+        .strip_prefix("https://")
+        .or_else(|| url.strip_prefix("http://"))?;
     let end = rest.find(['/', '?', '#', ':']).unwrap_or(rest.len());
     let host = &rest[..end];
     if host.is_empty() {
@@ -361,7 +366,10 @@ mod tests {
     fn tag_elements_serialisation() {
         let doc = parse(r#"<div class="a"><p>t</p></div>"#);
         let tags = doc.tag_elements();
-        assert_eq!(tags, vec![r#"<div class="a">"#.to_string(), "<p>".to_string()]);
+        assert_eq!(
+            tags,
+            vec![r#"<div class="a">"#.to_string(), "<p>".to_string()]
+        );
     }
 
     #[test]

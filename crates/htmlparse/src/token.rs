@@ -85,13 +85,10 @@ pub fn tokenize(html: &str) -> Vec<Token> {
         }
         // A '<' only starts a construct when followed by '!', '?', '/', or a
         // letter; otherwise it is literal text.
-        let starts_construct = matches!(
-            b.get(i + 1),
-            Some(b'!') | Some(b'?') | Some(b'/')
-        ) || b
-            .get(i + 1)
-            .map(|c| c.is_ascii_alphabetic())
-            .unwrap_or(false);
+        let starts_construct = matches!(b.get(i + 1), Some(b'!') | Some(b'?') | Some(b'/'))
+            || b.get(i + 1)
+                .map(|c| c.is_ascii_alphabetic())
+                .unwrap_or(false);
         if !starts_construct {
             i += 1;
             continue;
@@ -106,7 +103,9 @@ pub fn tokenize(html: &str) -> Vec<Token> {
             let body_start = i + 4;
             match html[body_start..].find("-->") {
                 Some(end) => {
-                    out.push(Token::Comment(html[body_start..body_start + end].to_string()));
+                    out.push(Token::Comment(
+                        html[body_start..body_start + end].to_string(),
+                    ));
                     i = body_start + end + 3;
                 }
                 None => {
@@ -273,10 +272,7 @@ fn parse_open_tag(html: &str, start: usize) -> Option<(String, Vec<Attr>, bool, 
                         }
                     } else {
                         let v_start = i;
-                        while i < b.len()
-                            && !b[i].is_ascii_whitespace()
-                            && b[i] != b'>'
-                        {
+                        while i < b.len() && !b[i].is_ascii_whitespace() && b[i] != b'>' {
                             i += 1;
                         }
                         value = decode_entities(&html[v_start..i]);
@@ -362,10 +358,22 @@ mod tests {
         assert_eq!(
             attrs,
             &[
-                Attr { name: "type".into(), value: "text".into() },
-                Attr { name: "name".into(), value: "user".into() },
-                Attr { name: "required".into(), value: "".into() },
-                Attr { name: "maxlength".into(), value: "10".into() },
+                Attr {
+                    name: "type".into(),
+                    value: "text".into()
+                },
+                Attr {
+                    name: "name".into(),
+                    value: "user".into()
+                },
+                Attr {
+                    name: "required".into(),
+                    value: "".into()
+                },
+                Attr {
+                    name: "maxlength".into(),
+                    value: "10".into()
+                },
             ]
         );
     }
@@ -429,7 +437,10 @@ mod tests {
 
     #[test]
     fn entity_decoding() {
-        assert_eq!(decode_entities("a &amp;&lt;&gt;&quot;&#39; b"), "a &<>\"' b");
+        assert_eq!(
+            decode_entities("a &amp;&lt;&gt;&quot;&#39; b"),
+            "a &<>\"' b"
+        );
         assert_eq!(decode_entities("AT&T"), "AT&T");
         assert_eq!(decode_entities("x&nbsp;y"), "x y");
     }

@@ -17,13 +17,17 @@ fn style_is_raw_text_like_script() {
     let toks = tokenize("<style>div > p { color: red } </style><p>x</p>");
     // The '>' inside the CSS must not terminate anything.
     assert!(matches!(&toks[1], Token::Text(t) if t.contains("color: red")));
-    assert!(toks.iter().any(|t| matches!(t, Token::Open { tag, .. } if tag == "p")));
+    assert!(toks
+        .iter()
+        .any(|t| matches!(t, Token::Open { tag, .. } if tag == "p")));
 }
 
 #[test]
 fn script_close_tag_case_insensitive() {
     let toks = tokenize("<script>x</SCRIPT><p>y</p>");
-    assert!(toks.iter().any(|t| matches!(t, Token::Open { tag, .. } if tag == "p")));
+    assert!(toks
+        .iter()
+        .any(|t| matches!(t, Token::Open { tag, .. } if tag == "p")));
 }
 
 #[test]
@@ -116,5 +120,8 @@ fn iframe_without_src() {
 #[test]
 fn tag_elements_ignore_text_and_comments() {
     let doc = parse("<div>text<!-- c --><p>more</p></div>");
-    assert_eq!(doc.tag_elements(), vec!["<div>".to_string(), "<p>".to_string()]);
+    assert_eq!(
+        doc.tag_elements(),
+        vec!["<div>".to_string(), "<p>".to_string()]
+    );
 }

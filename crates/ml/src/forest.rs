@@ -76,8 +76,7 @@ impl RandomForest {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let n = data.len();
         let n_features = data.n_features();
-        let n_cols = ((n_features as f64 * config.colsample).round() as usize)
-            .clamp(1, n_features);
+        let n_cols = ((n_features as f64 * config.colsample).round() as usize).clamp(1, n_features);
         let k = ((n as f64 * config.sample_frac).round() as usize).clamp(1, n);
 
         // Leaf value −G/(H+λ) with g = 0.5 − y·1, h = 0.25 (logistic at the

@@ -67,7 +67,10 @@ impl LogisticRegression {
                 b -= config.learning_rate * err;
             }
         }
-        LogisticRegression { weights: w, bias: b }
+        LogisticRegression {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Probability of the positive class.

@@ -170,7 +170,15 @@ mod tests {
         let labels = [1, 1, 1, 0, 0];
         let scores = [0.9, 0.8, 0.2, 0.7, 0.1];
         let m = ConfusionMatrix::from_scores(&labels, &scores, 0.5);
-        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((m.accuracy() - 0.6).abs() < 1e-12);
         assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);

@@ -62,7 +62,10 @@ pub struct StackModel {
 impl StackModel {
     /// Train the full stack. Deterministic given the RNG state.
     pub fn train(config: &StackModelConfig, data: &Dataset, rng: &mut Rng64) -> StackModel {
-        assert!(data.len() >= config.k_folds * 2, "dataset too small to stack");
+        assert!(
+            data.len() >= config.k_folds * 2,
+            "dataset too small to stack"
+        );
         let n = data.len();
         let n_base = config.base_configs.len();
         let folds = data.kfold_indices(config.k_folds, rng);
@@ -178,10 +181,7 @@ mod tests {
                 rng.range_f64(1.6, 2.8)
             };
             let theta = rng.range_f64(0.0, std::f64::consts::TAU);
-            d.push(
-                vec![r * theta.cos(), r * theta.sin()],
-                u8::from(inner),
-            );
+            d.push(vec![r * theta.cos(), r * theta.sin()], u8::from(inner));
         }
         d
     }

@@ -351,7 +351,8 @@ impl RegTree {
         // gain until max_leaves is reached or no leaf can split.
         let mut leaves = 1usize;
         let mut frontier: Vec<(Pending, Option<SplitCandidate>)> = Vec::new();
-        let root_split = Self::best_split(m, grad, hess, &root.rows, root.grad_sum, root.hess_sum, cfg);
+        let root_split =
+            Self::best_split(m, grad, hess, &root.rows, root.grad_sum, root.hess_sum, cfg);
         frontier.push((root, root_split));
 
         while leaves < cfg.max_leaves {
@@ -536,7 +537,13 @@ mod tests {
             .map(|i| vec![(i % 17) as f64, (i % 23) as f64])
             .collect();
         let grad: Vec<f64> = (0..n)
-            .map(|i| if (i % 17 + i % 23) % 2 == 0 { -0.5 } else { 0.5 })
+            .map(|i| {
+                if (i % 17 + i % 23) % 2 == 0 {
+                    -0.5
+                } else {
+                    0.5
+                }
+            })
             .collect();
         let hess = vec![0.25; n];
         let m = BinnedMatrix::build(&rows, 64);

@@ -1,0 +1,186 @@
+//! Exporters over [`MetricsSnapshot`]: Prometheus-style text exposition
+//! and a `serde_json::Value` tree for embedding in experiment JSON.
+
+use crate::registry::{MetricKey, MetricsSnapshot};
+use serde_json::{json, Map, Value};
+
+/// Render a snapshot in the Prometheus text exposition format. Histograms
+/// emit the conventional `_bucket{le=...}` / `_sum` / `_count` series
+/// (empty buckets elided, `+Inf` always present).
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for (key, value) in &snapshot.counters {
+        if key.name != last_name {
+            out.push_str(&format!("# TYPE {} counter\n", key.name));
+            last_name = &key.name;
+        }
+        out.push_str(&format!("{} {}\n", key.render(), value));
+    }
+    last_name = "";
+    for (key, value) in &snapshot.gauges {
+        if key.name != last_name {
+            out.push_str(&format!("# TYPE {} gauge\n", key.name));
+            last_name = &key.name;
+        }
+        out.push_str(&format!("{} {}\n", key.render(), value));
+    }
+    last_name = "";
+    for (key, hist) in &snapshot.histograms {
+        if key.name != last_name {
+            out.push_str(&format!("# TYPE {} histogram\n", key.name));
+            last_name = &key.name;
+        }
+        for (ub, cum) in hist.cumulative() {
+            if ub.is_finite() {
+                out.push_str(&format!(
+                    "{} {}\n",
+                    bucket_key(key, &format_bound(ub)).render(),
+                    cum
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} {}\n",
+            bucket_key(key, "+Inf").render(),
+            hist.count
+        ));
+        let mut sum_key = key.clone();
+        sum_key.name = format!("{}_sum", key.name);
+        out.push_str(&format!("{} {}\n", sum_key.render(), hist.sum));
+        let mut count_key = key.clone();
+        count_key.name = format!("{}_count", key.name);
+        out.push_str(&format!("{} {}\n", count_key.render(), hist.count));
+    }
+    out
+}
+
+fn bucket_key(key: &MetricKey, le: &str) -> MetricKey {
+    let mut k = key.clone();
+    k.name = format!("{}_bucket", key.name);
+    k.labels.push(("le".to_string(), le.to_string()));
+    k
+}
+
+fn format_bound(ub: f64) -> String {
+    // Compact but unambiguous: enough digits to round-trip bucket bounds.
+    format!("{ub:.6e}")
+}
+
+/// Render a snapshot as a JSON tree:
+///
+/// ```json
+/// {
+///   "counters":   { "name{k=\"v\"}": 12, ... },
+///   "gauges":     { ... },
+///   "histograms": { "name": {"count":…,"sum":…,"min":…,"max":…,
+///                            "mean":…,"p50":…,"p90":…,"p99":…}, ... }
+/// }
+/// ```
+///
+/// Histogram buckets are summarized to quantiles — experiment JSON wants
+/// the shape of the distribution, not 256 bucket counts.
+pub fn to_json(snapshot: &MetricsSnapshot) -> Value {
+    let mut counters = Map::new();
+    for (key, value) in &snapshot.counters {
+        counters.insert(key.render(), json!(*value));
+    }
+    let mut gauges = Map::new();
+    for (key, value) in &snapshot.gauges {
+        gauges.insert(key.render(), json!(*value));
+    }
+    let mut histograms = Map::new();
+    for (key, hist) in &snapshot.histograms {
+        histograms.insert(
+            key.render(),
+            json!({
+                "count": hist.count,
+                "sum": finite_or_null(hist.sum),
+                "min": finite_or_null(hist.min),
+                "max": finite_or_null(hist.max),
+                "mean": hist.mean().map(finite_or_null).unwrap_or(Value::Null),
+                "p50": quantile_json(hist, 0.5),
+                "p90": quantile_json(hist, 0.9),
+                "p99": quantile_json(hist, 0.99),
+            }),
+        );
+    }
+    json!({
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    })
+}
+
+fn quantile_json(hist: &crate::histogram::HistogramSnapshot, q: f64) -> Value {
+    hist.quantile(q).map(finite_or_null).unwrap_or(Value::Null)
+}
+
+fn finite_or_null(v: f64) -> Value {
+    if v.is_finite() {
+        json!(v)
+    } else {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("requests_total", &[("kind", "check")]).add(7);
+        r.counter("requests_total", &[("kind", "stats")]).add(2);
+        r.gauge("connections_active", &[]).set(3);
+        let h = r.histogram("latency_seconds", &[]);
+        for v in [0.001, 0.002, 0.004, 0.1] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{kind=\"check\"} 7"));
+        assert!(text.contains("# TYPE connections_active gauge"));
+        assert!(text.contains("connections_active 3"));
+        assert!(text.contains("# TYPE latency_seconds histogram"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("latency_seconds_count 4"));
+        // Cumulative bucket counts never decrease down the series.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.contains("latency_seconds_bucket"))
+        {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "non-monotone bucket series: {line}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let v = to_json(&sample());
+        assert_eq!(v["counters"]["requests_total{kind=\"check\"}"], 7);
+        assert_eq!(v["gauges"]["connections_active"], 3);
+        let h = &v["histograms"]["latency_seconds"];
+        assert_eq!(h["count"], 4);
+        assert_eq!(h["min"], 0.001);
+        assert_eq!(h["max"], 0.1);
+        assert!(h["p50"].as_f64().unwrap() >= 0.001);
+        assert!(h["p99"].as_f64().unwrap() <= 0.1);
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let s = MetricsSnapshot::empty();
+        assert_eq!(to_prometheus(&s), "");
+        let v = to_json(&s);
+        assert!(v["counters"].as_object().unwrap().is_empty());
+    }
+}

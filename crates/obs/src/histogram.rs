@@ -1,0 +1,419 @@
+//! A log-bucketed histogram for latencies and other non-negative-ish
+//! values, lock-free on the record path.
+//!
+//! Layout: bucket 0 is the underflow bucket (`v <= 2^MIN_LOG2`, including
+//! zero and negatives); the last bucket is the overflow bucket; between
+//! them the bucket boundaries grow geometrically with
+//! [`SUB_BUCKETS_PER_OCTAVE`] buckets per power of two, giving a constant
+//! ≤ ~19% relative error per bucket across ~60 decimal orders of
+//! magnitude — nanosecond spans and six-month `SimTime` spans share one
+//! layout. Recording is one `fetch_add` plus CAS loops for sum/min/max;
+//! quantiles are estimated from a [`HistogramSnapshot`] by linear
+//! interpolation inside the owning bucket and clamped to the observed
+//! `[min, max]`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per power of two.
+pub const SUB_BUCKETS_PER_OCTAVE: usize = 4;
+/// log2 of the underflow boundary: values ≤ 2^-24 (≈ 6e-8) collapse into
+/// bucket 0. Fine enough for seconds-denominated latencies.
+const MIN_LOG2: f64 = -24.0;
+/// Total bucket count, underflow and overflow included: covers
+/// 2^-24 .. 2^(−24 + 254/4) ≈ 6e-8 .. 6e11.
+pub const NUM_BUCKETS: usize = 256;
+
+/// Index of the bucket owning `v`. Total over all non-NaN floats.
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    if v <= 2f64.powf(MIN_LOG2) {
+        return 0;
+    }
+    let pos = (v.log2() - MIN_LOG2) * SUB_BUCKETS_PER_OCTAVE as f64;
+    // ceil puts exact boundaries in the lower bucket (upper bounds are
+    // inclusive, Prometheus `le` style); the epsilon absorbs the 1-ulp
+    // noise of the powf/log2 round trip at exact boundaries.
+    let idx = (pos - 1e-9).ceil() as usize;
+    idx.clamp(1, NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `idx` (`f64::INFINITY` for overflow).
+fn bucket_upper_bound(idx: usize) -> f64 {
+    if idx >= NUM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        2f64.powf(MIN_LOG2 + idx as f64 / SUB_BUCKETS_PER_OCTAVE as f64)
+    }
+}
+
+/// Lower bound of bucket `idx` (`-inf` conceptually for underflow).
+fn bucket_lower_bound(idx: usize) -> f64 {
+    if idx == 0 {
+        f64::NEG_INFINITY
+    } else {
+        bucket_upper_bound(idx - 1)
+    }
+}
+
+/// The live, concurrently-writable histogram.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of recorded values, stored as f64 bits.
+    sum_bits: AtomicU64,
+    /// Min/max of recorded values, stored as f64 bits; empty = NaN bits.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::NAN.to_bits()),
+            max_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Record one sample. NaN samples are ignored (counted nowhere);
+    /// everything else — zero, negatives, infinities — lands in a bucket.
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        fold_bits(&self.sum_bits, v, |acc, v| acc + v);
+        fold_bits(&self.min_bits, v, f64::min);
+        fold_bits(&self.max_bits, v, f64::max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Convenience: estimate quantile `q` from a fresh snapshot.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// CAS-fold `v` into an f64 stored as bits (NaN means "empty": replaced
+/// by `v` unconditionally).
+fn fold_bits(cell: &AtomicU64, v: f64, f: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let cur_f = f64::from_bits(cur);
+        let next = if cur_f.is_nan() { v } else { f(cur_f, v) };
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A frozen histogram: mergeable, serializable, quantile-queryable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, [`NUM_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample (NaN when empty).
+    pub min: f64,
+    /// Largest sample (NaN when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    /// Fold another snapshot into this one (per-shard merge).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = nan_fold(self.min, other.min, f64::min);
+        self.max = nan_fold(self.max, other.max, f64::max);
+    }
+
+    /// Mean of the recorded samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`); `None` when
+    /// empty. The estimate interpolates linearly within the owning bucket
+    /// and is clamped to the observed `[min, max]`, so it is exact at the
+    /// extremes and within one bucket's relative width elsewhere.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Exact at the extremes.
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        // 1-based rank of the sample we are after.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_lower_bound(idx).max(self.min);
+                let hi = bucket_upper_bound(idx).min(self.max);
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = if lo.is_finite() && hi.is_finite() {
+                    lo + (hi - lo) * frac
+                } else if hi.is_finite() {
+                    hi
+                } else {
+                    lo
+                };
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        // Unreachable when bucket counts are consistent with `count`;
+        // degrade gracefully if a torn snapshot undercounted buckets.
+        Some(self.max)
+    }
+
+    /// Cumulative `(upper_bound, cumulative_count)` pairs for non-empty
+    /// buckets — the Prometheus `le` series.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut acc = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            acc += n;
+            out.push((bucket_upper_bound(idx), acc));
+        }
+        out
+    }
+}
+
+/// min/max fold where NaN means "no data on that side".
+fn nan_fold(a: f64, b: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, _) => b,
+        (_, true) => a,
+        _ => f(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        // An exact boundary value must land in the bucket whose upper
+        // bound it is, not the one above.
+        for idx in 1..NUM_BUCKETS - 1 {
+            let ub = bucket_upper_bound(idx);
+            assert_eq!(bucket_index(ub), idx, "upper bound of bucket {idx}");
+            // Just above the boundary goes to the next bucket.
+            let above = ub * 1.0001;
+            assert_eq!(bucket_index(above), idx + 1, "just above bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow_buckets() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.5), 0);
+        assert_eq!(bucket_index(f64::NEG_INFINITY), 0);
+        assert_eq!(bucket_index(1e-30), 0);
+        assert_eq!(bucket_index(1e300), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_summary_stats() {
+        let h = Histogram::new();
+        for v in [0.001, 0.002, 0.004, 0.008, 0.016] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 0.031).abs() < 1e-12);
+        assert_eq!(s.min, 0.001);
+        assert_eq!(s.max, 0.016);
+        assert!((s.mean().unwrap() - 0.0062).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        h.record(1.0);
+        h.record(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).unwrap();
+        let p99 = s.quantile(0.99).unwrap();
+        // Log-bucketed estimate: within one bucket (~19%) of the truth.
+        assert!((p50 - 5.0).abs() / 5.0 < 0.2, "p50={p50}");
+        assert!((p99 - 9.9).abs() / 9.9 < 0.2, "p99={p99}");
+        assert_eq!(s.quantile(0.0).unwrap(), 0.01);
+        assert_eq!(s.quantile(1.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::new();
+        let mut x = 3.7e-6;
+        for _ in 0..500 {
+            h.record(x);
+            x *= 1.09; // spans many octaves
+        }
+        let s = h.snapshot();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = s.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..200 {
+            let v = (i as f64 + 1.0) * 0.013;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let reference = all.snapshot();
+        assert_eq!(merged.buckets, reference.buckets);
+        assert_eq!(merged.count, reference.count);
+        assert_eq!(merged.min, reference.min);
+        assert_eq!(merged.max, reference.max);
+        assert!((merged.sum - reference.sum).abs() < 1e-9);
+        assert_eq!(merged.quantile(0.5), reference.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = Histogram::new();
+        h.record(2.0);
+        let mut s = h.snapshot();
+        s.merge(&HistogramSnapshot::empty());
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 2.0);
+        let mut e = HistogramSnapshot::empty();
+        e.merge(&h.snapshot());
+        assert_eq!(e.count, 1);
+        assert_eq!(e.max, 2.0);
+    }
+
+    #[test]
+    fn cumulative_is_nondecreasing_and_totals() {
+        let h = Histogram::new();
+        for v in [0.1, 0.1, 0.5, 2.0, 2.0, 2.0, 40.0] {
+            h.record(v);
+        }
+        let cum = h.snapshot().cumulative();
+        assert!(!cum.is_empty());
+        let mut last = 0;
+        let mut last_ub = f64::NEG_INFINITY;
+        for &(ub, c) in &cum {
+            assert!(c >= last);
+            assert!(ub > last_ub);
+            last = c;
+            last_ub = ub;
+        }
+        assert_eq!(cum.last().unwrap().1, 7);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record((t * 5_000 + i) as f64 * 1e-4 + 1e-4);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 20_000);
+        assert!((s.min - 1e-4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Wall-clock timing and the dual-clock span.
+//!
+//! The reproduction runs on two clocks at once: real CPU time (what a
+//! perf PR changes) and [`SimTime`] (when the domain event happened in
+//! the simulated six months). A [`Span`] records both — wall-clock
+//! elapsed seconds into a [`Histogram`] on drop, and the simulated
+//! instant of the event into a [`Gauge`] high-water mark — so a single
+//! RAII guard answers "how expensive was this tick" *and* "how far into
+//! the simulation are we".
+
+use crate::histogram::Histogram;
+use crate::metric::Gauge;
+use freephish_simclock::SimTime;
+use std::time::Instant;
+
+/// A minimal monotonic stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since start.
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stop and record the elapsed seconds into `hist`; returns them.
+    #[inline]
+    pub fn record(self, hist: &Histogram) -> f64 {
+        let secs = self.elapsed_secs();
+        hist.record(secs);
+        secs
+    }
+}
+
+/// RAII dual-clock span: wall latency → histogram, simulated event time →
+/// gauge (as a high-water mark in sim-seconds).
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    sim: Option<(&'a Gauge, SimTime)>,
+    watch: Stopwatch,
+}
+
+impl<'a> Span<'a> {
+    /// Open a span recording wall latency into `hist` on drop.
+    #[inline]
+    pub fn enter(hist: &'a Histogram) -> Span<'a> {
+        Span {
+            hist,
+            sim: None,
+            watch: Stopwatch::start(),
+        }
+    }
+
+    /// Attach the simulated instant of the domain event; `gauge` is
+    /// advanced to `now` (sim-seconds) when the span closes.
+    #[inline]
+    pub fn at(mut self, gauge: &'a Gauge, now: SimTime) -> Span<'a> {
+        self.sim = Some((gauge, now));
+        self
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.watch.elapsed_secs());
+        if let Some((gauge, now)) = self.sim {
+            gauge.set_max(now.as_secs() as i64);
+        }
+    }
+}
+
+/// Time a closure into `hist`, returning its result.
+#[inline]
+pub fn time<R>(hist: &Histogram, f: impl FnOnce() -> R) -> R {
+    let sw = Stopwatch::start();
+    let out = f();
+    sw.record(hist);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_records_positive_elapsed() {
+        let h = Histogram::new();
+        let sw = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        let secs = sw.record(&h);
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_records_both_clocks() {
+        let h = Histogram::new();
+        let g = Gauge::new();
+        {
+            let _span = Span::enter(&h).at(&g, SimTime::from_mins(30));
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(g.get(), 1800);
+        {
+            let _span = Span::enter(&h).at(&g, SimTime::from_mins(10));
+        }
+        // High-water mark: an earlier sim event does not rewind the gauge.
+        assert_eq!(g.get(), 1800);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn time_passes_through_result() {
+        let h = Histogram::new();
+        let v = time(&h, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the observability primitives: recording arbitrary
+//! floats never panics, quantiles stay inside the observed range and are
+//! monotone, and snapshot merging commutes with combined recording.
+
+use freephish_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any f64 — subnormals, zero, negatives, infinities, NaN — can be
+    /// recorded without panicking, and the sample count only grows for
+    /// non-NaN samples.
+    #[test]
+    fn recording_any_f64_never_panics(samples in proptest::collection::vec(
+        proptest::num::f64::ANY, 0..200
+    )) {
+        let h = Histogram::new();
+        let mut expected = 0u64;
+        for &v in &samples {
+            h.record(v);
+            if !v.is_nan() {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(h.count(), expected);
+        let s = h.snapshot();
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), expected);
+    }
+
+    /// Quantiles of any non-empty recording stay within the observed
+    /// [min, max] and are monotone in q.
+    #[test]
+    fn quantiles_bounded_and_monotone(samples in proptest::collection::vec(
+        prop_oneof![
+            -1e12f64..1e12,
+            Just(0.0),
+            1e-12f64..1.0,
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+        1..300
+    )) {
+        let h = Histogram::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &samples {
+            h.record(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = s.quantile(q).expect("non-empty histogram");
+            prop_assert!(!est.is_nan());
+            prop_assert!(est >= min, "quantile({}) = {} below min {}", q, est, min);
+            prop_assert!(est <= max, "quantile({}) = {} above max {}", q, est, max);
+            prop_assert!(est >= last, "quantile({}) = {} < previous {}", q, est, last);
+            last = est;
+        }
+    }
+
+    /// Merging two snapshots is equivalent to recording both sample sets
+    /// into one histogram.
+    #[test]
+    fn merge_is_union(
+        a in proptest::collection::vec(-1e9f64..1e9, 0..100),
+        b in proptest::collection::vec(-1e9f64..1e9, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let reference = hall.snapshot();
+        prop_assert_eq!(&merged.buckets, &reference.buckets);
+        prop_assert_eq!(merged.count, reference.count);
+        // min/max agree (== treats ±0.0 alike; both NaN only when empty).
+        prop_assert!(merged.min == reference.min
+            || (merged.min.is_nan() && reference.min.is_nan()));
+        prop_assert!(merged.max == reference.max
+            || (merged.max.is_nan() && reference.max.is_nan()));
+    }
+
+    /// The empty snapshot is a merge identity.
+    #[test]
+    fn empty_merge_identity(samples in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let reference = h.snapshot();
+        let mut left = HistogramSnapshot::empty();
+        left.merge(&reference);
+        let mut right = reference.clone();
+        right.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&left.buckets, &reference.buckets);
+        prop_assert_eq!(&right.buckets, &reference.buckets);
+        prop_assert_eq!(left.count, reference.count);
+        prop_assert_eq!(right.min, reference.min);
+    }
+}

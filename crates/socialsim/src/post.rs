@@ -52,7 +52,9 @@ pub fn lure_text(url: &str, brand_name: Option<&str>, rng: &mut Rng64) -> String
 /// Generate a synthetic author handle.
 pub fn author_handle(rng: &mut Rng64) -> String {
     const FIRST: &[&str] = &["sunny", "real", "its", "the", "mr", "ms", "crypto", "daily"];
-    const SECOND: &[&str] = &["deals", "alerts", "support", "news", "fan", "helper", "zone"];
+    const SECOND: &[&str] = &[
+        "deals", "alerts", "support", "news", "fan", "helper", "zone",
+    ];
     format!(
         "{}{}{}",
         rng.choose(FIRST),

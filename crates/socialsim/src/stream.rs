@@ -136,8 +136,18 @@ mod tests {
     #[test]
     fn publish_and_poll() {
         let mut feed = PlatformFeed::new(Platform::Twitter, 1);
-        feed.publish("https://a.weebly.com/", None, SimTime::from_mins(5), &never());
-        feed.publish("https://b.weebly.com/", None, SimTime::from_mins(15), &never());
+        feed.publish(
+            "https://a.weebly.com/",
+            None,
+            SimTime::from_mins(5),
+            &never(),
+        );
+        feed.publish(
+            "https://b.weebly.com/",
+            None,
+            SimTime::from_mins(15),
+            &never(),
+        );
         let w = feed.poll_window(SimTime::ZERO, SimTime::from_mins(10));
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].url, "https://a.weebly.com/");
@@ -171,8 +181,18 @@ mod tests {
     #[should_panic(expected = "time order")]
     fn out_of_order_publish_panics() {
         let mut feed = PlatformFeed::new(Platform::Twitter, 4);
-        feed.publish("https://a.weebly.com/", None, SimTime::from_mins(10), &never());
-        feed.publish("https://b.weebly.com/", None, SimTime::from_mins(5), &never());
+        feed.publish(
+            "https://a.weebly.com/",
+            None,
+            SimTime::from_mins(10),
+            &never(),
+        );
+        feed.publish(
+            "https://b.weebly.com/",
+            None,
+            SimTime::from_mins(5),
+            &never(),
+        );
     }
 
     #[test]
@@ -203,7 +223,11 @@ mod tests {
                 &profile,
             );
         }
-        let deleted = feed.posts().iter().filter(|p| p.deleted_at.is_some()).count();
+        let deleted = feed
+            .posts()
+            .iter()
+            .filter(|p| p.deleted_at.is_some())
+            .count();
         let rate = deleted as f64 / feed.len() as f64;
         // Wix Twitter profile: 0.3577 * 1.15 ≈ 0.41.
         assert!((0.36..0.47).contains(&rate), "rate={rate}");

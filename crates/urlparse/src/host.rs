@@ -15,8 +15,8 @@ use std::fmt;
 /// population (the full PSL is data, not logic; swapping it in is a one-line
 /// change).
 const MULTI_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.br", "com.au", "net.au", "co.jp", "co.in",
-    "com.mx", "com.ar", "co.za", "com.tr", "com.cn", "web.app",
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.br", "com.au", "net.au", "co.jp", "co.in", "com.mx",
+    "com.ar", "co.za", "com.tr", "com.cn", "web.app",
 ];
 
 /// Classification of a registrable domain's top-level suffix, used by the
@@ -54,16 +54,17 @@ impl Host {
         }
         // An all-numeric dotted host that failed IPv4 parsing (out-of-range
         // octets, wrong arity) is not a usable DNS name either.
-        if raw.split('.').all(|l| !l.is_empty() && l.bytes().all(|b| b.is_ascii_digit())) {
+        if raw
+            .split('.')
+            .all(|l| !l.is_empty() && l.bytes().all(|b| b.is_ascii_digit()))
+        {
             return Err(ParseError::InvalidHost(raw.to_string()));
         }
         let lower = raw.to_ascii_lowercase();
         for label in lower.split('.') {
             if label.is_empty()
                 || label.len() > 63
-                || !label
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '-')
+                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
                 || label.starts_with('-')
                 || label.ends_with('-')
             {
@@ -266,7 +267,10 @@ mod tests {
     #[test]
     fn suffix_classes() {
         assert_eq!(host("a.weebly.com").suffix_class(), SuffixClass::Com);
-        assert_eq!(host("a.example.org").suffix_class(), SuffixClass::OtherPremium);
+        assert_eq!(
+            host("a.example.org").suffix_class(),
+            SuffixClass::OtherPremium
+        );
         assert_eq!(host("a.example.xyz").suffix_class(), SuffixClass::Cheap);
         assert_eq!(host("a.example.fr").suffix_class(), SuffixClass::Other);
         assert_eq!(host("1.2.3.4").suffix_class(), SuffixClass::Other);

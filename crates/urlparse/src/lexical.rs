@@ -12,9 +12,30 @@ use crate::Url;
 /// phishing (drawn from the vocabulary the StackModel paper and OpenPhish
 /// reports use).
 pub const SENSITIVE_WORDS: &[&str] = &[
-    "login", "signin", "sign-in", "verify", "verification", "secure", "security", "account",
-    "update", "confirm", "password", "banking", "wallet", "recover", "unlock", "support",
-    "billing", "invoice", "alert", "suspend", "webscr", "authenticate", "validation", "helpdesk",
+    "login",
+    "signin",
+    "sign-in",
+    "verify",
+    "verification",
+    "secure",
+    "security",
+    "account",
+    "update",
+    "confirm",
+    "password",
+    "banking",
+    "wallet",
+    "recover",
+    "unlock",
+    "support",
+    "billing",
+    "invoice",
+    "alert",
+    "suspend",
+    "webscr",
+    "authenticate",
+    "validation",
+    "helpdesk",
 ];
 
 /// Symbols whose presence in a URL is suspicious (obfuscation, redirection
@@ -23,14 +44,19 @@ pub const SUSPICIOUS_SYMBOLS: &[char] = &['@', '~', '%', '$', '!', '*', '=', '&'
 
 /// Count of suspicious symbols across the full URL string.
 pub fn suspicious_symbol_count(url: &str) -> usize {
-    url.chars().filter(|c| SUSPICIOUS_SYMBOLS.contains(c)).count()
+    url.chars()
+        .filter(|c| SUSPICIOUS_SYMBOLS.contains(c))
+        .count()
 }
 
 /// Number of sensitive vocabulary words appearing anywhere in the URL
 /// (host + path + query), case-insensitive.
 pub fn sensitive_word_count(url: &str) -> usize {
     let lower = url.to_ascii_lowercase();
-    SENSITIVE_WORDS.iter().filter(|w| lower.contains(*w)).count()
+    SENSITIVE_WORDS
+        .iter()
+        .filter(|w| lower.contains(*w))
+        .count()
 }
 
 /// Fraction of characters that are ASCII digits.

@@ -79,9 +79,7 @@ impl Url {
         };
 
         // Authority ends at the first '/', '?' or '#'.
-        let authority_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let authority_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let authority = &rest[..authority_end];
         let tail = &rest[authority_end..];
         if authority.is_empty() {
@@ -93,8 +91,9 @@ impl Url {
         let hostport = authority.rsplit('@').next().unwrap_or(authority);
 
         let (host_str, port) = match hostport.rfind(':') {
-            Some(i) if hostport[i + 1..].chars().all(|c| c.is_ascii_digit())
-                && !hostport[i + 1..].is_empty() =>
+            Some(i)
+                if hostport[i + 1..].chars().all(|c| c.is_ascii_digit())
+                    && !hostport[i + 1..].is_empty() =>
             {
                 let p: u16 = hostport[i + 1..]
                     .parse()

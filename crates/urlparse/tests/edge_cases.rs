@@ -14,7 +14,10 @@ fn percent_encoded_paths_pass_through() {
 #[test]
 fn port_zero_and_max() {
     assert_eq!(Url::parse("https://a.com:0/").unwrap().port(), Some(0));
-    assert_eq!(Url::parse("https://a.com:65535/").unwrap().port(), Some(65535));
+    assert_eq!(
+        Url::parse("https://a.com:65535/").unwrap().port(),
+        Some(65535)
+    );
     assert!(Url::parse("https://a.com:65536/").is_err());
 }
 

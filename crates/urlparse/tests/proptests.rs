@@ -9,7 +9,11 @@ fn label() -> impl Strategy<Value = String> {
 }
 
 fn hostname() -> impl Strategy<Value = String> {
-    (label(), label(), prop_oneof!["com", "net", "io", "me", "app"])
+    (
+        label(),
+        label(),
+        prop_oneof!["com", "net", "io", "me", "app"],
+    )
         .prop_map(|(a, b, tld)| format!("{a}.{b}.{tld}"))
 }
 

@@ -40,7 +40,9 @@ pub fn authentic_login_page(brand: &Brand) -> String {
         brand.domain, brand.name
     ));
     for i in 0..nav_items {
-        out.push_str(&format!("<a class=\"{p}-topnav-item\" href=\"/n{i}\">Item {i}</a>"));
+        out.push_str(&format!(
+            "<a class=\"{p}-topnav-item\" href=\"/n{i}\">Item {i}</a>"
+        ));
     }
     out.push_str("</nav></header>\n");
     out.push_str(&format!(

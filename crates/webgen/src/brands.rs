@@ -76,7 +76,12 @@ pub const BRANDS: &[Brand] = &[
     brand!("Adobe", "adobe", "adobe.com", Tech),
     brand!("Coinbase", "coinbase", "coinbase.com", Crypto),
     brand!("Wells Fargo", "wellsfargo", "wellsfargo.com", Finance),
-    brand!("Bank of America", "bankofamerica", "bankofamerica.com", Finance),
+    brand!(
+        "Bank of America",
+        "bankofamerica",
+        "bankofamerica.com",
+        Finance
+    ),
     brand!("Yahoo", "yahoo", "yahoo.com", Tech),
     brand!("Twitter", "twitter", "twitter.com", Social),
     brand!("LinkedIn", "linkedin", "linkedin.com", Social),
@@ -91,11 +96,21 @@ pub const BRANDS: &[Brand] = &[
     brand!("Trust Wallet", "trustwallet", "trustwallet.com", Crypto),
     brand!("Citibank", "citibank", "citi.com", Finance),
     brand!("Capital One", "capitalone", "capitalone.com", Finance),
-    brand!("American Express", "americanexpress", "americanexpress.com", Finance),
+    brand!(
+        "American Express",
+        "americanexpress",
+        "americanexpress.com",
+        Finance
+    ),
     brand!("HSBC", "hsbc", "hsbc.com", Finance),
     brand!("Barclays", "barclays", "barclays.co.uk", Finance),
     brand!("Santander", "santander", "santander.com", Finance),
-    brand!("Credit Agricole", "creditagricole", "credit-agricole.fr", Finance),
+    brand!(
+        "Credit Agricole",
+        "creditagricole",
+        "credit-agricole.fr",
+        Finance
+    ),
     brand!("BNP Paribas", "bnpparibas", "bnpparibas.com", Finance),
     brand!("ING", "ing", "ing.com", Finance),
     brand!("Venmo", "venmo", "venmo.com", Finance),
@@ -156,7 +171,12 @@ pub const BRANDS: &[Brand] = &[
     brand!("Itau", "itau", "itau.com.br", Finance),
     brand!("Bradesco", "bradesco", "bradesco.com.br", Finance),
     brand!("BBVA", "bbva", "bbva.com", Finance),
-    brand!("Standard Bank", "standardbank", "standardbank.co.za", Finance),
+    brand!(
+        "Standard Bank",
+        "standardbank",
+        "standardbank.co.za",
+        Finance
+    ),
     brand!("Absa", "absa", "absa.co.za", Finance),
     brand!("SBI", "sbi", "onlinesbi.sbi", Finance),
     brand!("ICICI", "icici", "icicibank.com", Finance),

@@ -395,7 +395,10 @@ impl FwbKind {
                     }
                 }
                 UrlShape::PathBased => {
-                    if host == d.host && path.starts_with(d.path_prefix) && path.len() > d.path_prefix.len() {
+                    if host == d.host
+                        && path.starts_with(d.path_prefix)
+                        && path.len() > d.path_prefix.len()
+                    {
                         return Some(d.kind);
                     }
                 }
@@ -469,7 +472,10 @@ mod tests {
         assert_eq!(FwbKind::classify_url("https://example.com/a"), None);
         assert_eq!(FwbKind::classify_url("https://weebly.com/"), None); // apex, not a site
         assert_eq!(FwbKind::classify_url("https://sites.google.com/"), None);
-        assert_eq!(FwbKind::classify_url("https://sites.google.com/view/"), None);
+        assert_eq!(
+            FwbKind::classify_url("https://sites.google.com/view/"),
+            None
+        );
     }
 
     #[test]

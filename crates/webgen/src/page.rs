@@ -87,16 +87,25 @@ impl PageKind {
 pub const BENIGN_TOPICS: &[(&str, &str)] = &[
     ("garden", "Seasonal planting guides and greenhouse tips"),
     ("bakery", "Sourdough, pastries and weekend baking classes"),
-    ("photography", "Portrait and landscape photography portfolio"),
+    (
+        "photography",
+        "Portrait and landscape photography portfolio",
+    ),
     ("yoga", "Community yoga schedules and breathing exercises"),
     ("bookclub", "Monthly reading list and discussion notes"),
     ("cycling", "Local cycling routes and maintenance guides"),
     ("pottery", "Hand-thrown ceramics and studio opening hours"),
-    ("wedding", "Our wedding weekend: schedule, venue and registry"),
+    (
+        "wedding",
+        "Our wedding weekend: schedule, venue and registry",
+    ),
     ("band", "Tour dates, demos and rehearsal diaries"),
     ("charity", "Neighbourhood food-drive volunteering hub"),
     ("recipes", "Family recipes measured in grandmother units"),
-    ("astronomy", "Backyard telescope logs and star party calendar"),
+    (
+        "astronomy",
+        "Backyard telescope logs and star party calendar",
+    ),
     ("members", "Member portal for our community studio"),
     ("alumni", "Alumni network: directory and mentoring sign-in"),
     ("league", "Rec league standings and player accounts"),
@@ -476,7 +485,12 @@ fn credential_body(brand: &Brand, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec
     (title, body)
 }
 
-fn twostep_body(brand: &Brand, target_url: &str, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+fn twostep_body(
+    brand: &Brand,
+    target_url: &str,
+    fwb: FwbKind,
+    rng: &mut Rng64,
+) -> (String, Vec<String>) {
     let p = fwb.descriptor().class_prefix;
     // Not every lure page even names the brand in the title.
     let title = if rng.chance(0.7) {
@@ -508,12 +522,19 @@ fn twostep_body(brand: &Brand, target_url: &str, fwb: FwbKind, rng: &mut Rng64) 
         ));
     }
     if rng.chance(0.4) {
-        body.push(format!("<a class=\"{p}-placeholder\" href=\"/faq\">Questions?</a>"));
+        body.push(format!(
+            "<a class=\"{p}-placeholder\" href=\"/faq\">Questions?</a>"
+        ));
     }
     (title, body)
 }
 
-fn iframe_body(brand: &Brand, iframe_url: &str, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+fn iframe_body(
+    brand: &Brand,
+    iframe_url: &str,
+    fwb: FwbKind,
+    rng: &mut Rng64,
+) -> (String, Vec<String>) {
     let p = fwb.descriptor().class_prefix;
     let title = format!("{} Portal", brand.name);
     let mut body = vec![
@@ -532,12 +553,19 @@ fn iframe_body(brand: &Brand, iframe_url: &str, fwb: FwbKind, rng: &mut Rng64) -
         ));
     }
     if rng.chance(0.5) {
-        body.push(format!("<ul class=\"{p}-list\"><li><a href=\"/about\">About</a></li></ul>"));
+        body.push(format!(
+            "<ul class=\"{p}-list\"><li><a href=\"/about\">About</a></li></ul>"
+        ));
     }
     (title, body)
 }
 
-fn driveby_body(brand: &Brand, payload_url: &str, fwb: FwbKind, rng: &mut Rng64) -> (String, Vec<String>) {
+fn driveby_body(
+    brand: &Brand,
+    payload_url: &str,
+    fwb: FwbKind,
+    rng: &mut Rng64,
+) -> (String, Vec<String>) {
     let p = fwb.descriptor().class_prefix;
     let doc_name = *rng.choose(&[
         "Invoice_Q4_final.xlsm",
@@ -734,7 +762,10 @@ mod tests {
         assert!(!PageKind::Benign { topic: 0 }.is_malicious());
         assert!(PageKind::CredentialPhish { brand: 0 }.is_malicious());
         assert!(!PageKind::CredentialPhish { brand: 0 }.is_evasive());
-        let ts = PageKind::TwoStep { brand: 0, target_url: "x".into() };
+        let ts = PageKind::TwoStep {
+            brand: 0,
+            target_url: "x".into(),
+        };
         assert!(ts.is_malicious() && ts.is_evasive());
         assert_eq!(ts.brand().unwrap().name, "Facebook");
     }

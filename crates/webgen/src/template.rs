@@ -211,7 +211,16 @@ mod tests {
     #[test]
     fn noindex_emitted_when_requested() {
         let fwb = FwbKind::Weebly.descriptor();
-        let with = render(fwb, "t", &[], RenderOptions { noindex: true, obfuscate_banner: false }, &mut rng());
+        let with = render(
+            fwb,
+            "t",
+            &[],
+            RenderOptions {
+                noindex: true,
+                obfuscate_banner: false,
+            },
+            &mut rng(),
+        );
         assert!(with.contains("noindex"));
         let without = render(fwb, "t", &[], RenderOptions::default(), &mut rng());
         assert!(!without.contains("noindex"));
@@ -224,7 +233,10 @@ mod tests {
             fwb,
             "t",
             &[],
-            RenderOptions { noindex: false, obfuscate_banner: true },
+            RenderOptions {
+                noindex: false,
+                obfuscate_banner: true,
+            },
             &mut rng(),
         );
         assert!(hidden.contains("visibility: hidden"));
@@ -263,7 +275,9 @@ mod tests {
     fn rand_token_len_and_charset() {
         let t = rand_token(&mut rng(), 12);
         assert_eq!(t.len(), 12);
-        assert!(t.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        assert!(t
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! must parse with freephish-urlparse.
 
 use freephish_htmlparse::parse;
+use freephish_simclock::Rng64;
 use freephish_urlparse::Url;
 use freephish_webgen::page::{benign_site_name, phishy_site_name};
 use freephish_webgen::{FwbKind, GeneratedSite, PageKind, PageSpec, BRANDS};
-use freephish_simclock::Rng64;
 use proptest::prelude::*;
 
 fn gen(fwb: FwbKind, kind: PageKind, seed: u64) -> GeneratedSite {
@@ -36,7 +36,13 @@ fn generated_urls_parse_for_every_fwb() {
 #[test]
 fn credential_pages_expose_login_signal_on_every_fwb() {
     for (i, fwb) in FwbKind::all().enumerate() {
-        let site = gen(fwb, PageKind::CredentialPhish { brand: i % BRANDS.len() }, i as u64);
+        let site = gen(
+            fwb,
+            PageKind::CredentialPhish {
+                brand: i % BRANDS.len(),
+            },
+            i as u64,
+        );
         let doc = parse(&site.html);
         assert!(doc.has_login_form(), "{fwb}: no login form detected");
         assert!(!doc.credential_inputs().is_empty());
@@ -50,7 +56,10 @@ fn non_portal_benign_pages_have_no_password() {
         let topic = i % freephish_webgen::page::FIRST_PORTAL_TOPIC;
         let site = gen(fwb, PageKind::Benign { topic }, i as u64);
         let doc = parse(&site.html);
-        assert!(!doc.has_login_form(), "{fwb}: benign page has password field");
+        assert!(
+            !doc.has_login_form(),
+            "{fwb}: benign page has password field"
+        );
     }
 }
 
@@ -80,20 +89,24 @@ fn banner_obfuscation_detectable_by_parser() {
     };
     let doc = parse(&spec.generate().html);
     assert!(doc.has_noindex_meta());
-    let hidden_banner = doc
-        .elements()
-        .iter()
-        .any(|e| e.attr("class").map(|c| c.contains("banner")).unwrap_or(false) && e.is_hidden_by_style());
+    let hidden_banner = doc.elements().iter().any(|e| {
+        e.attr("class")
+            .map(|c| c.contains("banner"))
+            .unwrap_or(false)
+            && e.is_hidden_by_style()
+    });
     assert!(hidden_banner, "obfuscated banner not detectable");
 
     spec.obfuscate_banner = false;
     spec.noindex = false;
     let doc2 = parse(&spec.generate().html);
     assert!(!doc2.has_noindex_meta());
-    let visible_banner = doc2
-        .elements()
-        .iter()
-        .any(|e| e.attr("class").map(|c| c.contains("banner")).unwrap_or(false) && !e.is_hidden_by_style());
+    let visible_banner = doc2.elements().iter().any(|e| {
+        e.attr("class")
+            .map(|c| c.contains("banner"))
+            .unwrap_or(false)
+            && !e.is_hidden_by_style()
+    });
     assert!(visible_banner);
 }
 
@@ -110,7 +123,10 @@ fn iframe_page_parses_with_external_iframe() {
     let doc = parse(&site.html);
     let iframes = doc.iframes();
     assert_eq!(iframes.len(), 1);
-    assert_eq!(iframes[0].attr("src"), Some("https://attacker.example.org/frame"));
+    assert_eq!(
+        iframes[0].attr("src"),
+        Some("https://attacker.example.org/frame")
+    );
 }
 
 #[test]

@@ -31,8 +31,12 @@ fn main() {
     let mut examples: HashMap<EvasionVector, (String, String)> = HashMap::new();
     let mut sites = Vec::new();
     for r in &records {
-        let RecordClass::FwbPhish(fwb) = r.class else { continue };
-        let Some(id) = world.host(fwb).site_by_url(&r.url) else { continue };
+        let RecordClass::FwbPhish(fwb) = r.class else {
+            continue;
+        };
+        let Some(id) = world.host(fwb).site_by_url(&r.url) else {
+            continue;
+        };
         let site = world.host(fwb).site(id).site.clone();
         let doc = parse(&site.html);
         let url = Url::parse(&r.url).unwrap();
@@ -43,7 +47,10 @@ fn main() {
         sites.push(site);
     }
 
-    println!("evasive attacks found among {} FWB phishing sites:", sites.len());
+    println!(
+        "evasive attacks found among {} FWB phishing sites:",
+        sites.len()
+    );
     for (vector, count) in &census {
         println!("  {vector:<20} {count}");
         if let Some((url, target)) = examples.get(vector) {
@@ -55,7 +62,10 @@ fn main() {
     // Section 3 style characterization of the same population.
     let c = characterize(&world, &sites, 30);
     println!("\npopulation characteristics (Section 3):");
-    println!("  on .com-granting FWBs:        {:.1}%", c.on_com_tld * 100.0);
+    println!(
+        "  on .com-granting FWBs:        {:.1}%",
+        c.on_com_tld * 100.0
+    );
     println!(
         "  median WHOIS domain age:      {:.1} years",
         c.median_domain_age_days.unwrap_or(0) as f64 / 365.25
@@ -64,9 +74,18 @@ fn main() {
         "  self-hosted comparison age:   {} days",
         self_hosted_median_age(&world, 30).unwrap_or(0)
     );
-    println!("  noindex meta tag:             {:.1}%", c.noindex_rate * 100.0);
-    println!("  visible in CT logs:           {:.1}%", c.ct_visible_rate * 100.0);
-    println!("  banner hidden by attacker:    {:.1}%", c.banner_obfuscation_rate * 100.0);
+    println!(
+        "  noindex meta tag:             {:.1}%",
+        c.noindex_rate * 100.0
+    );
+    println!(
+        "  visible in CT logs:           {:.1}%",
+        c.ct_visible_rate * 100.0
+    );
+    println!(
+        "  banner hidden by attacker:    {:.1}%",
+        c.banner_obfuscation_rate * 100.0
+    );
 
     println!("\nEvery number above is *measured* from generated artifacts — the same");
     println!("pipeline would run unchanged over live crawls.");

@@ -9,7 +9,9 @@
 //! cargo run --release --example extension_demo
 //! ```
 
-use freephish::core::extension::{KnownSetChecker, Navigation, NavigationGuard, VerdictServer};
+use freephish::core::extension::{
+    KnownSetChecker, Navigation, NavigationGuard, VerdictClient, VerdictServer,
+};
 use std::sync::Arc;
 
 fn main() -> std::io::Result<()> {
@@ -19,7 +21,10 @@ fn main() -> std::io::Result<()> {
     // (Here: three URLs the monitor flagged earlier today.)
     let checker = Arc::new(KnownSetChecker::new([
         ("https://secure-paypal-verify.weebly.com/".to_string(), 0.98),
-        ("https://sites.google.com/view/xkljzhqpwrtn".to_string(), 0.91),
+        (
+            "https://sites.google.com/view/xkljzhqpwrtn".to_string(),
+            0.91,
+        ),
         ("https://netflix4481.000webhostapp.com/".to_string(), 0.95),
     ]));
     let mut server = VerdictServer::start(checker.clone())?;
@@ -55,9 +60,32 @@ fn main() -> std::io::Result<()> {
     // a fresh guard (new browsing session) sees the update.
     let fresh_guard = NavigationGuard::new(server.addr());
     match fresh_guard.navigate("https://the-garden-corner.weebly.com/") {
-        Navigation::Blocked(_) => println!("[browser] BLOCKED  https://the-garden-corner.weebly.com/ (new session)"),
-        Navigation::Allowed => println!("[browser] allowed  https://the-garden-corner.weebly.com/ (new session)"),
+        Navigation::Blocked(_) => {
+            println!("[browser] BLOCKED  https://the-garden-corner.weebly.com/ (new session)")
+        }
+        Navigation::Allowed => {
+            println!("[browser] allowed  https://the-garden-corner.weebly.com/ (new session)")
+        }
     }
+
+    // Scrape the service's own metrics over the wire: any client can send
+    // `STATS\n` and get back one line of JSON.
+    let scraper = VerdictClient::new(server.addr());
+    let stats = scraper.stats()?;
+    println!("\n[metrics] STATS scrape of the verdict service:");
+    let counters = &stats["counters"];
+    for key in [
+        "verdict_connections_accepted_total",
+        "verdict_requests_total{kind=\"check\"}",
+        "verdict_verdicts_total{kind=\"phishing\"}",
+        "verdict_verdicts_total{kind=\"safe\"}",
+    ] {
+        println!("  {:<45} {}", key, counters[key]);
+    }
+    println!(
+        "  {:<45} {}",
+        "verdict_request_seconds p99 (s)", stats["histograms"]["verdict_request_seconds"]["p99"]
+    );
 
     server.shutdown();
     println!("\n[server] shut down cleanly.");

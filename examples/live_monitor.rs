@@ -60,7 +60,11 @@ fn main() {
     for d in detections.iter().take(12) {
         println!(
             "  {} detected {:<46} on {:<9} (score {:.2}) -> reported to {}",
-            d.observed_at, d.url, d.platform.to_string(), d.score, d.fwb
+            d.observed_at,
+            d.url,
+            d.platform.to_string(),
+            d.score,
+            d.fwb
         );
     }
     if detections.len() > 12 {
@@ -83,5 +87,19 @@ fn main() {
     }
 
     let recall = detections.len() as f64 / phish_in as f64;
-    println!("\n[summary] detected {}/{} injected FWB phishing URLs ({:.0}%).", detections.len(), phish_in, (recall * 100.0).min(100.0));
+    println!(
+        "\n[summary] detected {}/{} injected FWB phishing URLs ({:.0}%).",
+        detections.len(),
+        phish_in,
+        (recall * 100.0).min(100.0)
+    );
+
+    // The pipeline's own instrument panel, in Prometheus exposition format.
+    println!("\n[metrics] pipeline metrics for the week:\n");
+    for line in freephish::obs::to_prometheus(&pipeline.metrics()).lines() {
+        // The full histogram bucket series is long; show the totals.
+        if !line.contains("_bucket") {
+            println!("  {line}");
+        }
+    }
 }

@@ -13,6 +13,7 @@ pub use freephish_ecosim as ecosim;
 pub use freephish_fwbsim as fwbsim;
 pub use freephish_htmlparse as htmlparse;
 pub use freephish_ml as ml;
+pub use freephish_obs as obs;
 pub use freephish_simclock as simclock;
 pub use freephish_socialsim as socialsim;
 pub use freephish_textsim as textsim;

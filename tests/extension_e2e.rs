@@ -2,9 +2,7 @@
 //! over real TCP, and the navigation guard blocks exactly those URLs.
 
 use freephish::core::campaign::{self, CampaignConfig, RecordClass};
-use freephish::core::extension::{
-    KnownSetChecker, Navigation, NavigationGuard, VerdictServer,
-};
+use freephish::core::extension::{KnownSetChecker, Navigation, NavigationGuard, VerdictServer};
 use freephish::core::groundtruth::{build, GroundTruthConfig};
 use freephish::core::models::augmented::AugmentedStackModel;
 use freephish::core::pipeline::Pipeline;

@@ -85,7 +85,10 @@ fn detections_feed_host_takedowns() {
         .filter(|d| world.crawl(&d.url, SimTime::from_days(60)).is_none())
         .count();
     assert!(removed > 0, "no takedowns resulted from reporting");
-    assert!(removed < detections.len(), "not every FWB removes (paper: ~29%)");
+    assert!(
+        removed < detections.len(),
+        "not every FWB removes (paper: ~29%)"
+    );
     drop(records);
 }
 
