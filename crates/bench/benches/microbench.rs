@@ -19,7 +19,7 @@ use freephish_htmlparse::parse;
 use freephish_ml::StackModelConfig;
 use freephish_simclock::{Rng64, SimTime};
 use freephish_socialsim::ModerationProfile;
-use freephish_textsim::site_similarity;
+use freephish_textsim::{site_similarity, site_similarity_pairs, with_scratch};
 use freephish_urlparse::Url;
 use freephish_webgen::{FwbKind, PageKind, PageSpec};
 
@@ -93,6 +93,103 @@ fn bench_site_similarity(c: &mut Criterion) {
     let b_tags = parse(&spec.generate().html).tag_elements();
     c.bench_function("appendix_a_site_similarity", |bch| {
         bch.iter(|| site_similarity(std::hint::black_box(&a), std::hint::black_box(&b_tags)))
+    });
+}
+
+fn bench_levenshtein_kernels(c: &mut Criterion) {
+    // The two kernels behind the Appendix-A similarity: the seed's
+    // Wagner–Fischer dynamic program vs the Myers bit-parallel kernel the
+    // hot path now uses. Tag-element strings are the realistic workload;
+    // a >64-byte pair also exercises the multi-block recurrence.
+    let site = sample_site();
+    let tags = parse(&site.html).tag_elements();
+    let a = tags.first().cloned().unwrap_or_else(|| "div.header".into());
+    let b = tags.last().cloned().unwrap_or_else(|| "input.login".into());
+    let long_a = a.repeat(12);
+    let long_b = b.repeat(12);
+
+    c.bench_function("levenshtein_wagner_fischer", |bch| {
+        bch.iter(|| {
+            freephish_textsim::wagner_fischer(std::hint::black_box(&a), std::hint::black_box(&b))
+        })
+    });
+    c.bench_function("levenshtein_myers_bitparallel", |bch| {
+        bch.iter(|| {
+            with_scratch(|s| {
+                freephish_textsim::distance_with(
+                    s,
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                )
+            })
+        })
+    });
+    c.bench_function("levenshtein_wagner_fischer_multiblock", |bch| {
+        bch.iter(|| {
+            freephish_textsim::wagner_fischer(
+                std::hint::black_box(&long_a),
+                std::hint::black_box(&long_b),
+            )
+        })
+    });
+    c.bench_function("levenshtein_myers_multiblock", |bch| {
+        bch.iter(|| {
+            with_scratch(|s| {
+                freephish_textsim::distance_with(
+                    s,
+                    std::hint::black_box(&long_a),
+                    std::hint::black_box(&long_b),
+                )
+            })
+        })
+    });
+}
+
+fn bench_similarity_sweep(c: &mut Criterion) {
+    // A Table-1-shaped pair sweep: the serial per-pair loop vs the
+    // `freephish-par` fan-out. On a single-core host the two should tie
+    // (the pool degrades to the exact serial path); with cores available
+    // the parallel sweep wins.
+    let pairs: Vec<(Vec<String>, Vec<String>)> = (0..16u64)
+        .map(|i| {
+            let phish = PageSpec {
+                fwb: FwbKind::Weebly,
+                kind: PageKind::CredentialPhish {
+                    brand: (i % 7) as usize,
+                },
+                site_name: format!("sweep-p{i}"),
+                noindex: true,
+                obfuscate_banner: i % 2 == 0,
+                seed: 500 + i,
+            }
+            .generate();
+            let benign = PageSpec {
+                fwb: FwbKind::Weebly,
+                kind: PageKind::Benign {
+                    topic: (i % 5) as usize,
+                },
+                site_name: format!("sweep-b{i}"),
+                noindex: false,
+                obfuscate_banner: false,
+                seed: 900 + i,
+            }
+            .generate();
+            (
+                parse(&phish.html).tag_elements(),
+                parse(&benign.html).tag_elements(),
+            )
+        })
+        .collect();
+    c.bench_function("site_similarity_sweep_serial", |bch| {
+        bch.iter(|| {
+            std::hint::black_box(&pairs)
+                .iter()
+                .map(|(a, b)| site_similarity(a, b))
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("site_similarity_sweep_parallel", |bch| {
+        bch.iter(|| site_similarity_pairs(std::hint::black_box(&pairs)))
     });
 }
 
@@ -190,6 +287,8 @@ criterion_group!(
     bench_feature_extraction,
     bench_classifier,
     bench_site_similarity,
+    bench_levenshtein_kernels,
+    bench_similarity_sweep,
     bench_streaming_poll,
     bench_pipeline_tick
 );

@@ -1,0 +1,265 @@
+//! perfbench: the serial-vs-parallel and Wagner–Fischer-vs-Myers
+//! performance record behind `BENCH_PIPELINE.json`.
+//!
+//! Three timed sections, each against an honest baseline:
+//!
+//! * **site-similarity sweep** — a Table-1-shaped batch of phishing/benign
+//!   pairs swept three ways: the seed's Wagner–Fischer kernel (reconstructed
+//!   locally from the retained `wagner_fischer` reference, per-call Vec
+//!   allocations and all), the Myers bit-parallel kernel serially, and the
+//!   Myers kernel fanned across the `freephish-par` pool.
+//! * **pipeline tick** — one full `run_tick` over a 1,000-post feed at
+//!   `FREEPHISH_THREADS=1` and at the host default, plus a bare
+//!   poll+crawl+score loop (the seed's uninstrumented tick shape).
+//! * **train phase** — `AugmentedStackModel::train` at one thread and at
+//!   the host default.
+//!
+//! Output schema is stable (see `schema_version`); the file lands at the
+//! path in `FREEPHISH_BENCH_OUT` (default `BENCH_PIPELINE.json`).
+
+use freephish_core::groundtruth::{self, build, GroundTruthConfig};
+use freephish_core::models::augmented::AugmentedStackModel;
+use freephish_core::models::{NoFetch, PhishDetector};
+use freephish_core::pipeline::reporting::Reporter;
+use freephish_core::pipeline::streaming::StreamingModule;
+use freephish_core::pipeline::Pipeline;
+use freephish_core::world::World;
+use freephish_htmlparse::parse;
+use freephish_ml::StackModelConfig;
+use freephish_simclock::{Rng64, SimTime, Zipf};
+use freephish_textsim::{
+    site_similarity, site_similarity_pairs, wagner_fischer, wagner_fischer_bounded,
+};
+use freephish_webgen::{FwbKind, BRANDS};
+use std::time::Instant;
+
+/// The seed's per-tag inner loop, byte for byte, on the seed's
+/// Wagner–Fischer kernel — the honest "before" for the speedup claim.
+fn seed_best_tag_similarity(t: &str, others: &[String]) -> f64 {
+    let mut best_d = usize::MAX;
+    let mut best_len = t.len().max(1);
+    for o in others {
+        let bound = best_d.saturating_sub(1).min(t.len().max(o.len()));
+        let d = if best_d == usize::MAX {
+            Some(wagner_fischer(t, o))
+        } else {
+            wagner_fischer_bounded(t, o, bound)
+        };
+        if let Some(d) = d {
+            if d < best_d {
+                best_d = d;
+                best_len = t.len().max(o.len()).max(1);
+                if best_d == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    if best_d == usize::MAX {
+        return 0.0;
+    }
+    100.0 * (1.0 - best_d as f64 / best_len as f64)
+}
+
+fn seed_one_way(a_tags: &[String], b_tags: &[String]) -> f64 {
+    if a_tags.is_empty() {
+        return 0.0;
+    }
+    let mut sims: Vec<f64> = a_tags
+        .iter()
+        .map(|t| seed_best_tag_similarity(t, b_tags))
+        .collect();
+    sims.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sims[(sims.len() - 1) / 2]
+}
+
+fn seed_site_similarity(a_tags: &[String], b_tags: &[String]) -> f64 {
+    (seed_one_way(a_tags, b_tags) + seed_one_way(b_tags, a_tags)) / 2.0
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A Table-1-shaped batch of (phishing tags, benign tags) pairs across the
+/// six Table 1 services, drawn in fixed seed order.
+fn similarity_pairs(per_kind: usize) -> Vec<(Vec<String>, Vec<String>)> {
+    let kinds = [
+        FwbKind::Weebly,
+        FwbKind::Webhost000,
+        FwbKind::Blogspot,
+        FwbKind::GoogleSites,
+        FwbKind::Wix,
+        FwbKind::GithubIo,
+    ];
+    let mut rng = Rng64::new(0xbe9c4);
+    let zipf = Zipf::new(BRANDS.len(), 1.05);
+    let mut pairs = Vec::with_capacity(kinds.len() * per_kind);
+    for kind in kinds {
+        for i in 0..per_kind {
+            let mut phish = groundtruth::phishing_spec(&mut rng, &zipf, i as u64);
+            phish.fwb = kind;
+            let mut benign = groundtruth::benign_spec(&mut rng, 0x8000 + i as u64);
+            benign.fwb = kind;
+            pairs.push((
+                parse(&phish.generate().html).tag_elements(),
+                parse(&benign.generate().html).tag_elements(),
+            ));
+        }
+    }
+    pairs
+}
+
+fn bench_similarity(reps: usize) -> serde_json::Value {
+    let pairs = similarity_pairs(8);
+    let wf_secs = time_best(reps, || {
+        pairs
+            .iter()
+            .map(|(a, b)| seed_site_similarity(a, b))
+            .sum::<f64>()
+    });
+    let myers_serial_secs = freephish_par::with_thread_override(1, || {
+        time_best(reps, || {
+            pairs
+                .iter()
+                .map(|(a, b)| site_similarity(a, b))
+                .sum::<f64>()
+        })
+    });
+    let myers_par_secs = time_best(reps, || site_similarity_pairs(&pairs));
+    let speedup = wf_secs / myers_par_secs;
+    println!("site-similarity sweep ({} pairs):", pairs.len());
+    println!("  seed WF serial   {wf_secs:.4}s");
+    println!("  Myers serial     {myers_serial_secs:.4}s");
+    println!("  Myers + par      {myers_par_secs:.4}s   ({speedup:.1}x vs seed)");
+    serde_json::json!({
+        "pairs": pairs.len(),
+        "seed_wf_serial_secs": wf_secs,
+        "myers_serial_secs": myers_serial_secs,
+        "myers_par_secs": myers_par_secs,
+        "speedup_vs_seed": speedup,
+    })
+}
+
+fn bench_pipeline_tick(reps: usize) -> serde_json::Value {
+    use freephish_socialsim::ModerationProfile;
+    let mut world = World::new(9);
+    let quiet = ModerationProfile {
+        delete_prob: 0.0,
+        median_mins: 1.0,
+        sigma: 0.1,
+    };
+    for i in 0..1000u64 {
+        world.twitter.publish(
+            &format!("https://site{i}.weebly.com/"),
+            None,
+            SimTime::from_secs(i),
+            &quiet,
+        );
+    }
+    let corpus = build(&GroundTruthConfig::tiny());
+    let mut rng = Rng64::new(77);
+    let model = AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng);
+
+    // The seed's tick shape: poll + crawl + classify inline, no metrics,
+    // no parallel layer. Timed before the model moves into the pipeline.
+    let reference_secs = time_best(reps, || {
+        let mut s = StreamingModule::new();
+        let observed = s.poll(&world, SimTime::from_mins(60));
+        let mut flagged = 0usize;
+        for obs in &observed {
+            if let Some(html) = world.crawl(&obs.url, SimTime::from_mins(60)) {
+                if model.score(&obs.url, html, &NoFetch) >= 0.5 {
+                    flagged += 1;
+                }
+            }
+        }
+        flagged
+    });
+
+    let pipeline = Pipeline::new(model);
+    let mut tick = || {
+        let mut s = StreamingModule::new();
+        let mut reporter = Reporter::new();
+        let mut detections = Vec::new();
+        pipeline.run_tick(
+            &mut world,
+            &mut s,
+            &mut reporter,
+            &mut detections,
+            SimTime::from_mins(60),
+        );
+        detections.len()
+    };
+    let serial_secs = freephish_par::with_thread_override(1, || time_best(reps, &mut tick));
+    let default_secs = time_best(reps, &mut tick);
+    println!("pipeline tick (1k posts):");
+    println!("  threads=1        {serial_secs:.4}s");
+    println!("  threads=default  {default_secs:.4}s");
+    println!("  seed-shape ref   {reference_secs:.4}s");
+    serde_json::json!({
+        "posts": 1000,
+        "threads1_secs": serial_secs,
+        "default_secs": default_secs,
+        "seed_shape_reference_secs": reference_secs,
+        "ratio_default_vs_threads1": default_secs / serial_secs,
+    })
+}
+
+fn bench_train(reps: usize) -> serde_json::Value {
+    let corpus = build(&GroundTruthConfig::tiny());
+    let train = || {
+        let mut rng = Rng64::new(5);
+        AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng)
+    };
+    let serial_secs = freephish_par::with_thread_override(1, || time_best(reps, train));
+    let default_secs = time_best(reps, train);
+    println!("train phase (tiny corpus + tiny stack):");
+    println!("  threads=1        {serial_secs:.4}s");
+    println!("  threads=default  {default_secs:.4}s");
+    serde_json::json!({
+        "rows": corpus.len(),
+        "threads1_secs": serial_secs,
+        "default_secs": default_secs,
+    })
+}
+
+fn main() {
+    let reps: usize = std::env::var("FREEPHISH_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out = std::env::var("FREEPHISH_BENCH_OUT").unwrap_or_else(|_| "BENCH_PIPELINE.json".into());
+
+    println!(
+        "perfbench: {} hardware threads, {} configured, best of {reps} reps\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        freephish_par::configured_threads(),
+    );
+    let similarity = bench_similarity(reps);
+    let tick = bench_pipeline_tick(reps);
+    let train = bench_train(reps);
+
+    let record = serde_json::json!({
+        "schema_version": 1,
+        "experiment": "perfbench",
+        "threads": {
+            "available": std::thread::available_parallelism().map_or(1, |n| n.get()),
+            "configured": freephish_par::configured_threads(),
+        },
+        "site_similarity_sweep": similarity,
+        "pipeline_tick": tick,
+        "train_phase": train,
+        "par_metrics": freephish_obs::to_json(&freephish_par::metrics_snapshot()),
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&record).unwrap())
+        .unwrap_or_else(|e| panic!("could not write {out}: {e}"));
+    println!("\nwrote {out}");
+}

@@ -42,14 +42,22 @@ fn main() {
     let mut json_rows = Vec::new();
 
     for &(kind, paper) in TABLE1 {
-        let mut sims = Vec::with_capacity(pairs);
-        for i in 0..pairs {
-            let mut phish = groundtruth::phishing_spec(&mut rng, &zipf, i as u64);
-            phish.fwb = kind;
-            let mut benign = groundtruth::benign_spec(&mut rng, 0x8000 + i as u64);
-            benign.fwb = kind;
-            sims.push(site_similarity(&tags_for(&phish), &tags_for(&benign)));
-        }
+        // Serial RNG phase: draw every pair spec in the seed order, then
+        // fan the pure generate/parse/similarity work across the pool —
+        // `par_map` returns in input order, so the medians are identical
+        // at every thread count.
+        let specs: Vec<(PageSpec, PageSpec)> = (0..pairs)
+            .map(|i| {
+                let mut phish = groundtruth::phishing_spec(&mut rng, &zipf, i as u64);
+                phish.fwb = kind;
+                let mut benign = groundtruth::benign_spec(&mut rng, 0x8000 + i as u64);
+                benign.fwb = kind;
+                (phish, benign)
+            })
+            .collect();
+        let sims = freephish_par::par_map(&specs, |(phish, benign)| {
+            site_similarity(&tags_for(phish), &tags_for(benign))
+        });
         let median = median_f64(&sims).unwrap();
         t.row(vec![
             kind.to_string(),

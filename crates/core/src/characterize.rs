@@ -35,9 +35,49 @@ pub struct Characterization {
     pub banner_obfuscation_rate: f64,
 }
 
+/// Per-site facts gathered by one parallel worker, reduced serially below.
+/// Keeping the reduction serial (and in input order) makes the report
+/// identical at every thread count — `ages` feeds a median, so even its
+/// ordering is preserved.
+struct SiteFacts {
+    on_com: bool,
+    age: Option<u64>,
+    ct_visible: bool,
+    noindex: bool,
+    indexed: bool,
+    bannered: bool,
+    obfuscated: bool,
+}
+
 /// Characterize a set of FWB-hosted sites at observation day `now_day`.
+/// Per-site work (URL parse, HTML parse, registry probes) fans out across
+/// the `freephish-par` pool; the counting reduce stays serial.
 pub fn characterize(world: &World, sites: &[GeneratedSite], now_day: u64) -> Characterization {
     let n = sites.len();
+    let facts = freephish_par::par_map(sites, |s| {
+        let d = s.spec.fwb.descriptor();
+        let (age, ct_visible) = match Url::parse(&s.url) {
+            Ok(url) => match url.host() {
+                Host::Domain(host) => (
+                    world.whois.age_days(host, now_day),
+                    world.ctlog.covers_host(host),
+                ),
+                _ => (None, false),
+            },
+            Err(_) => (None, false),
+        };
+        let doc = parse(&s.html);
+        SiteFacts {
+            on_com: d.offers_com_tld,
+            age,
+            ct_visible,
+            noindex: doc.has_noindex_meta(),
+            indexed: world.search.contains(&s.url),
+            bannered: d.has_banner,
+            obfuscated: d.has_banner && crate::features::has_obfuscated_banner(&doc),
+        }
+    });
+
     let mut on_com = 0usize;
     let mut ages = Vec::new();
     let mut noindex = 0usize;
@@ -45,35 +85,16 @@ pub fn characterize(world: &World, sites: &[GeneratedSite], now_day: u64) -> Cha
     let mut ct_visible = 0usize;
     let mut bannered = 0usize;
     let mut obfuscated = 0usize;
-
-    for s in sites {
-        let d = s.spec.fwb.descriptor();
-        if d.offers_com_tld {
-            on_com += 1;
+    for f in facts {
+        on_com += usize::from(f.on_com);
+        if let Some(age) = f.age {
+            ages.push(age);
         }
-        if let Ok(url) = Url::parse(&s.url) {
-            if let Host::Domain(host) = url.host() {
-                if let Some(age) = world.whois.age_days(host, now_day) {
-                    ages.push(age);
-                }
-                if world.ctlog.covers_host(host) {
-                    ct_visible += 1;
-                }
-            }
-        }
-        let doc = parse(&s.html);
-        if doc.has_noindex_meta() {
-            noindex += 1;
-        }
-        if world.search.contains(&s.url) {
-            indexed += 1;
-        }
-        if d.has_banner {
-            bannered += 1;
-            if crate::features::has_obfuscated_banner(&doc) {
-                obfuscated += 1;
-            }
-        }
+        ct_visible += usize::from(f.ct_visible);
+        noindex += usize::from(f.noindex);
+        indexed += usize::from(f.indexed);
+        bannered += usize::from(f.bannered);
+        obfuscated += usize::from(f.obfuscated);
     }
 
     let frac = |x: usize| if n == 0 { 0.0 } else { x as f64 / n as f64 };
@@ -180,6 +201,22 @@ mod tests {
         let sh = sh_age.unwrap();
         assert!(sh < 120, "self-hosted median age {sh}");
         assert!(age > sh * 30);
+    }
+
+    #[test]
+    fn characterization_bit_identical_across_thread_counts() {
+        let (c1, _) = freephish_par::with_thread_override(1, characterized);
+        let (c8, _) = freephish_par::with_thread_override(8, characterized);
+        assert_eq!(c1.n, c8.n);
+        assert_eq!(c1.on_com_tld.to_bits(), c8.on_com_tld.to_bits());
+        assert_eq!(c1.median_domain_age_days, c8.median_domain_age_days);
+        assert_eq!(c1.noindex_rate.to_bits(), c8.noindex_rate.to_bits());
+        assert_eq!(c1.indexed_rate.to_bits(), c8.indexed_rate.to_bits());
+        assert_eq!(c1.ct_visible_rate.to_bits(), c8.ct_visible_rate.to_bits());
+        assert_eq!(
+            c1.banner_obfuscation_rate.to_bits(),
+            c8.banner_obfuscation_rate.to_bits()
+        );
     }
 
     #[test]

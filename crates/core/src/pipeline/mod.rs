@@ -85,6 +85,17 @@ impl PipelineMetrics {
     }
 }
 
+/// Outcome of classifying one snapshot, with its stage timings sharded
+/// alongside so parallel workers stay off the shared histograms.
+struct Classified {
+    /// `Some(score)` when flagged as phishing.
+    score: Option<f64>,
+    /// Feature-extraction seconds (None when the URL failed to parse).
+    feature_secs: Option<f64>,
+    /// Model-scoring seconds (None when the URL failed to parse).
+    classify_secs: Option<f64>,
+}
+
 /// The assembled pipeline.
 pub struct Pipeline {
     model: AugmentedStackModel,
@@ -105,23 +116,38 @@ impl Pipeline {
 
     /// Snapshot of every pipeline metric recorded so far: per-stage latency
     /// histograms (`pipeline_stage_seconds{stage=...}`), per-tick timing,
-    /// and the observation/detection/report counters.
+    /// the observation/detection/report counters, and the worker-pool
+    /// gauges (`par_*`) of the parallel classify stage.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.registry.snapshot()
+        let mut snapshot = self.metrics.registry.snapshot();
+        snapshot.merge(&freephish_par::metrics_snapshot());
+        snapshot
     }
 
-    /// Classify one observed snapshot; `Some(score)` when phishing.
-    fn classify(&self, url: &str, html: &str) -> Option<f64> {
+    /// Classify one observed snapshot without touching shared metrics:
+    /// stage timings ride back in the result and are merged into the
+    /// histograms at tick end, so parallel workers never contend on the
+    /// stage atomics.
+    fn classify_sharded(&self, url: &str, html: &str) -> Classified {
         let feature_watch = Stopwatch::start();
-        let parsed = Url::parse(url).ok()?;
+        let Ok(parsed) = Url::parse(url) else {
+            return Classified {
+                score: None,
+                feature_secs: None,
+                classify_secs: None,
+            };
+        };
         let doc = freephish_htmlparse::parse(html);
         let v = FeatureVector::extract(FeatureSet::Augmented, &parsed, &doc);
-        feature_watch.record(&self.metrics.stage_feature);
+        let feature_secs = feature_watch.elapsed_secs();
 
         let classify_watch = Stopwatch::start();
         let score = self.model.score_features(&v.values);
-        classify_watch.record(&self.metrics.stage_classify);
-        (score >= self.threshold).then_some(score)
+        Classified {
+            score: (score >= self.threshold).then_some(score),
+            feature_secs: Some(feature_secs),
+            classify_secs: Some(classify_watch.elapsed_secs()),
+        }
     }
 
     /// Run the full pipeline over `[0, end)`: poll both feeds every ten
@@ -155,9 +181,15 @@ impl Pipeline {
     }
 
     /// One ten-minute poll tick ending at `next`: poll both feeds, crawl
-    /// and classify everything observed, report detections. Exposed so
+    /// everything observed, classify the live snapshots **in parallel**
+    /// on the `freephish-par` pool, and report detections. Exposed so
     /// callers (live monitors, benchmarks) can drive the loop themselves;
     /// [`Pipeline::run_batch`] is this in a loop over the poll grid.
+    ///
+    /// Determinism: crawling and reporting stay serial against `&mut
+    /// World`; the concurrent classify stage is a pure function of each
+    /// borrowed snapshot and its results are re-collected in observation
+    /// order, so detections are bit-identical at any `FREEPHISH_THREADS`.
     pub fn run_tick(
         &self,
         world: &mut World,
@@ -171,47 +203,74 @@ impl Pipeline {
         let _tick = Span::enter(&m.tick_seconds).at(&m.last_tick_sim, next);
 
         let poll_watch = Stopwatch::start();
-        let observed: Vec<ObservedPost> = stream.poll(world, next);
+        let mut observed: Vec<ObservedPost> = stream.poll(world, next);
         poll_watch.record(&m.stage_poll);
         m.posts_observed.add(observed.len() as u64);
 
-        for obs in observed {
-            // Crawl latency is sampled 1-in-16: a crawl miss is a hash
-            // lookup, and unconditional timestamping would cost more than
-            // the work being measured.
-            let sampled = m.crawl_attempts.inc_and_get() & 0xF == 0;
-            let crawl_watch = sampled.then(Stopwatch::start);
-            // Classify straight off the borrowed snapshot: the borrow of
-            // `world` ends with `score`, so no HTML copy is needed before
-            // the mutating `report` below.
-            let crawled = world.crawl(&obs.url, next);
-            if let Some(watch) = crawl_watch {
-                watch.record(&m.stage_crawl);
-            }
-            let score = match crawled {
-                None => {
-                    m.sites_gone.inc(); // site already gone when we got to it
-                    None
+        // Crawl stage — serial: the snapshot registry is part of the
+        // world's mutable state machine. Live snapshots are borrowed, not
+        // copied; the borrow ends before the mutating report stage below.
+        // Crawl latency is sampled 1-in-16: a crawl miss is a hash
+        // lookup, and unconditional timestamping would cost more than
+        // the work being measured.
+        let jobs: Vec<(usize, &str)> = observed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, obs)| {
+                let sampled = m.crawl_attempts.inc_and_get() & 0xF == 0;
+                let crawl_watch = sampled.then(Stopwatch::start);
+                let crawled = world.crawl(&obs.url, next);
+                if let Some(watch) = crawl_watch {
+                    watch.record(&m.stage_crawl);
                 }
-                Some(html) => self.classify(&obs.url, html),
-            };
-            if let Some(score) = score {
-                m.detections.inc();
-                // Report to the hosting FWB (with screenshot, per the
-                // paper's evidence-based reporting) and the platform.
-                let report_watch = Stopwatch::start();
-                reporter.report(world, obs.fwb, &obs.url, next);
-                report_watch.record(&m.stage_report);
-                m.reports.inc();
-                detections.push(Detection {
-                    url: obs.url,
-                    fwb: obs.fwb,
-                    platform: obs.platform,
-                    post: obs.post,
-                    observed_at: next,
-                    score,
-                });
+                if crawled.is_none() {
+                    m.sites_gone.inc(); // site already gone when we got to it
+                }
+                crawled.map(|html| (i, html))
+            })
+            .collect();
+
+        // Classify stage — parallel over the live snapshots. Per-task
+        // stage timings are sharded into the results and merged below, so
+        // workers never contend on the histogram atomics mid-sweep.
+        let classified: Vec<Classified> = freephish_par::par_map(&jobs, |&(i, html)| {
+            self.classify_sharded(&observed[i].url, html)
+        });
+
+        // Merge sharded stats and collect flagged URLs, in observation
+        // order (the parallel map preserves it).
+        let mut flagged: Vec<(usize, f64)> = Vec::new();
+        for (&(i, _), c) in jobs.iter().zip(&classified) {
+            if let Some(secs) = c.feature_secs {
+                m.stage_feature.record(secs);
             }
+            if let Some(secs) = c.classify_secs {
+                m.stage_classify.record(secs);
+            }
+            if let Some(score) = c.score {
+                flagged.push((i, score));
+            }
+        }
+        drop(jobs); // ends the snapshot borrows; the world can mutate again
+
+        // Report stage — serial: takedown fates mutate the world.
+        for (i, score) in flagged {
+            let obs = &mut observed[i];
+            m.detections.inc();
+            // Report to the hosting FWB (with screenshot, per the
+            // paper's evidence-based reporting) and the platform.
+            let report_watch = Stopwatch::start();
+            reporter.report(world, obs.fwb, &obs.url, next);
+            report_watch.record(&m.stage_report);
+            m.reports.inc();
+            detections.push(Detection {
+                url: std::mem::take(&mut obs.url),
+                fwb: obs.fwb,
+                platform: obs.platform,
+                post: obs.post,
+                observed_at: next,
+                score,
+            });
         }
     }
 }
@@ -305,6 +364,55 @@ mod tests {
         let unique: std::collections::HashSet<&str> =
             detections.iter().map(|d| d.url.as_str()).collect();
         assert!(reporter.total_reports() >= unique.len() * 9 / 10);
+    }
+
+    #[test]
+    fn detections_bit_identical_across_thread_counts() {
+        // The determinism contract: the crawl stage draws all randomness
+        // serially, classification fans out pure closures, and detections
+        // are re-ordered by observation index — so a fixed-seed batch run
+        // yields byte-identical detections at any thread count.
+        let run = || {
+            let mut world = World::new(44);
+            let config = CampaignConfig {
+                scale: 0.003,
+                days: 3,
+                benign_fraction: 0.2,
+                seed: 44,
+            };
+            campaign::run(&config, &mut world);
+            let pipeline = Pipeline::new(trained_model());
+            pipeline.run_batch(&mut world, SimTime::from_days(3)).0
+        };
+        let serial = freephish_par::with_thread_override(1, run);
+        let parallel = freephish_par::with_thread_override(8, run);
+        assert_eq!(serial.len(), parallel.len());
+        assert!(!serial.is_empty());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.url, p.url);
+            assert_eq!(s.observed_at, p.observed_at);
+            assert_eq!(s.score.to_bits(), p.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn metrics_include_worker_pool_gauges() {
+        let mut world = World::new(45);
+        let config = CampaignConfig {
+            scale: 0.003,
+            days: 2,
+            benign_fraction: 0.0,
+            seed: 45,
+        };
+        campaign::run(&config, &mut world);
+        let pipeline = Pipeline::new(trained_model());
+        pipeline.run_batch(&mut world, SimTime::from_days(2));
+        let snap = pipeline.metrics();
+        let jobs = snap.counter("par_jobs_total", &[]) + snap.counter("par_serial_jobs_total", &[]);
+        assert!(
+            jobs > 0,
+            "pipeline metrics should merge the freephish-par registry"
+        );
     }
 
     #[test]

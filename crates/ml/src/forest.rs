@@ -71,7 +71,11 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Train on a dataset. Deterministic given the RNG state.
+    /// Train on a dataset. Deterministic given the RNG state: all random
+    /// draws (column bags, bootstrap samples) happen serially up front in
+    /// the seed order, then the draw-free tree fits fan out across the
+    /// `freephish-par` pool — so the forest is bit-identical at any
+    /// thread count.
     pub fn train(config: &ForestConfig, data: &Dataset, rng: &mut Rng64) -> RandomForest {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let n = data.len();
@@ -85,19 +89,28 @@ impl RandomForest {
         let grad: Vec<f64> = (0..n).map(|i| 0.5 - data.label(i) as f64).collect();
         let hess = vec![0.25f64; n];
 
-        let mut trees = Vec::with_capacity(config.n_trees);
-        for _ in 0..config.n_trees {
-            let columns = rng.sample_indices(n_features, n_cols);
-            // Project the dataset onto the tree's columns.
+        // Serial RNG phase: per-tree column bag + bootstrap sample (with
+        // replacement), drawn in exactly the seed order.
+        let draws: Vec<(Vec<usize>, Vec<usize>)> = (0..config.n_trees)
+            .map(|_| {
+                let columns = rng.sample_indices(n_features, n_cols);
+                let sample: Vec<usize> = (0..k).map(|_| rng.index(n)).collect();
+                (columns, sample)
+            })
+            .collect();
+
+        // Parallel phase: project, bin, and fit each tree (pure).
+        let trees = freephish_par::par_map(&draws, |(columns, sample)| {
             let rows: Vec<Vec<f64>> = (0..n)
                 .map(|i| columns.iter().map(|&c| data.row(i)[c]).collect())
                 .collect();
             let binned = BinnedMatrix::build(&rows, config.max_bins);
-            // Bootstrap sample (with replacement).
-            let sample: Vec<usize> = (0..k).map(|_| rng.index(n)).collect();
-            let tree = RegTree::fit(&binned, &grad, &hess, &sample, &config.tree);
-            trees.push(ForestTree { tree, columns });
-        }
+            let tree = RegTree::fit(&binned, &grad, &hess, sample, &config.tree);
+            ForestTree {
+                tree,
+                columns: columns.clone(),
+            }
+        });
         RandomForest { trees }
     }
 
@@ -123,11 +136,10 @@ impl RandomForest {
         u8::from(self.predict_proba(row) >= 0.5)
     }
 
-    /// Probabilities over a dataset.
+    /// Probabilities over a dataset, rows fanned out across the pool
+    /// (scores are pure, so output order and values match the serial map).
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len())
-            .map(|i| self.predict_proba(data.row(i)))
-            .collect()
+        freephish_par::par_map_range(data.len(), |i| self.predict_proba(data.row(i)))
     }
 
     /// Number of trees.

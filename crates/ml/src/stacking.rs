@@ -60,7 +60,11 @@ pub struct StackModel {
 }
 
 impl StackModel {
-    /// Train the full stack. Deterministic given the RNG state.
+    /// Train the full stack. Deterministic given the RNG state: every
+    /// `fork` is drawn serially in the seed order, then the (b, fold)
+    /// training jobs — each owning its pre-forked RNG — fan out across
+    /// the `freephish-par` pool, so the fitted stack is bit-identical at
+    /// any thread count.
     pub fn train(config: &StackModelConfig, data: &Dataset, rng: &mut Rng64) -> StackModel {
         assert!(
             data.len() >= config.k_folds * 2,
@@ -70,22 +74,35 @@ impl StackModel {
         let n_base = config.base_configs.len();
         let folds = data.kfold_indices(config.k_folds, rng);
 
-        // Out-of-fold probabilities, one column per base model.
+        // Serial RNG phase: one fork per (base model, held-out fold), in
+        // exactly the order the seed's nested loop drew them.
+        let jobs: Vec<(usize, usize, Rng64)> = (0..n_base)
+            .flat_map(|b| (0..folds.len()).map(move |f| (b, f)))
+            .map(|(b, f)| (b, f, rng.fork(b as u64)))
+            .collect();
+
+        // Parallel phase: train each fold model and score its held-out
+        // rows; results land back in `oof` keyed by (b, fold).
         let mut oof = vec![vec![0.0f64; n_base]; n];
-        for (b, base_cfg) in config.base_configs.iter().enumerate() {
-            for held_out in &folds {
-                let train_idx: Vec<usize> = folds
-                    .iter()
-                    .filter(|f| !std::ptr::eq(*f, held_out))
-                    .flatten()
-                    .copied()
-                    .collect();
-                let sub = data.subset(&train_idx);
-                let mut fold_rng = rng.fork(b as u64);
-                let model = Gbdt::train(base_cfg, &sub, &mut fold_rng);
-                for &i in held_out {
-                    oof[i][b] = model.predict_proba(data.row(i));
-                }
+        let fold_preds = freephish_par::par_map(&jobs, |(b, f, fold_rng)| {
+            let held_out = &folds[*f];
+            let train_idx: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            let sub = data.subset(&train_idx);
+            let mut fold_rng = fold_rng.clone();
+            let model = Gbdt::train(&config.base_configs[*b], &sub, &mut fold_rng);
+            held_out
+                .iter()
+                .map(|&i| model.predict_proba(data.row(i)))
+                .collect::<Vec<f64>>()
+        });
+        for ((b, f, _), preds) in jobs.iter().zip(fold_preds) {
+            for (&i, p) in folds[*f].iter().zip(preds) {
+                oof[i][*b] = p;
             }
         }
 
@@ -106,16 +123,13 @@ impl StackModel {
         let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         let meta_data = data.with_extra_features(&name_refs, &extra);
 
-        // Retrain base models on the full training set for inference.
-        let base_models: Vec<Gbdt> = config
-            .base_configs
-            .iter()
-            .enumerate()
-            .map(|(b, cfg)| {
-                let mut m_rng = rng.fork(100 + b as u64);
-                Gbdt::train(cfg, data, &mut m_rng)
-            })
-            .collect();
+        // Retrain base models on the full training set for inference —
+        // forks drawn serially, fits fanned out.
+        let retrain_rngs: Vec<Rng64> = (0..n_base).map(|b| rng.fork(100 + b as u64)).collect();
+        let base_models: Vec<Gbdt> = freephish_par::par_map_indexed(&retrain_rngs, |b, m_rng| {
+            let mut m_rng = m_rng.clone();
+            Gbdt::train(&config.base_configs[b], data, &mut m_rng)
+        });
 
         let mut meta_rng = rng.fork(999);
         let meta_model = Gbdt::train(&config.meta_config, &meta_data, &mut meta_rng);
@@ -151,11 +165,10 @@ impl StackModel {
         u8::from(self.predict_proba(row) >= 0.5)
     }
 
-    /// Probabilities over a whole dataset.
+    /// Probabilities over a whole dataset, rows fanned out across the
+    /// worker pool (pure per-row scoring keeps the output order exact).
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len())
-            .map(|i| self.predict_proba(data.row(i)))
-            .collect()
+        freephish_par::par_map_range(data.len(), |i| self.predict_proba(data.row(i)))
     }
 
     /// Number of base models.
@@ -225,6 +238,28 @@ mod tests {
         let m2 = StackModel::train(&StackModelConfig::tiny(), &data, &mut r2);
         for i in 0..20 {
             assert_eq!(m1.predict_proba(data.row(i)), m2.predict_proba(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // The determinism contract: all RNG forks are drawn serially, so
+        // the fitted stack is the same function at 1 and at 8 threads.
+        let data = rings(200, 12);
+        let serial = freephish_par::with_thread_override(1, || {
+            let mut r = Rng64::new(13);
+            StackModel::train(&StackModelConfig::tiny(), &data, &mut r)
+        });
+        let parallel = freephish_par::with_thread_override(8, || {
+            let mut r = Rng64::new(13);
+            StackModel::train(&StackModelConfig::tiny(), &data, &mut r)
+        });
+        for i in 0..data.len() {
+            assert_eq!(
+                serial.predict_proba(data.row(i)).to_bits(),
+                parallel.predict_proba(data.row(i)).to_bits(),
+                "row {i}"
+            );
         }
     }
 

@@ -1,12 +1,64 @@
 //! Levenshtein edit distance, plain and bounded.
+//!
+//! The public [`distance`] / [`distance_bounded`] entry points run on the
+//! Myers bit-parallel kernel ([`crate::myers`]) with a per-thread
+//! [`MyersScratch`], so the Appendix-A inner loop performs no heap
+//! allocation per tag pair. The classic byte-at-a-time Wagner–Fischer
+//! recurrence is kept as [`wagner_fischer`] / [`wagner_fischer_bounded`]:
+//! it is the reference implementation the property tests and the
+//! microbenchmarks compare the kernel against.
 
-/// Classic Wagner–Fischer edit distance over bytes, O(|a|·|b|) time and
-/// O(min(|a|,|b|)) space.
+pub use crate::myers::MyersScratch;
+use std::cell::RefCell;
+
+thread_local! {
+    static SCRATCH: RefCell<MyersScratch> = RefCell::new(MyersScratch::new());
+}
+
+/// Run `f` with this thread's shared kernel scratch. Hot loops (the
+/// Appendix-A tag sweep) hoist the thread-local access out of their inner
+/// loop by wrapping the whole sweep in one `with_scratch` call.
+pub fn with_scratch<R>(f: impl FnOnce(&mut MyersScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Exact edit distance over bytes — Myers bit-parallel, O(⌈min/64⌉·max)
+/// time, allocation-free after warm-up.
 ///
 /// ```
 /// assert_eq!(freephish_textsim::distance("kitten", "sitting"), 3);
 /// ```
 pub fn distance(a: &str, b: &str) -> usize {
+    with_scratch(|s| crate::myers::distance(s, a.as_bytes(), b.as_bytes()))
+}
+
+/// Edit distance with an upper bound: returns `None` as soon as the true
+/// distance provably exceeds `bound`. The Appendix-A inner loop searches
+/// for the *minimum* distance against many candidate tags, so most
+/// comparisons can abandon early once a good candidate is known.
+pub fn distance_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    with_scratch(|s| crate::myers::distance_bounded(s, a.as_bytes(), b.as_bytes(), bound))
+}
+
+/// [`distance`] against a caller-held scratch (no thread-local lookup).
+pub fn distance_with(scratch: &mut MyersScratch, a: &str, b: &str) -> usize {
+    crate::myers::distance(scratch, a.as_bytes(), b.as_bytes())
+}
+
+/// [`distance_bounded`] against a caller-held scratch.
+pub fn distance_bounded_with(
+    scratch: &mut MyersScratch,
+    a: &str,
+    b: &str,
+    bound: usize,
+) -> Option<usize> {
+    crate::myers::distance_bounded(scratch, a.as_bytes(), b.as_bytes(), bound)
+}
+
+/// Classic Wagner–Fischer edit distance over bytes, O(|a|·|b|) time and
+/// O(min(|a|,|b|)) space — the seed implementation, kept as the reference
+/// for tests and benchmarks.
+pub fn wagner_fischer(a: &str, b: &str) -> usize {
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     let a = a.as_bytes();
     let b = b.as_bytes();
@@ -26,11 +78,9 @@ pub fn distance(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
-/// Edit distance with an upper bound: returns `None` as soon as the true
-/// distance provably exceeds `bound`. The Appendix-A inner loop searches for
-/// the *minimum* distance against many candidate tags, so most comparisons
-/// can abandon early once a good candidate is known.
-pub fn distance_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+/// Bounded Wagner–Fischer (row-minimum early exit) — reference for
+/// [`distance_bounded`].
+pub fn wagner_fischer_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     // Length difference is a lower bound on the distance.
     if a.len() - b.len() > bound {
@@ -114,5 +164,28 @@ mod tests {
     fn similarity_midpoint() {
         // distance("abcd","abcx") = 1, max_len 4 -> 75%.
         assert!((normalized_similarity("abcd", "abcx") - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernels_agree_on_tag_like_strings() {
+        let tags = [
+            "",
+            "<p>",
+            "<div class=\"w-container\">",
+            "<input type=\"text\" name=\"login\" placeholder=\"Email address\">",
+            "<link rel=\"stylesheet\" href=\"https://cdn.example/site-theme.css\">",
+        ];
+        for a in &tags {
+            for b in &tags {
+                assert_eq!(distance(a, b), wagner_fischer(a, b), "a={a:?} b={b:?}");
+                for bound in 0..12 {
+                    assert_eq!(
+                        distance_bounded(a, b, bound),
+                        wagner_fischer_bounded(a, b, bound),
+                        "a={a:?} b={b:?} bound={bound}"
+                    );
+                }
+            }
+        }
     }
 }

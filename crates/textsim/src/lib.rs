@@ -15,9 +15,20 @@
 //! Distances are converted to percentage similarities per tag pair as
 //! `100 · (1 − d / max(|T|, |T_B|))` so the headline numbers are comparable
 //! with the paper's Table 1.
+//!
+//! Hot-path machinery: the [`myers`] module is the bit-parallel (64-bit
+//! block) Levenshtein kernel with reusable scratch buffers that
+//! [`distance`]/[`distance_bounded`] run on (the seed Wagner–Fischer
+//! recurrence survives as the test/bench reference), and
+//! [`site_similarity_pairs`] sweeps batches of site pairs across the
+//! `freephish-par` worker pool deterministically.
 
 pub mod levenshtein;
+pub mod myers;
 pub mod sitesim;
 
-pub use levenshtein::{distance, distance_bounded, normalized_similarity};
-pub use sitesim::{site_similarity, tag_similarity_one_way};
+pub use levenshtein::{
+    distance, distance_bounded, distance_bounded_with, distance_with, normalized_similarity,
+    wagner_fischer, wagner_fischer_bounded, with_scratch, MyersScratch,
+};
+pub use sitesim::{site_similarity, site_similarity_pairs, tag_similarity_one_way};

@@ -1,20 +1,26 @@
 //! The Appendix-A website code-similarity algorithm.
+//!
+//! The per-tag inner loop runs on the Myers bit-parallel kernel through a
+//! single scratch buffer hoisted over the whole sweep, and
+//! [`site_similarity_pairs`] fans a batch of site pairs out over the
+//! `freephish-par` worker pool (each worker thread reuses its own
+//! thread-local scratch), keeping results in input order.
 
-use crate::levenshtein::{distance, distance_bounded};
+use crate::levenshtein::{distance_bounded_with, distance_with, with_scratch, MyersScratch};
 
 /// Per-tag best similarity: for tag `t`, the maximum normalised similarity
 /// against any tag in `others` (i.e. the tag with the minimum Levenshtein
 /// distance, converted to a percentage). Returns 0 when `others` is empty.
-fn best_tag_similarity(t: &str, others: &[String]) -> f64 {
+fn best_tag_similarity(scratch: &mut MyersScratch, t: &str, others: &[String]) -> f64 {
     let mut best_d = usize::MAX;
     let mut best_len = t.len().max(1);
     for o in others {
         // Anything at or above the current best distance can bail early.
         let bound = best_d.saturating_sub(1).min(t.len().max(o.len()));
         let d = if best_d == usize::MAX {
-            Some(distance(t, o))
+            Some(distance_with(scratch, t, o))
         } else {
-            distance_bounded(t, o, bound)
+            distance_bounded_with(scratch, t, o, bound)
         };
         if let Some(d) = d {
             if d < best_d {
@@ -38,10 +44,12 @@ pub fn tag_similarity_one_way(a_tags: &[String], b_tags: &[String]) -> f64 {
     if a_tags.is_empty() {
         return 0.0;
     }
-    let mut sims: Vec<f64> = a_tags
-        .iter()
-        .map(|t| best_tag_similarity(t, b_tags))
-        .collect();
+    let mut sims: Vec<f64> = with_scratch(|scratch| {
+        a_tags
+            .iter()
+            .map(|t| best_tag_similarity(scratch, t, b_tags))
+            .collect()
+    });
     sims.sort_by(|x, y| x.partial_cmp(y).unwrap());
     sims[(sims.len() - 1) / 2]
 }
@@ -50,6 +58,14 @@ pub fn tag_similarity_one_way(a_tags: &[String], b_tags: &[String]) -> f64 {
 /// in [0, 100].
 pub fn site_similarity(a_tags: &[String], b_tags: &[String]) -> f64 {
     (tag_similarity_one_way(a_tags, b_tags) + tag_similarity_one_way(b_tags, a_tags)) / 2.0
+}
+
+/// [`site_similarity`] over a batch of pairs, fanned out across the
+/// worker pool. Results are in input order and bit-identical to the
+/// serial sweep at any `FREEPHISH_THREADS` (the per-pair computation is
+/// pure).
+pub fn site_similarity_pairs(pairs: &[(Vec<String>, Vec<String>)]) -> Vec<f64> {
+    freephish_par::par_map(pairs, |(a, b)| site_similarity(a, b))
 }
 
 #[cfg(test)]

@@ -1,6 +1,10 @@
-//! Property tests: Levenshtein metric axioms and similarity bounds.
+//! Property tests: Levenshtein metric axioms, Myers-vs-Wagner–Fischer
+//! kernel agreement, and similarity bounds.
 
-use freephish_textsim::{distance, distance_bounded, normalized_similarity, site_similarity};
+use freephish_textsim::{
+    distance, distance_bounded, normalized_similarity, site_similarity, site_similarity_pairs,
+    wagner_fischer, wagner_fischer_bounded,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -75,5 +79,49 @@ proptest! {
         a in proptest::collection::vec("<[a-z]{1,8}>", 1..8),
     ) {
         prop_assert_eq!(site_similarity(&a, &a), 100.0);
+    }
+
+    /// The Myers kernel agrees with Wagner–Fischer on random byte strings,
+    /// including multi-block patterns (> 64 bytes).
+    #[test]
+    fn myers_matches_wagner_fischer(a in "[a-p]{0,150}", b in "[a-p]{0,150}") {
+        prop_assert_eq!(distance(&a, &b), wagner_fischer(&a, &b));
+    }
+
+    /// Bounded Myers (early-exit included) agrees with bounded
+    /// Wagner–Fischer across bounds, spanning the single- and multi-block
+    /// regimes.
+    #[test]
+    fn bounded_myers_matches_wagner_fischer(
+        a in "[a-h]{0,120}",
+        b in "[a-h]{0,120}",
+        bound in 0usize..140,
+    ) {
+        prop_assert_eq!(
+            distance_bounded(&a, &b, bound),
+            wagner_fischer_bounded(&a, &b, bound)
+        );
+    }
+
+    /// The parallel pair sweep equals the serial sweep, in order, at
+    /// thread counts 1, 2, and 8.
+    #[test]
+    fn pair_sweep_matches_serial(
+        pairs in proptest::collection::vec(
+            (
+                proptest::collection::vec("<[a-z]{1,10}( [a-z]{1,4}=\"[a-z]{0,5}\")?>", 0..6),
+                proptest::collection::vec("<[a-z]{1,10}( [a-z]{1,4}=\"[a-z]{0,5}\")?>", 0..6),
+            ),
+            0..12,
+        ),
+    ) {
+        let serial: Vec<f64> = pairs.iter().map(|(a, b)| site_similarity(a, b)).collect();
+        for threads in [1usize, 2, 8] {
+            let par = freephish_par::with_thread_override(
+                threads,
+                || site_similarity_pairs(&pairs),
+            );
+            prop_assert_eq!(&par, &serial, "threads={}", threads);
+        }
     }
 }

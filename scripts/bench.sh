@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Performance record: build the release perfbench binary and regenerate
+# BENCH_PIPELINE.json at the repository root.
+#
+# The record compares, on this host:
+#   * the Table-1-shaped site-similarity sweep — seed Wagner–Fischer kernel
+#     vs the Myers bit-parallel kernel, serial and through freephish-par;
+#   * one full pipeline tick at FREEPHISH_THREADS=1 vs the host default,
+#     plus the seed's bare poll+crawl+score loop;
+#   * the classifier train phase at one thread vs the host default.
+#
+# Knobs: FREEPHISH_BENCH_REPS (best-of reps, default 3),
+#        FREEPHISH_BENCH_OUT (output path, default BENCH_PIPELINE.json).
+# Run from the repository root: ./scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release -p freephish-bench --bin perfbench =="
+cargo build --release -p freephish-bench --bin perfbench
+
+echo "== perfbench =="
+./target/release/perfbench
+
+echo "== bench.sh: wrote ${FREEPHISH_BENCH_OUT:-BENCH_PIPELINE.json} =="

@@ -14,7 +14,10 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
+echo "== cargo test -q (host-default threads) =="
 cargo test -q
+
+echo "== cargo test -q (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 cargo test -q
 
 echo "== ci.sh: all gates passed =="
