@@ -13,6 +13,9 @@
 //!   poll+crawl+score loop (the seed's uninstrumented tick shape).
 //! * **train phase** — `AugmentedStackModel::train` at one thread and at
 //!   the host default.
+//! * **store** — the persistence layer: buffered and fsynced append
+//!   throughput over a journal-shaped record mix, plus cold recovery of
+//!   the resulting WAL (clean and with a torn tail).
 //!
 //! Output schema is stable (see `schema_version`); the file lands at the
 //! path in `FREEPHISH_BENCH_OUT` (default `BENCH_PIPELINE.json`).
@@ -231,6 +234,118 @@ fn bench_train(reps: usize) -> serde_json::Value {
     })
 }
 
+/// A run-journal-shaped record payload: URL + a few numeric fields.
+fn store_record(i: u64) -> Vec<u8> {
+    let mut w = freephish_store::PayloadWriter::new();
+    w.put_u8(1);
+    w.put_str(&format!("https://victim-{i:06}.weebly.com/login"));
+    w.put_u64(i * 600);
+    w.put_f64(0.5 + (i % 50) as f64 / 100.0);
+    w.into_bytes()
+}
+
+fn bench_store(reps: usize) -> serde_json::Value {
+    use freephish_store::{Store, StoreOptions};
+    let records: Vec<Vec<u8>> = (0..50_000u64).map(store_record).collect();
+    let payload_bytes: usize = records.iter().map(Vec::len).sum();
+    let base = std::env::temp_dir().join(format!("freephish-perfbench-{}", std::process::id()));
+
+    let buffered_secs = time_best(reps, || {
+        let dir = base.join("append-buffered");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut store, _) = Store::open_with(&dir, StoreOptions::default(), None).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        store.sync().unwrap();
+    });
+    // Per-append fsync is the worst-case durability point; keep the volume
+    // small enough to finish quickly.
+    let synced_records = 500usize;
+    let synced_secs = time_best(reps, || {
+        let dir = base.join("append-synced");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = StoreOptions {
+            sync_every_append: true,
+            ..StoreOptions::default()
+        };
+        let (mut store, _) = Store::open_with(&dir, opts, None).unwrap();
+        for r in records.iter().take(synced_records) {
+            store.append(r).unwrap();
+        }
+    });
+
+    // Recovery: reopen the buffered-append WAL cold, then again with a
+    // torn tail (a half-written frame appended to the newest segment).
+    let clean_dir = base.join("append-buffered");
+    let recovery_clean_secs = time_best(reps, || {
+        let (_store, recovered) =
+            Store::open_with(&clean_dir, StoreOptions::default(), None).unwrap();
+        assert_eq!(recovered.records.len(), records.len());
+    });
+    let torn_dir = base.join("recovery-torn");
+    let _ = std::fs::remove_dir_all(&torn_dir);
+    copy_dir(&clean_dir, &torn_dir);
+    let newest = std::fs::read_dir(&torn_dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().to_string_lossy().into_owned();
+            freephish_store::segment::parse_segment_name(&name).map(|i| (i, name))
+        })
+        .max()
+        .map(|(_, name)| torn_dir.join(name))
+        .unwrap();
+    let mut torn_template = std::fs::read(&newest).unwrap();
+    torn_template.extend_from_slice(&[0x55, 0x55, 0x55]);
+    let recovery_torn_secs = time_best(reps, || {
+        std::fs::write(&newest, &torn_template).unwrap();
+        let (_store, recovered) =
+            Store::open_with(&torn_dir, StoreOptions::default(), None).unwrap();
+        assert!(recovered.records.len() <= records.len());
+    });
+    let _ = std::fs::remove_dir_all(&base);
+
+    let append_per_sec = records.len() as f64 / buffered_secs;
+    let mb_per_sec = payload_bytes as f64 / buffered_secs / (1024.0 * 1024.0);
+    println!(
+        "store ({} records, {:.1} MiB):",
+        records.len(),
+        payload_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("  append buffered  {buffered_secs:.4}s   ({append_per_sec:.0} rec/s, {mb_per_sec:.1} MiB/s)");
+    println!(
+        "  append fsync/rec {synced_secs:.4}s   ({:.0} rec/s over {synced_records} records)",
+        synced_records as f64 / synced_secs
+    );
+    println!("  recovery clean   {recovery_clean_secs:.4}s");
+    println!("  recovery torn    {recovery_torn_secs:.4}s");
+    serde_json::json!({
+        "store_append_throughput": {
+            "records": records.len(),
+            "payload_bytes": payload_bytes,
+            "buffered_secs": buffered_secs,
+            "buffered_records_per_sec": append_per_sec,
+            "buffered_mib_per_sec": mb_per_sec,
+            "synced_records": synced_records,
+            "synced_secs": synced_secs,
+            "synced_records_per_sec": synced_records as f64 / synced_secs,
+        },
+        "store_recovery": {
+            "records": records.len(),
+            "clean_secs": recovery_clean_secs,
+            "torn_tail_secs": recovery_torn_secs,
+        },
+    })
+}
+
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
 fn main() {
     let reps: usize = std::env::var("FREEPHISH_BENCH_REPS")
         .ok()
@@ -246,6 +361,7 @@ fn main() {
     let similarity = bench_similarity(reps);
     let tick = bench_pipeline_tick(reps);
     let train = bench_train(reps);
+    let store = bench_store(reps);
 
     let record = serde_json::json!({
         "schema_version": 1,
@@ -257,6 +373,8 @@ fn main() {
         "site_similarity_sweep": similarity,
         "pipeline_tick": tick,
         "train_phase": train,
+        "store_append_throughput": store["store_append_throughput"],
+        "store_recovery": store["store_recovery"],
         "par_metrics": freephish_obs::to_json(&freephish_par::metrics_snapshot()),
     });
     std::fs::write(&out, serde_json::to_string_pretty(&record).unwrap())

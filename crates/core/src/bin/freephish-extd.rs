@@ -1,44 +1,133 @@
 //! `freephish-extd` — the FreePhish verdict daemon and its client.
 //!
 //! The deployable form of the paper's browser extension backend: a TCP
-//! service answering `CHECK <url>` queries against a blocklist file, plus a
-//! client subcommand for scripting and for wiring into a browser proxy.
+//! service answering `CHECK <url>` queries (and accepting `ADD <url>
+//! <score>` updates), plus a client subcommand for scripting and for
+//! wiring into a browser proxy.
 //!
 //! ```text
-//! freephish-extd serve [--port N] [--blocklist FILE]
-//!     Serve verdicts. FILE holds one `<url> [score]` per line
-//!     ('#' comments allowed). With no file, starts empty.
+//! freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]
+//!     Serve verdicts on 127.0.0.1:N (default: an ephemeral port).
+//!     FILE holds one `<url> [score]` per line ('#' comments allowed);
+//!     malformed lines are skipped with a warning. With --store DIR the
+//!     daemon follows a pipeline run journal instead: verdicts hot-reload
+//!     as the pipeline appends them, and ADDs are durably journaled in
+//!     DIR/extd-adds. Ctrl-C / SIGTERM drains connections, flushes the
+//!     store, and exits 0.
 //!
 //! freephish-extd check <addr> <url> [url...]
 //!     Query a running daemon; exit code 2 if any URL is phishing.
 //! ```
 
-use freephish_core::extension::{KnownSetChecker, VerdictClient, VerdictServer};
+use freephish_core::extension::{KnownSetChecker, UrlChecker, VerdictClient, VerdictServer};
+use freephish_core::verdictstore::StoreChecker;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Duration;
 
+/// Signal-driven shutdown flag, set from `SIGINT` / `SIGTERM`.
+///
+/// The handler only does an atomic store — the one thing that is safe in
+/// async-signal context — and the serve loop polls the flag. The `signal`
+/// libc call is declared locally to keep the workspace dependency-free.
+mod shutdown {
+    use super::AtomicBool;
+    use std::sync::atomic::Ordering;
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install handlers for Ctrl-C and SIGTERM.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    /// True once a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// Parse a blocklist file: one `<url> [score]` per line, `#` comments.
+/// Malformed lines (unparsable URL, unparsable or out-of-range score, or
+/// trailing junk) are skipped with a warning rather than silently turned
+/// into bogus entries.
 fn load_blocklist(path: &str) -> std::io::Result<Vec<(String, f64)>> {
     let text = std::fs::read_to_string(path)?;
-    Ok(text
-        .lines()
-        .map(|l| l.trim())
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| {
-            let mut parts = l.split_whitespace();
-            let url = parts.next().unwrap_or_default().to_string();
-            let score = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.99);
-            (url, score)
-        })
-        .collect())
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let url = parts.next().expect("non-empty line has a first token");
+        if let Err(e) = freephish_urlparse::Url::parse(url) {
+            freephish_obs::warn(
+                "extd",
+                format!(
+                    "{path}:{}: skipping malformed URL {url:?}: {e:?}",
+                    lineno + 1
+                ),
+            );
+            continue;
+        }
+        let score = match parts.next() {
+            None => 0.99,
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(s) if (0.0..=1.0).contains(&s) => s,
+                _ => {
+                    freephish_obs::warn(
+                        "extd",
+                        format!(
+                            "{path}:{}: skipping line with bad score {raw:?} (want 0..=1)",
+                            lineno + 1
+                        ),
+                    );
+                    continue;
+                }
+            },
+        };
+        if parts.next().is_some() {
+            freephish_obs::warn(
+                "extd",
+                format!("{path}:{}: skipping line with trailing fields", lineno + 1),
+            );
+            continue;
+        }
+        entries.push((url.to_string(), score));
+    }
+    Ok(entries)
 }
 
 fn usage() -> ! {
-    eprintln!("usage: freephish-extd serve [--port N] [--blocklist FILE]");
+    eprintln!("usage: freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]");
     eprintln!("       freephish-extd check <addr> <url> [url...]");
     std::process::exit(64);
 }
 
+/// How often the serve loop wakes to poll the store and the shutdown flag.
+const SERVE_POLL: Duration = Duration::from_millis(150);
+/// How long shutdown waits for in-flight connections to finish.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
 fn serve(args: &[String]) -> std::io::Result<()> {
     let mut entries = Vec::new();
+    let mut port: u16 = 0;
+    let mut store_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -48,23 +137,72 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                 entries = load_blocklist(path)?;
             }
             "--port" => {
-                // Accepted for interface stability; the server binds an
-                // ephemeral loopback port and prints it (binding arbitrary
-                // ports is a deployment concern, not a library one).
                 i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                port = raw.parse().unwrap_or_else(|_| usage());
+            }
+            "--store" => {
+                i += 1;
+                let dir = args.get(i).cloned().unwrap_or_else(|| usage());
+                store_dir = Some(dir);
             }
             _ => usage(),
         }
         i += 1;
     }
-    let checker = Arc::new(KnownSetChecker::new(entries));
-    let server = VerdictServer::start(checker.clone())?;
+
+    // A store-backed checker hot-reloads from the run journal; the static
+    // checker serves the blocklist as loaded.
+    let store_checker: Option<Arc<StoreChecker>> = match &store_dir {
+        Some(dir) => {
+            let checker = Arc::new(StoreChecker::open(dir)?);
+            checker.reload()?;
+            for (url, score) in entries.drain(..) {
+                checker.add_durable(&url, score)?;
+            }
+            Some(checker)
+        }
+        None => None,
+    };
+    let static_len = entries.len();
+    let checker: Arc<dyn UrlChecker> = match &store_checker {
+        Some(c) => c.clone(),
+        None => Arc::new(KnownSetChecker::new(entries)),
+    };
+
+    shutdown::install();
+    let mut server = VerdictServer::start_on(port, checker.clone())?;
     println!("freephish-extd listening on {}", server.addr());
-    println!("known phishing URLs: {}", checker.len());
-    println!("press Ctrl-C to stop");
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    match &store_checker {
+        Some(c) => println!(
+            "following store {} ({} known URLs, generation {})",
+            store_dir.as_deref().unwrap_or_default(),
+            c.len(),
+            c.generation()
+        ),
+        None => println!("known phishing URLs: {static_len}"),
     }
+    println!("press Ctrl-C to stop");
+
+    while !shutdown::requested() {
+        std::thread::sleep(SERVE_POLL);
+        if let Some(c) = &store_checker {
+            if let Err(e) = c.reload() {
+                freephish_obs::warn("extd", format!("store reload failed: {e}"));
+            }
+        }
+    }
+
+    println!("shutting down: draining connections");
+    server.shutdown();
+    if !server.drain(DRAIN_TIMEOUT) {
+        freephish_obs::warn("extd", "drain timed out with connections still active");
+    }
+    if let Some(c) = &store_checker {
+        c.sync()?;
+    }
+    println!("bye");
+    Ok(())
 }
 
 fn check(args: &[String]) -> std::io::Result<()> {

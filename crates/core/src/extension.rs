@@ -53,6 +53,20 @@ impl Verdict {
 pub trait UrlChecker: Send + Sync {
     /// Judge one URL.
     fn check(&self, url: &str) -> Verdict;
+
+    /// Record `url` as known phishing (the wire protocol's `ADD`).
+    /// Returns the checker's new generation count. Checkers without a
+    /// mutable backing set refuse.
+    fn add(&self, url: &str, score: f64) -> Result<u64, String> {
+        let _ = (url, score);
+        Err("this checker does not accept additions".to_string())
+    }
+
+    /// Monotonic change counter: bumps whenever the backing set changes.
+    /// Static checkers stay at 0.
+    fn generation(&self) -> u64 {
+        0
+    }
 }
 
 impl<F> UrlChecker for F
@@ -68,6 +82,7 @@ where
 /// extension consults between model refreshes).
 pub struct KnownSetChecker {
     known: RwLock<HashMap<String, f64>>,
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl KnownSetChecker {
@@ -75,12 +90,14 @@ impl KnownSetChecker {
     pub fn new(entries: impl IntoIterator<Item = (String, f64)>) -> KnownSetChecker {
         KnownSetChecker {
             known: RwLock::new(entries.into_iter().collect()),
+            generation: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Add a newly detected URL.
     pub fn insert(&self, url: &str, score: f64) {
         self.known.write().insert(url.to_string(), score);
+        self.generation.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Number of known URLs.
@@ -101,17 +118,28 @@ impl UrlChecker for KnownSetChecker {
             None => Verdict::Safe(0.0),
         }
     }
+
+    fn add(&self, url: &str, score: f64) -> Result<u64, String> {
+        self.insert(url, score);
+        Ok(self.generation())
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Wire protocol
 // ---------------------------------------------------------------------------
 
-/// Protocol request: `CHECK <url>` or `STATS`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Protocol request: `CHECK <url>`, `ADD <url> <score>` or `STATS`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Ask for a verdict on a URL.
     Check(String),
+    /// Record a URL as known phishing with the given score.
+    Add(String, f64),
     /// Ask for the server's metrics snapshot.
     Stats,
 }
@@ -132,6 +160,19 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, String> {
     match line.split_once(' ') {
         Some(("CHECK", url)) if !url.trim().is_empty() => {
             Ok(Some(Request::Check(url.trim().to_string())))
+        }
+        Some(("ADD", rest)) => {
+            let (url, score) = rest
+                .trim()
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("malformed request: {line:?}"))?;
+            let score: f64 = score
+                .parse()
+                .map_err(|_| format!("bad score in {line:?}"))?;
+            if url.is_empty() || !(0.0..=1.0).contains(&score) {
+                return Err(format!("malformed request: {line:?}"));
+            }
+            Ok(Some(Request::Add(url.to_string(), score)))
         }
         _ => Err(format!("malformed request: {line:?}")),
     }
@@ -173,6 +214,7 @@ struct ServerMetrics {
     connections_accepted: Arc<Counter>,
     connections_active: Arc<freephish_obs::Gauge>,
     requests_check: Arc<Counter>,
+    requests_add: Arc<Counter>,
     requests_stats: Arc<Counter>,
     verdicts_phishing: Arc<Counter>,
     verdicts_safe: Arc<Counter>,
@@ -188,6 +230,7 @@ impl ServerMetrics {
             connections_accepted: registry.counter("verdict_connections_accepted_total", &[]),
             connections_active: registry.gauge("verdict_connections_active", &[]),
             requests_check: registry.counter("verdict_requests_total", &[("kind", "check")]),
+            requests_add: registry.counter("verdict_requests_total", &[("kind", "add")]),
             requests_stats: registry.counter("verdict_requests_total", &[("kind", "stats")]),
             verdicts_phishing: registry.counter("verdict_verdicts_total", &[("kind", "phishing")]),
             verdicts_safe: registry.counter("verdict_verdicts_total", &[("kind", "safe")]),
@@ -217,7 +260,13 @@ pub struct VerdictServer {
 impl VerdictServer {
     /// Bind on 127.0.0.1 (ephemeral port) and start serving.
     pub fn start(checker: Arc<dyn UrlChecker>) -> std::io::Result<VerdictServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        VerdictServer::start_on(0, checker)
+    }
+
+    /// Bind on 127.0.0.1 at an explicit `port` (0 = ephemeral) and start
+    /// serving.
+    pub fn start_on(port: u16, checker: Arc<dyn UrlChecker>) -> std::io::Result<VerdictServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
@@ -268,6 +317,20 @@ impl VerdictServer {
         self.metrics.registry.snapshot()
     }
 
+    /// Wait up to `timeout` for in-flight connections to finish. Returns
+    /// true when the connection count reached zero; false on timeout
+    /// (remaining connections are abandoned to their threads).
+    pub fn drain(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.metrics.connections_active.get() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        true
+    }
+
     /// Stop accepting connections.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -307,6 +370,19 @@ fn handle_connection(
                         Verdict::Safe(_) => metrics.verdicts_safe.inc(),
                     }
                     let reply = encode_verdict(&verdict);
+                    watch.record(&metrics.request_seconds);
+                    stream.write_all(reply.as_bytes())?;
+                }
+                Ok(Some(Request::Add(url, score))) => {
+                    metrics.requests_add.inc();
+                    let watch = Stopwatch::start();
+                    let reply = match checker.add(&url, score) {
+                        Ok(generation) => format!("OK {generation}\n"),
+                        Err(msg) => {
+                            metrics.protocol_errors.inc();
+                            format!("ERROR {msg}\n")
+                        }
+                    };
                     watch.record(&metrics.request_seconds);
                     stream.write_all(reply.as_bytes())?;
                 }
@@ -371,6 +447,29 @@ impl VerdictClient {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         self.cache.write().insert(url.to_string(), verdict);
         Ok(verdict)
+    }
+
+    /// Push a URL into the service's known set (`ADD <url> <score>\n` →
+    /// `OK <generation>`). Invalidates the local cache entry for `url` so
+    /// the next check sees the new verdict.
+    pub fn add(&self, url: &str, score: f64) -> std::io::Result<u64> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.write_all(format!("ADD {url} {score}\n").as_bytes())?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let generation = line
+            .trim_end()
+            .strip_prefix("OK ")
+            .and_then(|g| g.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("ADD refused: {}", line.trim_end()),
+                )
+            })?;
+        self.cache.write().remove(url);
+        Ok(generation)
     }
 
     /// Scrape the server's metrics over the wire (`STATS\n` → one line of
@@ -494,6 +593,55 @@ mod tests {
         // CRLF tolerated, like CHECK.
         let mut buf2 = BytesMut::from(&b"STATS\r\n"[..]);
         assert_eq!(decode_request(&mut buf2), Ok(Some(Request::Stats)));
+    }
+
+    #[test]
+    fn codec_decodes_add() {
+        let mut buf = BytesMut::from(&b"ADD https://new.weebly.com/x 0.93\n"[..]);
+        let req = decode_request(&mut buf).unwrap().unwrap();
+        assert_eq!(req, Request::Add("https://new.weebly.com/x".into(), 0.93));
+        // Missing score, bad score, out-of-range score: all rejected.
+        for bad in [
+            &b"ADD https://a.weebly.com/\n"[..],
+            &b"ADD https://a.weebly.com/ nope\n"[..],
+            &b"ADD https://a.weebly.com/ 1.5\n"[..],
+        ] {
+            let mut buf = BytesMut::from(bad);
+            assert!(decode_request(&mut buf).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn add_over_the_wire_updates_verdicts() {
+        let checker = Arc::new(KnownSetChecker::new([]));
+        let server = VerdictServer::start(checker.clone()).unwrap();
+        let client = VerdictClient::new(server.addr());
+
+        let url = "https://fresh.weebly.com/login";
+        assert!(!client.check(url).unwrap().is_phishing());
+        let generation = client.add(url, 0.91).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(checker.generation(), 1);
+        // The client invalidated its cache entry, so the next check hits
+        // the server and sees the addition.
+        assert!(client.check(url).unwrap().is_phishing());
+    }
+
+    #[test]
+    fn start_on_binds_requested_port() {
+        // Grab a free port, release it, then ask the server for it
+        // specifically.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port();
+        drop(probe);
+        let checker = Arc::new(KnownSetChecker::new([]));
+        let server = match VerdictServer::start_on(port, checker) {
+            Ok(s) => s,
+            Err(_) => return, // port raced away; nothing to assert
+        };
+        assert_eq!(server.addr().port(), port);
+        let client = VerdictClient::new(server.addr());
+        assert!(!client.check("https://x.weebly.com/").unwrap().is_phishing());
     }
 
     #[test]

@@ -31,8 +31,10 @@ pub mod evasion;
 pub mod extension;
 pub mod features;
 pub mod groundtruth;
+pub mod journal;
 pub mod models;
 pub mod pipeline;
+pub mod verdictstore;
 pub mod world;
 
 pub use features::{FeatureSet, FeatureVector};

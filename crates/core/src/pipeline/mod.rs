@@ -11,6 +11,7 @@ pub mod reporting;
 pub mod streaming;
 
 use crate::features::{FeatureSet, FeatureVector};
+use crate::journal::{CheckpointEvent, ReportEvent, RunJournal, VerdictEvent, NONE_SECS};
 use crate::models::augmented::AugmentedStackModel;
 use crate::world::World;
 use freephish_fwbsim::history::Platform;
@@ -116,11 +117,13 @@ impl Pipeline {
 
     /// Snapshot of every pipeline metric recorded so far: per-stage latency
     /// histograms (`pipeline_stage_seconds{stage=...}`), per-tick timing,
-    /// the observation/detection/report counters, and the worker-pool
-    /// gauges (`par_*`) of the parallel classify stage.
+    /// the observation/detection/report counters, the worker-pool gauges
+    /// (`par_*`) of the parallel classify stage, and the persistence-layer
+    /// counters (`store_*`) when a run journal is attached.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snapshot = self.metrics.registry.snapshot();
         snapshot.merge(&freephish_par::metrics_snapshot());
+        snapshot.merge(&crate::journal::store_metrics_snapshot());
         snapshot
     }
 
@@ -198,6 +201,24 @@ impl Pipeline {
         detections: &mut Vec<Detection>,
         next: SimTime,
     ) {
+        self.run_tick_journaled(world, stream, reporter, detections, next, None)
+            .expect("tick without a journal performs no I/O");
+    }
+
+    /// [`Pipeline::run_tick`] with an optional [`RunJournal`]: each
+    /// detection is journaled as a verdict + report-outcome pair, and the
+    /// tick ends with a durable checkpoint record (the journal's fsync
+    /// point). With `journal = None` this is exactly `run_tick` and cannot
+    /// fail.
+    pub fn run_tick_journaled(
+        &self,
+        world: &mut World,
+        stream: &mut StreamingModule,
+        reporter: &mut Reporter,
+        detections: &mut Vec<Detection>,
+        next: SimTime,
+        mut journal: Option<&mut RunJournal>,
+    ) -> std::io::Result<()> {
         let m = &self.metrics;
         m.ticks.inc();
         let _tick = Span::enter(&m.tick_seconds).at(&m.last_tick_sim, next);
@@ -260,7 +281,7 @@ impl Pipeline {
             // Report to the hosting FWB (with screenshot, per the
             // paper's evidence-based reporting) and the platform.
             let report_watch = Stopwatch::start();
-            reporter.report(world, obs.fwb, &obs.url, next);
+            let filed = reporter.report(world, obs.fwb, &obs.url, next);
             report_watch.record(&m.stage_report);
             m.reports.inc();
             detections.push(Detection {
@@ -271,7 +292,37 @@ impl Pipeline {
                 observed_at: next,
                 score,
             });
+            if let Some(j) = journal.as_deref_mut() {
+                let d = detections.last().expect("just pushed");
+                j.append_verdict(VerdictEvent {
+                    url: d.url.clone(),
+                    fwb: d.fwb,
+                    platform: d.platform,
+                    post: d.post.0,
+                    observed_at_secs: d.observed_at.as_secs(),
+                    score: d.score,
+                })?;
+                j.append_report(ReportEvent {
+                    url: d.url.clone(),
+                    fwb: d.fwb,
+                    filed: filed.filed,
+                    acknowledged: filed.acknowledged,
+                    followed_up: filed.followed_up,
+                    removal_at_secs: filed.removal_at.map_or(NONE_SECS, SimTime::as_secs),
+                    account_terminated: filed.account_terminated,
+                })?;
+            }
         }
+
+        if let Some(j) = journal {
+            j.checkpoint(CheckpointEvent {
+                tick_secs: next.as_secs(),
+                scanned: stream.scanned_count() as u64,
+                observed: stream.observed_count() as u64,
+                detections_total: detections.len() as u64,
+            })?;
+        }
+        Ok(())
     }
 }
 

@@ -29,6 +29,22 @@ pub struct ReportStats {
     pub accounts_terminated: usize,
 }
 
+/// What one [`Reporter::report`] call did — returned so the run journal
+/// can persist the outcome and recovery can cross-check its replay.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FiledReport {
+    /// False for repeat reports and unknown URLs (nothing tallied).
+    pub filed: bool,
+    /// Service acknowledged.
+    pub acknowledged: bool,
+    /// Service followed up.
+    pub followed_up: bool,
+    /// Scheduled removal time, if the report will result in one.
+    pub removal_at: Option<SimTime>,
+    /// Attacker account terminated alongside the site.
+    pub account_terminated: bool,
+}
+
 /// Files reports and accumulates Section 5.3 statistics.
 #[derive(Debug, Default)]
 pub struct Reporter {
@@ -45,15 +61,21 @@ impl Reporter {
     /// site, files the abuse report, applies any resulting takedown to the
     /// world's snapshot registry (so later crawls see the site gone), and
     /// tallies the outcome.
-    pub fn report(&mut self, world: &mut World, fwb: FwbKind, url: &str, now: SimTime) {
+    pub fn report(
+        &mut self,
+        world: &mut World,
+        fwb: FwbKind,
+        url: &str,
+        now: SimTime,
+    ) -> FiledReport {
         let host = world.host_mut(fwb);
         let Some(site_id) = host.site_by_url(url) else {
-            return; // not a hosted site we know (e.g. already purged)
+            return FiledReport::default(); // not a hosted site we know (e.g. already purged)
         };
         let already_reported = host.site(site_id).reported;
         let outcome = host.report_abuse(site_id, now);
         if already_reported {
-            return; // repeat report: fate unchanged, nothing to tally
+            return FiledReport::default(); // repeat report: fate unchanged, nothing to tally
         }
         let stats = self.per_fwb.entry(fwb).or_default();
         stats.filed += 1;
@@ -69,6 +91,13 @@ impl Reporter {
         }
         if outcome.account_terminated {
             stats.accounts_terminated += 1;
+        }
+        FiledReport {
+            filed: true,
+            acknowledged: outcome.acknowledged,
+            followed_up: outcome.followed_up,
+            removal_at: outcome.removal_at,
+            account_terminated: outcome.account_terminated,
         }
     }
 

@@ -49,6 +49,17 @@ impl StreamingModule {
         }
     }
 
+    /// Rebuild a poller from journaled checkpoint state: the next poll
+    /// window starts at `last_poll`, and the cumulative counters continue
+    /// from where the interrupted run left them.
+    pub fn restore(last_poll: SimTime, scanned_posts: usize, observed: usize) -> StreamingModule {
+        StreamingModule {
+            last_poll,
+            observed,
+            scanned_posts,
+        }
+    }
+
     /// Poll both feeds for the window `[last_poll, now)`; advances the
     /// anchor. Returns every FWB URL found in post text.
     pub fn poll(&mut self, world: &World, now: SimTime) -> Vec<ObservedPost> {

@@ -1,0 +1,323 @@
+//! Store-backed verdict checking: the live-updatable replacement for a
+//! static [`crate::extension::KnownSetChecker`].
+//!
+//! A [`StoreChecker`] follows a pipeline run's journal directory
+//! *read-only* (the pipeline process is the WAL's single writer) and
+//! applies every journaled verdict to its in-memory known set, so the
+//! verdict service hot-reloads as the pipeline appends detections.
+//! Manual `ADD`s from the wire protocol are durably journaled in a
+//! *sidecar* store (`<dir>/extd-adds`) owned by the daemon — never in the
+//! main journal — preserving single-writer integrity on both logs.
+//!
+//! Snapshot redelivery (the tail follower re-reads history after the
+//! pipeline compacts its WAL) is harmless here: applying a verdict twice
+//! is an idempotent map insert.
+
+use crate::extension::{UrlChecker, Verdict};
+use crate::journal::{decode_event, encode_event, obs_store_observer, AddEvent, RunEvent};
+use freephish_store::segment::scan_buffer;
+use freephish_store::{Store, StoreOptions, TailFollower};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Name of the sidecar store directory holding manual additions.
+pub const ADDS_SUBDIR: &str = "extd-adds";
+
+/// A [`UrlChecker`] backed by a run-journal store directory, hot-reloading
+/// as the pipeline appends verdicts, plus a durable sidecar for manual
+/// additions.
+pub struct StoreChecker {
+    known: RwLock<HashMap<String, f64>>,
+    generation: AtomicU64,
+    main: Mutex<TailFollower>,
+    adds: Mutex<Store>,
+}
+
+impl StoreChecker {
+    /// Open against the run journal at `dir`. Recovers previously
+    /// journaled manual additions from the sidecar immediately; call
+    /// [`StoreChecker::reload`] to ingest the main journal (and again
+    /// periodically to hot-reload).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<StoreChecker> {
+        let dir = dir.as_ref().to_path_buf();
+        let (adds_store, recovered) = Store::open_with(
+            dir.join(ADDS_SUBDIR),
+            StoreOptions::default(),
+            Some(obs_store_observer()),
+        )?;
+        let mut known = HashMap::new();
+        let mut apply = |payload: &[u8]| -> io::Result<()> {
+            match decode_event(payload)? {
+                RunEvent::Add(a) => {
+                    known.insert(a.url, a.score);
+                    Ok(())
+                }
+                _ => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "sidecar store holds a non-ADD record",
+                )),
+            }
+        };
+        if let Some(snapshot) = &recovered.snapshot {
+            let (frames, torn) = scan_buffer(snapshot);
+            if torn.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "sidecar snapshot framing is corrupt",
+                ));
+            }
+            for frame in frames {
+                apply(&frame)?;
+            }
+        }
+        for (_, payload) in &recovered.records {
+            apply(payload)?;
+        }
+        let generation = known.len() as u64;
+        Ok(StoreChecker {
+            known: RwLock::new(known),
+            generation: AtomicU64::new(generation),
+            main: Mutex::new(TailFollower::new(&dir)),
+            adds: Mutex::new(adds_store),
+        })
+    }
+
+    fn apply_payload(&self, payload: &[u8]) -> io::Result<usize> {
+        match decode_event(payload)? {
+            RunEvent::Verdict(v) => {
+                self.known.write().insert(v.url, v.score);
+                Ok(1)
+            }
+            RunEvent::Add(a) => {
+                self.known.write().insert(a.url, a.score);
+                Ok(1)
+            }
+            // The journal's bookkeeping records carry no verdicts.
+            RunEvent::Meta(_) | RunEvent::Report(_) | RunEvent::Checkpoint(_) => Ok(0),
+        }
+    }
+
+    /// Ingest everything the pipeline has journaled since the last call.
+    /// Returns the number of verdicts applied; bumps the generation once
+    /// when anything changed.
+    pub fn reload(&self) -> io::Result<usize> {
+        let batch = self.main.lock().poll()?;
+        let mut applied = 0;
+        if let Some(snapshot) = &batch.snapshot {
+            let (frames, torn) = scan_buffer(snapshot);
+            if torn.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "journal snapshot framing is corrupt",
+                ));
+            }
+            for frame in frames {
+                applied += self.apply_payload(&frame)?;
+            }
+        }
+        for payload in &batch.records {
+            applied += self.apply_payload(payload)?;
+        }
+        if applied > 0 {
+            self.generation.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(applied)
+    }
+
+    /// Durably journal a manual addition in the sidecar and apply it.
+    pub fn add_durable(&self, url: &str, score: f64) -> io::Result<u64> {
+        let ev = RunEvent::Add(AddEvent {
+            url: url.to_string(),
+            score,
+        });
+        {
+            let mut adds = self.adds.lock();
+            adds.append(&encode_event(&ev))?;
+            adds.sync()?;
+        }
+        self.known.write().insert(url.to_string(), score);
+        Ok(self.generation.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// Flush + fsync the sidecar (shutdown path).
+    pub fn sync(&self) -> io::Result<()> {
+        self.adds.lock().sync()
+    }
+
+    /// Number of known-phishing URLs.
+    pub fn len(&self) -> usize {
+        self.known.read().len()
+    }
+
+    /// True when nothing is known yet.
+    pub fn is_empty(&self) -> bool {
+        self.known.read().is_empty()
+    }
+
+    /// The sidecar store directory.
+    pub fn adds_dir(&self) -> PathBuf {
+        self.adds.lock().dir().to_path_buf()
+    }
+}
+
+impl UrlChecker for StoreChecker {
+    fn check(&self, url: &str) -> Verdict {
+        match self.known.read().get(url) {
+            Some(&score) => Verdict::Phishing(score),
+            None => Verdict::Safe(0.0),
+        }
+    }
+
+    fn add(&self, url: &str, score: f64) -> Result<u64, String> {
+        self.add_durable(url, score)
+            .map_err(|e| format!("store write failed: {e}"))
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{CheckpointEvent, RunJournal, RunMeta, VerdictEvent};
+    use freephish_fwbsim::history::Platform;
+    use freephish_store::testutil::TempDir;
+    use freephish_webgen::FwbKind;
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            seed: 9,
+            days: 1,
+            scale: 0.01,
+            benign_fraction: 0.0,
+            threshold: 0.5,
+            end_secs: 86_400,
+        }
+    }
+
+    fn verdict(n: u64) -> VerdictEvent {
+        VerdictEvent {
+            url: format!("https://v{n}.weebly.com/"),
+            fwb: FwbKind::Weebly,
+            platform: Platform::Twitter,
+            post: n,
+            observed_at_secs: n * 600,
+            score: 0.9,
+        }
+    }
+
+    #[test]
+    fn hot_reloads_verdicts_from_a_live_journal() {
+        let dir = TempDir::new("storechecker-live");
+        let mut journal = RunJournal::create(dir.path(), &meta()).unwrap();
+        let checker = StoreChecker::open(dir.path()).unwrap();
+        assert_eq!(checker.reload().unwrap(), 0);
+        let g0 = checker.generation();
+
+        journal.append_verdict(verdict(1)).unwrap();
+        journal
+            .checkpoint(CheckpointEvent {
+                tick_secs: 600,
+                scanned: 1,
+                observed: 1,
+                detections_total: 1,
+            })
+            .unwrap();
+        assert_eq!(checker.reload().unwrap(), 1);
+        assert!(checker.generation() > g0);
+        assert!(checker.check("https://v1.weebly.com/").is_phishing());
+        assert!(!checker.check("https://v2.weebly.com/").is_phishing());
+
+        // More ticks, picked up incrementally.
+        journal.append_verdict(verdict(2)).unwrap();
+        journal
+            .checkpoint(CheckpointEvent {
+                tick_secs: 1200,
+                scanned: 2,
+                observed: 2,
+                detections_total: 2,
+            })
+            .unwrap();
+        assert_eq!(checker.reload().unwrap(), 1);
+        assert!(checker.check("https://v2.weebly.com/").is_phishing());
+    }
+
+    #[test]
+    fn survives_journal_compaction_via_snapshot_redelivery() {
+        let dir = TempDir::new("storechecker-compact");
+        let mut journal = RunJournal::create(dir.path(), &meta()).unwrap();
+        journal.snapshot_every_ticks = 2;
+        let checker = StoreChecker::open(dir.path()).unwrap();
+        for t in 1..=6u64 {
+            journal.append_verdict(verdict(t)).unwrap();
+            journal
+                .checkpoint(CheckpointEvent {
+                    tick_secs: t * 600,
+                    scanned: t,
+                    observed: t,
+                    detections_total: t,
+                })
+                .unwrap();
+            // Poll on every tick so the follower crosses compactions.
+            checker.reload().unwrap();
+        }
+        for t in 1..=6u64 {
+            assert!(
+                checker
+                    .check(&format!("https://v{t}.weebly.com/"))
+                    .is_phishing(),
+                "verdict {t} lost across compaction"
+            );
+        }
+    }
+
+    #[test]
+    fn manual_adds_are_durable_across_reopen() {
+        let dir = TempDir::new("storechecker-adds");
+        // No run journal at all: the checker still works, sidecar-only.
+        {
+            let checker = StoreChecker::open(dir.path()).unwrap();
+            checker
+                .add_durable("https://manual.wixsite.com/a", 0.88)
+                .unwrap();
+            checker
+                .add_durable("https://manual.wixsite.com/b", 0.77)
+                .unwrap();
+            assert_eq!(checker.len(), 2);
+        }
+        let checker = StoreChecker::open(dir.path()).unwrap();
+        assert_eq!(checker.len(), 2);
+        assert!(checker.check("https://manual.wixsite.com/a").is_phishing());
+        assert!(checker.check("https://manual.wixsite.com/b").is_phishing());
+        assert!(checker.generation() > 0);
+    }
+
+    #[test]
+    fn sidecar_never_touches_the_main_journal() {
+        let dir = TempDir::new("storechecker-singlewriter");
+        let mut journal = RunJournal::create(dir.path(), &meta()).unwrap();
+        let checker = StoreChecker::open(dir.path()).unwrap();
+        checker
+            .add_durable("https://manual.weebly.com/", 0.8)
+            .unwrap();
+        // The pipeline's journal still opens cleanly — nothing foreign was
+        // appended to it.
+        journal
+            .checkpoint(CheckpointEvent {
+                tick_secs: 600,
+                scanned: 0,
+                observed: 0,
+                detections_total: 0,
+            })
+            .unwrap();
+        drop(journal);
+        let (_, rec) = RunJournal::open(dir.path()).unwrap();
+        assert_eq!(rec.dropped_events, 0);
+        assert!(rec.events.iter().all(|e| !matches!(e, RunEvent::Add(_))));
+    }
+}

@@ -1,0 +1,77 @@
+//! CRC32 (IEEE 802.3, polynomial `0xEDB88320`), implemented in-crate so the
+//! durability layer carries no dependencies. Table-driven, one byte per
+//! step; the table is built at compile time.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Continue a CRC32 over more bytes. `crc` is the value returned by a
+/// previous call (or 0 to start); the final value is the checksum.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// CRC32 of one contiguous buffer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn update_is_streaming() {
+        let whole = crc32(b"hello world");
+        let part = crc32_update(crc32(b"hello "), b"world");
+        assert_eq!(whole, part);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"record payload with some length to it".to_vec();
+        let good = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut bad = base.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), good, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

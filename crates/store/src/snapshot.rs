@@ -1,0 +1,127 @@
+//! Snapshot files: a durable point-in-time image of the consumer's state,
+//! letting compaction delete every WAL segment the image already covers.
+//!
+//! A snapshot is `snap-<seq>.snap`: an 8-byte header (`FPSN` magic + the
+//! covered segment index, little-endian) followed by one checksummed frame
+//! whose payload is the consumer's serialized state. Snapshots are written
+//! to a temporary file, fsynced, then renamed into place and the directory
+//! fsynced — so a crash mid-snapshot leaves the previous snapshot (and the
+//! segments it needs) untouched.
+
+use crate::segment::{encode_frame_into, scan_buffer};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FPSN";
+
+/// File name of the snapshot covering segments `<= seq`.
+pub fn snapshot_file_name(seq: u32) -> String {
+    format!("snap-{seq:010}.snap")
+}
+
+/// Parse a snapshot file name back to its covered segment index.
+pub fn parse_snapshot_name(name: &str) -> Option<u32> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+/// Fsync a directory so renames/unlinks within it are durable.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Durably write the snapshot covering segments `<= seq`. Returns the
+/// final path.
+pub fn write_snapshot(dir: &Path, seq: u32, payload: &[u8]) -> std::io::Result<PathBuf> {
+    let final_path = dir.join(snapshot_file_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    encode_frame_into(&mut bytes, payload);
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    fsync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Load and validate a snapshot file. `Ok(None)` means the file exists but
+/// is invalid (bad magic, bad checksum, trailing garbage) — recovery falls
+/// back to an older snapshot or to a full WAL replay.
+pub fn load_snapshot(path: &Path, expected_seq: u32) -> std::io::Result<Option<Vec<u8>>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 8
+        || bytes[..4] != SNAPSHOT_MAGIC
+        || u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != expected_seq
+    {
+        return Ok(None);
+    }
+    let (mut frames, torn) = scan_buffer(&bytes[8..]);
+    if torn.is_some() || frames.len() != 1 {
+        return Ok(None);
+    }
+    Ok(Some(frames.remove(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(snapshot_file_name(42), "snap-0000000042.snap");
+        assert_eq!(parse_snapshot_name("snap-0000000042.snap"), Some(42));
+        assert_eq!(parse_snapshot_name("wal-0000000042.log"), None);
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = TempDir::new("snapshot-roundtrip");
+        let path = write_snapshot(dir.path(), 5, b"state blob").unwrap();
+        assert_eq!(load_snapshot(&path, 5).unwrap().unwrap(), b"state blob");
+        // Wrong expected sequence: rejected.
+        assert!(load_snapshot(&path, 6).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupted_snapshot_rejected_not_propagated() {
+        let dir = TempDir::new("snapshot-corrupt");
+        let path = write_snapshot(dir.path(), 1, &vec![7u8; 256]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 17] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_snapshot(&path, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let dir = TempDir::new("snapshot-trunc");
+        let path = write_snapshot(dir.path(), 2, b"0123456789").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(load_snapshot(&path, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn no_tmp_file_left_behind() {
+        let dir = TempDir::new("snapshot-tmp");
+        write_snapshot(dir.path(), 3, b"x").unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+    }
+}

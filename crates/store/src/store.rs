@@ -1,0 +1,664 @@
+//! The store: a segmented write-ahead log plus snapshot compaction, with
+//! crash recovery that replays the last valid snapshot and the WAL suffix,
+//! truncating — never propagating — a torn tail.
+//!
+//! ## Durability model
+//!
+//! * [`Store::append`] buffers the framed record in memory. Nothing is
+//!   promised until [`Store::sync`] returns: callers group appends into an
+//!   atomic-enough unit (the pipeline syncs once per tick, at the
+//!   checkpoint record) and the recovery contract is "some prefix of
+//!   synced records, truncated at the first defect".
+//! * [`Store::snapshot`] seals every segment written so far under one
+//!   durable snapshot file (write-tmp → fsync → rename → fsync dir), then
+//!   deletes the covered segments. A crash at any point leaves either the
+//!   old snapshot + old segments or the new snapshot; recovery completes
+//!   an interrupted compaction by purging segments the snapshot covers.
+//! * [`Store::open`] scans segments in index order. At the first invalid
+//!   frame it truncates that segment to its last good record and deletes
+//!   any later segment, so the recovered state is always a valid prefix
+//!   of what was appended.
+
+use crate::segment::{
+    parse_segment_name, scan_segment, segment_file_name, SegmentWriter, SEGMENT_HEADER_LEN,
+};
+use crate::snapshot::{
+    fsync_dir, load_snapshot, parse_snapshot_name, snapshot_file_name, write_snapshot,
+};
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Instrumentation hooks. The store is std-only; consumers bridge these
+/// callbacks into their metrics registry (`freephish-core` wires them to
+/// `freephish-obs` counters and histograms).
+pub trait StoreObserver: Send + Sync {
+    /// A record was appended (`framed_bytes` includes the frame header).
+    fn on_append(&self, framed_bytes: u64) {
+        let _ = framed_bytes;
+    }
+    /// An fdatasync was issued.
+    fn on_fsync(&self) {}
+    /// A new segment file was created.
+    fn on_segment_created(&self) {}
+    /// A snapshot completed, taking `seconds` and writing `payload_bytes`.
+    fn on_snapshot(&self, seconds: f64, payload_bytes: u64) {
+        let _ = (seconds, payload_bytes);
+    }
+    /// A recovery ran: `records` replayed, `truncated_bytes` dropped,
+    /// `torn` whether a defective tail was found.
+    fn on_recovery(&self, records: usize, truncated_bytes: u64, torn: bool) {
+        let _ = (records, truncated_bytes, torn);
+    }
+}
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Rotate the active segment once it reaches this size.
+    pub segment_max_bytes: u64,
+    /// Fdatasync after every append (slow; for tests and paranoid
+    /// callers). The default policy is explicit [`Store::sync`] calls.
+    pub sync_every_append: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            segment_max_bytes: 4 << 20,
+            sync_every_append: false,
+        }
+    }
+}
+
+/// Position of a record in the WAL: its segment and the byte offset just
+/// past its frame (a valid truncation point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordPos {
+    /// Segment index.
+    pub segment: u32,
+    /// Offset just past the record.
+    pub end_offset: u64,
+}
+
+/// What recovery found.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Payload of the latest valid snapshot, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// WAL records after that snapshot, in append order, with positions.
+    pub records: Vec<(RecordPos, Vec<u8>)>,
+    /// Whether a torn/corrupt tail was found (and truncated).
+    pub torn_tail: bool,
+    /// Bytes dropped by tail truncation (including deleted later
+    /// segments).
+    pub truncated_bytes: u64,
+}
+
+/// The WAL + snapshot store. Single writer per directory; any number of
+/// [`crate::TailFollower`]s may read concurrently.
+pub struct Store {
+    dir: PathBuf,
+    opts: StoreOptions,
+    writer: SegmentWriter,
+    snapshot_seq: Option<u32>,
+    observer: Option<Arc<dyn StoreObserver>>,
+}
+
+pub(crate) fn list_indexed(
+    dir: &Path,
+    parse: fn(&str) -> Option<u32>,
+) -> std::io::Result<Vec<u32>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(idx) = name.to_str().and_then(parse) {
+            out.push(idx);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+impl Store {
+    /// Open (or create) the store in `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<(Store, Recovered)> {
+        Store::open_with(dir, StoreOptions::default(), None)
+    }
+
+    /// Open with explicit options and an optional observer.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        opts: StoreOptions,
+        observer: Option<Arc<dyn StoreObserver>>,
+    ) -> std::io::Result<(Store, Recovered)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        // Clear leftovers from an interrupted snapshot write.
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+
+        // Latest valid snapshot wins; invalid ones are removed (their
+        // covered segments still exist — compaction deletes segments only
+        // after the snapshot is durable).
+        let mut snapshot_seq = None;
+        let mut snapshot_payload = None;
+        for seq in list_indexed(&dir, parse_snapshot_name)?.into_iter().rev() {
+            let path = dir.join(snapshot_file_name(seq));
+            match load_snapshot(&path, seq)? {
+                Some(payload) => {
+                    snapshot_seq = Some(seq);
+                    snapshot_payload = Some(payload);
+                    break;
+                }
+                None => {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+
+        // Complete any interrupted compaction: segments the snapshot
+        // covers are dead.
+        let mut segments = list_indexed(&dir, parse_segment_name)?;
+        if let Some(seq) = snapshot_seq {
+            for &idx in segments.iter().filter(|&&i| i <= seq) {
+                let _ = std::fs::remove_file(dir.join(segment_file_name(idx)));
+            }
+            segments.retain(|&i| i > seq);
+        }
+
+        // Replay the WAL suffix, stopping at the first defect.
+        let mut records = Vec::new();
+        let mut torn_tail = false;
+        let mut truncated_bytes = 0u64;
+        let mut live: Vec<(u32, u64)> = Vec::new(); // (index, good_len)
+        let mut stop_at: Option<usize> = None;
+        for (i, &idx) in segments.iter().enumerate() {
+            let path = dir.join(segment_file_name(idx));
+            let scan = scan_segment(&path)?;
+            if !scan.header_ok {
+                // The whole file is invalid (crash during creation, or
+                // external damage): drop it and everything after.
+                torn_tail = true;
+                truncated_bytes += scan.file_len;
+                let _ = std::fs::remove_file(&path);
+                stop_at = Some(i);
+                break;
+            }
+            for rec in scan.records {
+                records.push((
+                    RecordPos {
+                        segment: idx,
+                        end_offset: rec.end_offset,
+                    },
+                    rec.payload,
+                ));
+            }
+            if scan.torn.is_some() {
+                torn_tail = true;
+                truncated_bytes += scan.file_len - scan.good_len;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(scan.good_len)?;
+                f.sync_data()?;
+                live.push((idx, scan.good_len));
+                stop_at = Some(i + 1);
+                break;
+            }
+            live.push((idx, scan.good_len));
+        }
+        // A defect poisons everything after it: later segments were
+        // appended after the damaged point and must not be replayed.
+        if let Some(stop) = stop_at {
+            for &idx in &segments[stop..] {
+                if live.iter().any(|&(l, _)| l == idx) {
+                    continue;
+                }
+                let path = dir.join(segment_file_name(idx));
+                if let Ok(meta) = std::fs::metadata(&path) {
+                    truncated_bytes += meta.len();
+                }
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+
+        // Reopen the last surviving segment for append, or start fresh.
+        let writer = match live.last() {
+            Some(&(idx, len)) => SegmentWriter::open_append(&dir, idx, len)?,
+            None => {
+                let first = snapshot_seq.map_or(0, |s| s + 1);
+                let w = SegmentWriter::create(&dir, first)?;
+                fsync_dir(&dir)?;
+                w
+            }
+        };
+
+        let recovered = Recovered {
+            snapshot: snapshot_payload,
+            records,
+            torn_tail,
+            truncated_bytes,
+        };
+        if let Some(obs) = &observer {
+            obs.on_recovery(recovered.records.len(), truncated_bytes, torn_tail);
+        }
+        Ok((
+            Store {
+                dir,
+                opts,
+                writer,
+                snapshot_seq,
+                observer,
+            },
+            recovered,
+        ))
+    }
+
+    /// Append one record (buffered; durable only after [`Store::sync`]).
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if self.writer.len() >= self.opts.segment_max_bytes {
+            self.rotate()?;
+        }
+        let framed = self.writer.append(payload);
+        if let Some(obs) = &self.observer {
+            obs.on_append(framed);
+        }
+        if self.opts.sync_every_append {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Write buffered records to the file without fsync (makes them
+    /// visible to tail followers).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Flush and fdatasync the active segment.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.writer.sync()?;
+        if let Some(obs) = &self.observer {
+            obs.on_fsync();
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.writer.sync()?;
+        if let Some(obs) = &self.observer {
+            obs.on_fsync();
+        }
+        let next = self.writer.index() + 1;
+        self.writer = SegmentWriter::create(&self.dir, next)?;
+        fsync_dir(&self.dir)?;
+        if let Some(obs) = &self.observer {
+            obs.on_segment_created();
+        }
+        Ok(())
+    }
+
+    /// Seal everything appended so far under `payload` (the consumer's
+    /// serialized state), then delete the covered segments and any older
+    /// snapshot. After this, recovery loads `payload` and replays only
+    /// records appended after this call.
+    pub fn snapshot(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let start = Instant::now();
+        let covered = self.writer.index();
+        self.writer.sync()?;
+        self.writer = SegmentWriter::create(&self.dir, covered + 1)?;
+        fsync_dir(&self.dir)?;
+        if let Some(obs) = &self.observer {
+            obs.on_fsync();
+            obs.on_segment_created();
+        }
+        write_snapshot(&self.dir, covered, payload)?;
+        // The snapshot is durable: everything it covers can go.
+        for idx in list_indexed(&self.dir, parse_segment_name)? {
+            if idx <= covered {
+                let _ = std::fs::remove_file(self.dir.join(segment_file_name(idx)));
+            }
+        }
+        for seq in list_indexed(&self.dir, parse_snapshot_name)? {
+            if seq < covered {
+                let _ = std::fs::remove_file(self.dir.join(snapshot_file_name(seq)));
+            }
+        }
+        fsync_dir(&self.dir)?;
+        self.snapshot_seq = Some(covered);
+        if let Some(obs) = &self.observer {
+            obs.on_snapshot(start.elapsed().as_secs_f64(), payload.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Drop every WAL record after `pos` (from [`Recovered::records`]);
+    /// with `None`, drop the entire WAL suffix, keeping only the snapshot.
+    /// Used by consumers whose logical unit spans several records (the run
+    /// journal truncates to its last checkpoint).
+    pub fn truncate_after(&mut self, pos: Option<RecordPos>) -> std::io::Result<()> {
+        let (keep_segment, keep_len) = match pos {
+            Some(p) => (p.segment, p.end_offset),
+            None => {
+                let first = self.snapshot_seq.map_or(0, |s| s + 1);
+                (first, SEGMENT_HEADER_LEN)
+            }
+        };
+        self.writer.flush()?;
+        for idx in list_indexed(&self.dir, parse_segment_name)? {
+            if idx > keep_segment {
+                let _ = std::fs::remove_file(self.dir.join(segment_file_name(idx)));
+            }
+        }
+        let keep_path = self.dir.join(segment_file_name(keep_segment));
+        if keep_path.exists() {
+            let f = OpenOptions::new().write(true).open(&keep_path)?;
+            f.set_len(keep_len)?;
+            f.sync_data()?;
+            self.writer = SegmentWriter::open_append(&self.dir, keep_segment, keep_len)?;
+        } else {
+            self.writer = SegmentWriter::create(&self.dir, keep_segment)?;
+        }
+        fsync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current append position (end of the active segment, including
+    /// buffered records).
+    pub fn position(&self) -> RecordPos {
+        RecordPos {
+            segment: self.writer.index(),
+            end_offset: self.writer.len(),
+        }
+    }
+
+    /// Covered index of the latest snapshot, if one exists.
+    pub fn snapshot_seq(&self) -> Option<u32> {
+        self.snapshot_seq
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best effort: push buffered frames to the OS. A real crash (the
+        // scenario recovery exists for) skips this, and recovery copes.
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("record-{i}-{}", "x".repeat(i % 37)).into_bytes())
+            .collect()
+    }
+
+    fn reopen(dir: &Path) -> (Store, Vec<Vec<u8>>, bool) {
+        let (store, rec) = Store::open(dir).unwrap();
+        let combined: Vec<Vec<u8>> = rec.records.into_iter().map(|(_, p)| p).collect();
+        (store, combined, rec.torn_tail)
+    }
+
+    #[test]
+    fn append_sync_reopen_round_trip() {
+        let dir = TempDir::new("store-roundtrip");
+        let want = payloads(50);
+        {
+            let (mut store, rec) = Store::open(dir.path()).unwrap();
+            assert!(rec.records.is_empty());
+            assert!(rec.snapshot.is_none());
+            for p in &want {
+                store.append(p).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let (_, got, torn) = reopen(dir.path());
+        assert!(!torn);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unsynced_tail_may_be_lost_but_prefix_survives() {
+        let dir = TempDir::new("store-unsynced");
+        let want = payloads(10);
+        {
+            let (mut store, _) = Store::open(dir.path()).unwrap();
+            for p in &want[..7] {
+                store.append(p).unwrap();
+            }
+            store.sync().unwrap();
+            for p in &want[7..] {
+                store.append(p).unwrap();
+            }
+            // No sync: Drop flushes best-effort, so normally all 10
+            // survive — but only 7 are *promised*.
+        }
+        let (_, got, _) = reopen(dir.path());
+        assert!(got.len() >= 7);
+        assert_eq!(&got[..], &want[..got.len()]);
+    }
+
+    #[test]
+    fn rotation_spreads_records_across_segments() {
+        let dir = TempDir::new("store-rotate");
+        let opts = StoreOptions {
+            segment_max_bytes: 256,
+            sync_every_append: false,
+        };
+        let want = payloads(40);
+        {
+            let (mut store, _) = Store::open_with(dir.path(), opts, None).unwrap();
+            for p in &want {
+                store.append(p).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.position().segment > 2, "should have rotated");
+        }
+        let (_, got, torn) = reopen(dir.path());
+        assert!(!torn);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn torn_tail_truncated_and_reopen_appends_cleanly() {
+        let dir = TempDir::new("store-torn");
+        let want = payloads(12);
+        {
+            let (mut store, _) = Store::open(dir.path()).unwrap();
+            for p in &want {
+                store.append(p).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Tear the last record.
+        let seg = dir.path().join(segment_file_name(0));
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 2]).unwrap();
+
+        let (mut store, got, torn) = reopen(dir.path());
+        assert!(torn);
+        assert_eq!(got, want[..11].to_vec());
+        // The truncated store keeps working.
+        store.append(b"after recovery").unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let (_, got2, torn2) = reopen(dir.path());
+        assert!(!torn2);
+        assert_eq!(got2.len(), 12);
+        assert_eq!(got2[11], b"after recovery");
+    }
+
+    #[test]
+    fn corruption_in_middle_segment_drops_later_segments() {
+        let dir = TempDir::new("store-midcorrupt");
+        let opts = StoreOptions {
+            segment_max_bytes: 128,
+            sync_every_append: false,
+        };
+        let want = payloads(30);
+        {
+            let (mut store, _) = Store::open_with(dir.path(), opts, None).unwrap();
+            for p in &want {
+                store.append(p).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.position().segment >= 2);
+        }
+        // Flip a bit in segment 1's first record payload.
+        let seg = dir.path().join(segment_file_name(1));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let flip_at = SEGMENT_HEADER_LEN as usize + 9;
+        bytes[flip_at] ^= 0x10;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (_, got, torn) = reopen(dir.path());
+        assert!(torn);
+        assert!(!got.is_empty() && got.len() < want.len());
+        assert_eq!(&got[..], &want[..got.len()]);
+        // Later segments are gone.
+        assert!(!dir.path().join(segment_file_name(2)).exists());
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovery_prefers_it() {
+        let dir = TempDir::new("store-snapshot");
+        let want = payloads(20);
+        {
+            let (mut store, _) = Store::open(dir.path()).unwrap();
+            for p in &want[..15] {
+                store.append(p).unwrap();
+            }
+            store.snapshot(b"state@15").unwrap();
+            for p in &want[15..] {
+                store.append(p).unwrap();
+            }
+            store.sync().unwrap();
+            assert_eq!(store.snapshot_seq(), Some(0));
+        }
+        let (_, rec) = Store::open(dir.path()).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"state@15"[..]));
+        let tail: Vec<Vec<u8>> = rec.records.into_iter().map(|(_, p)| p).collect();
+        assert_eq!(tail, want[15..].to_vec());
+        // Old segment is gone.
+        assert!(!dir.path().join(segment_file_name(0)).exists());
+    }
+
+    #[test]
+    fn invalid_snapshot_falls_back_to_wal() {
+        let dir = TempDir::new("store-badsnap");
+        let want = payloads(8);
+        {
+            let (mut store, _) = Store::open(dir.path()).unwrap();
+            for p in &want {
+                store.append(p).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Plant a corrupt snapshot claiming to cover everything. Recovery
+        // must reject it and replay the intact WAL instead.
+        let snap = dir.path().join(snapshot_file_name(99));
+        std::fs::write(&snap, b"FPSNgarbage").unwrap();
+        let (_, rec) = Store::open(dir.path()).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(rec.records.len(), want.len());
+        assert!(!snap.exists(), "invalid snapshot should be removed");
+    }
+
+    #[test]
+    fn truncate_after_drops_suffix() {
+        let dir = TempDir::new("store-truncafter");
+        let want = payloads(10);
+        let (mut store, _) = Store::open(dir.path()).unwrap();
+        for p in &want {
+            store.append(p).unwrap();
+        }
+        store.sync().unwrap();
+        drop(store);
+        let (mut store, rec) = Store::open(dir.path()).unwrap();
+        let cut = rec.records[5].0;
+        store.truncate_after(Some(cut)).unwrap();
+        store.append(b"replacement").unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let (_, got, torn) = reopen(dir.path());
+        assert!(!torn);
+        assert_eq!(got.len(), 7);
+        assert_eq!(&got[..6], &want[..6]);
+        assert_eq!(got[6], b"replacement");
+    }
+
+    #[test]
+    fn truncate_after_none_keeps_only_snapshot() {
+        let dir = TempDir::new("store-truncall");
+        let (mut store, _) = Store::open(dir.path()).unwrap();
+        for p in payloads(5) {
+            store.append(&p).unwrap();
+        }
+        store.snapshot(b"base").unwrap();
+        for p in payloads(3) {
+            store.append(&p).unwrap();
+        }
+        store.sync().unwrap();
+        store.truncate_after(None).unwrap();
+        drop(store);
+        let (_, rec) = Store::open(dir.path()).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"base"[..]));
+        assert!(rec.records.is_empty());
+    }
+
+    #[test]
+    fn observer_sees_appends_fsyncs_and_recovery() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Default)]
+        struct Counting {
+            appends: AtomicU64,
+            bytes: AtomicU64,
+            fsyncs: AtomicU64,
+            recoveries: AtomicU64,
+        }
+        impl StoreObserver for Counting {
+            fn on_append(&self, framed: u64) {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(framed, Ordering::Relaxed);
+            }
+            fn on_fsync(&self) {
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_recovery(&self, _records: usize, _truncated: u64, _torn: bool) {
+                self.recoveries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let dir = TempDir::new("store-observer");
+        let obs = Arc::new(Counting::default());
+        {
+            let (mut store, _) = Store::open_with(
+                dir.path(),
+                StoreOptions::default(),
+                Some(obs.clone() as Arc<dyn StoreObserver>),
+            )
+            .unwrap();
+            store.append(b"abc").unwrap();
+            store.append(b"defg").unwrap();
+            store.sync().unwrap();
+        }
+        assert_eq!(obs.appends.load(Ordering::Relaxed), 2);
+        assert_eq!(obs.bytes.load(Ordering::Relaxed), (3 + 8) + (4 + 8));
+        assert!(obs.fsyncs.load(Ordering::Relaxed) >= 1);
+        assert_eq!(obs.recoveries.load(Ordering::Relaxed), 1);
+    }
+}

@@ -7,7 +7,10 @@
 #     vs the Myers bit-parallel kernel, serial and through freephish-par;
 #   * one full pipeline tick at FREEPHISH_THREADS=1 vs the host default,
 #     plus the seed's bare poll+crawl+score loop;
-#   * the classifier train phase at one thread vs the host default.
+#   * the classifier train phase at one thread vs the host default;
+#   * the persistence layer — buffered vs per-record-fsync append
+#     throughput and cold WAL recovery (clean and torn-tail), recorded
+#     under the store_append_throughput and store_recovery keys.
 #
 # Knobs: FREEPHISH_BENCH_REPS (best-of reps, default 3),
 #        FREEPHISH_BENCH_OUT (output path, default BENCH_PIPELINE.json).

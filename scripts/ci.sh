@@ -14,6 +14,12 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo build --release =="
 cargo build --release
 
+echo "== cargo test -q -p freephish-store (host-default threads) =="
+cargo test -q -p freephish-store
+
+echo "== cargo test -q -p freephish-store (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 cargo test -q -p freephish-store
+
 echo "== cargo test -q (host-default threads) =="
 cargo test -q
 

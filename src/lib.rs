@@ -16,6 +16,7 @@ pub use freephish_ml as ml;
 pub use freephish_obs as obs;
 pub use freephish_simclock as simclock;
 pub use freephish_socialsim as socialsim;
+pub use freephish_store as store;
 pub use freephish_textsim as textsim;
 pub use freephish_urlparse as urlparse;
 pub use freephish_webgen as webgen;
