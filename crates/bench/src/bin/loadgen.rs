@@ -1,0 +1,269 @@
+//! loadgen: the concurrent verdict-serving load record behind the
+//! `serve_throughput` and `serve_latency` keys of `BENCH_PIPELINE.json`.
+//!
+//! Starts both serving engines in-process over an identical verdict set
+//! and drives each with `FREEPHISH_LOADGEN_CONNS` (default 64) concurrent
+//! client connections for `FREEPHISH_LOADGEN_SECS` (default 2) seconds:
+//!
+//! * **threaded / CHECK** — the seed's thread-per-connection line server,
+//!   one synchronous `CHECK` RPC at a time per connection;
+//! * **evented / CHECK** — the poll-loop engine on the same line
+//!   protocol, isolating the event-loop-vs-thread-pool difference;
+//! * **evented / CHECKN** — the poll-loop engine driven over the binary
+//!   protocol with `FREEPHISH_LOADGEN_BATCH` (default 64) URLs per frame,
+//!   the deployment shape for browser-fleet fanout.
+//!
+//! Throughput is URLs verdicted per second across all connections;
+//! latency is per-RPC microseconds (p50/p99 over every sample). Results
+//! merge into the existing record at `FREEPHISH_BENCH_OUT` (default
+//! `BENCH_PIPELINE.json`) so `bench.sh` composes this with perfbench.
+
+use bytes::BytesMut;
+use freephish_core::extension::{KnownSetChecker, VerdictServer};
+use freephish_serve::{
+    decode_bin_reply, encode_bin_request, BinReply, BinRequest, EventedServer, ShardedIndex,
+    HANDSHAKE_OK,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The query pool: half the URLs are in the served verdict set, half are
+/// unknown, so both lookup outcomes stay on the hot path.
+fn url_pool(n: usize) -> (Vec<(String, f64)>, Vec<String>) {
+    let known: Vec<(String, f64)> = (0..n)
+        .map(|i| (format!("https://phish{i}.weebly.com/login"), 0.9))
+        .collect();
+    let pool: Vec<String> = known
+        .iter()
+        .map(|(u, _)| u.clone())
+        .chain((0..n).map(|i| format!("https://clean{i}.wixsite.com/home")))
+        .collect();
+    (known, pool)
+}
+
+/// One closed-loop line-protocol connection: synchronous `CHECK` RPCs
+/// until the deadline. Returns (urls checked, per-RPC latencies in µs).
+fn line_worker(
+    addr: SocketAddr,
+    pool: Arc<Vec<String>>,
+    stop: Instant,
+    tid: usize,
+) -> (u64, Vec<u64>) {
+    let stream = TcpStream::connect(addr).expect("loadgen connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut urls = 0u64;
+    let mut lat = Vec::new();
+    let mut i = tid.wrapping_mul(7919);
+    while Instant::now() < stop {
+        let url = &pool[i % pool.len()];
+        i += 1;
+        let t0 = Instant::now();
+        writer
+            .write_all(format!("CHECK {url}\n").as_bytes())
+            .expect("loadgen write");
+        line.clear();
+        reader.read_line(&mut line).expect("loadgen read");
+        assert!(!line.is_empty(), "server closed mid-run");
+        lat.push(t0.elapsed().as_micros() as u64);
+        urls += 1;
+    }
+    (urls, lat)
+}
+
+/// One closed-loop binary-protocol connection: `CHECKN` frames of
+/// `batch` URLs until the deadline.
+fn batch_worker(
+    addr: SocketAddr,
+    pool: Arc<Vec<String>>,
+    stop: Instant,
+    tid: usize,
+    batch: usize,
+) -> (u64, Vec<u64>) {
+    let mut stream = TcpStream::connect(addr).expect("loadgen connect");
+    stream.set_nodelay(true).ok();
+    stream.write_all(b"BINARY\n").expect("handshake write");
+    let mut inbuf = BytesMut::new();
+    let handshake = read_line_buffered(&mut stream, &mut inbuf);
+    assert_eq!(handshake, HANDSHAKE_OK, "engine refused binary protocol");
+    let mut outbuf = BytesMut::new();
+    let mut urls = 0u64;
+    let mut lat = Vec::new();
+    let mut i = tid.wrapping_mul(7919);
+    let mut tmp = [0u8; 16 * 1024];
+    while Instant::now() < stop {
+        let frame: Vec<String> = (0..batch)
+            .map(|k| pool[(i + k) % pool.len()].clone())
+            .collect();
+        i += batch;
+        let t0 = Instant::now();
+        outbuf.clear();
+        encode_bin_request(&mut outbuf, &BinRequest::CheckN(frame)).expect("encode CHECKN");
+        stream.write_all(&outbuf).expect("loadgen write");
+        loop {
+            match decode_bin_reply(&mut inbuf).expect("decode reply") {
+                Some(BinReply::VerdictN(vs)) => {
+                    assert_eq!(vs.len(), batch);
+                    break;
+                }
+                Some(BinReply::Busy) => panic!("loadgen shed: raise --max-inflight for bench"),
+                Some(other) => panic!("unexpected reply {other:?}"),
+                None => {
+                    let n = stream.read(&mut tmp).expect("loadgen read");
+                    assert!(n > 0, "server closed mid-run");
+                    inbuf.extend_from_slice(&tmp[..n]);
+                }
+            }
+        }
+        lat.push(t0.elapsed().as_micros() as u64);
+        urls += batch as u64;
+    }
+    (urls, lat)
+}
+
+/// Read one `\n`-terminated line through the shared accumulation buffer,
+/// leaving any bytes after the newline (the first binary frame may ride
+/// the same segment) in place for the frame decoder.
+fn read_line_buffered(stream: &mut TcpStream, buf: &mut BytesMut) -> String {
+    let mut tmp = [0u8; 4096];
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line = buf.split_to(pos + 1);
+            return String::from_utf8_lossy(&line[..pos]).trim_end().to_string();
+        }
+        let n = stream.read(&mut tmp).expect("handshake read");
+        assert!(n > 0, "server closed during handshake");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+}
+
+/// Fan `conns` workers at one engine and fold their counts and samples.
+fn drive<F>(conns: usize, secs: f64, worker: F) -> (f64, Vec<u64>)
+where
+    F: Fn(Instant, usize) -> (u64, Vec<u64>) + Send + Sync + 'static,
+{
+    let worker = Arc::new(worker);
+    let start = Instant::now();
+    let stop = start + Duration::from_secs_f64(secs);
+    let handles: Vec<_> = (0..conns)
+        .map(|tid| {
+            let worker = worker.clone();
+            std::thread::spawn(move || worker(stop, tid))
+        })
+        .collect();
+    let mut urls = 0u64;
+    let mut lat = Vec::new();
+    for h in handles {
+        let (n, mut l) = h.join().expect("loadgen worker panicked");
+        urls += n;
+        lat.append(&mut l);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (urls as f64 / elapsed, lat)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn latency_json(mut samples: Vec<u64>) -> serde_json::Value {
+    samples.sort_unstable();
+    serde_json::json!({
+        "samples": samples.len(),
+        "p50_us": percentile(&samples, 0.50),
+        "p99_us": percentile(&samples, 0.99),
+    })
+}
+
+fn main() {
+    let conns = env_usize("FREEPHISH_LOADGEN_CONNS", 64);
+    let batch = env_usize("FREEPHISH_LOADGEN_BATCH", 64).clamp(1, 256);
+    let secs = env_usize("FREEPHISH_LOADGEN_SECS", 2) as f64;
+    let out = std::env::var("FREEPHISH_BENCH_OUT").unwrap_or_else(|_| "BENCH_PIPELINE.json".into());
+
+    let (known, pool) = url_pool(4096);
+    let pool = Arc::new(pool);
+    println!(
+        "loadgen: {conns} connections, {secs}s per engine, CHECKN batch {batch}, \
+         pool {} URLs ({} known)",
+        pool.len(),
+        known.len()
+    );
+
+    // Threaded engine: the seed's thread-per-connection line server.
+    let mut threaded = VerdictServer::start(Arc::new(KnownSetChecker::new(known.clone())))
+        .expect("start threaded engine");
+    let t_addr = threaded.addr();
+    let p = pool.clone();
+    let (threaded_rps, threaded_lat) = drive(conns, secs, move |stop, tid| {
+        line_worker(t_addr, p.clone(), stop, tid)
+    });
+    threaded.shutdown();
+    threaded.drain(Duration::from_secs(5));
+    println!("  threaded  CHECK : {threaded_rps:>12.0} urls/s");
+
+    // Evented engine, line protocol then binary CHECKN, same verdict set.
+    let index = ShardedIndex::with_default_shards();
+    index.publish(known);
+    let mut evented = EventedServer::start(Arc::new(index)).expect("start evented engine");
+    let e_addr = evented.addr();
+    let p = pool.clone();
+    let (evented_rps, evented_lat) = drive(conns, secs, move |stop, tid| {
+        line_worker(e_addr, p.clone(), stop, tid)
+    });
+    println!("  evented   CHECK : {evented_rps:>12.0} urls/s");
+    let p = pool.clone();
+    let (eventedn_rps, eventedn_lat) = drive(conns, secs, move |stop, tid| {
+        batch_worker(e_addr, p.clone(), stop, tid, batch)
+    });
+    evented.shutdown();
+    evented.drain(Duration::from_secs(5));
+    println!("  evented   CHECKN: {eventedn_rps:>12.0} urls/s");
+    println!(
+        "  evented CHECKN vs threaded CHECK: {:.1}x",
+        eventedn_rps / threaded_rps.max(1.0)
+    );
+
+    // Merge into the perfbench record rather than clobbering it.
+    let mut record: serde_json::Value = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({"schema_version": 1}));
+    let throughput = serde_json::json!({
+        "connections": conns,
+        "duration_secs": secs,
+        "checkn_batch": batch,
+        "threaded_check_urls_per_sec": threaded_rps,
+        "evented_check_urls_per_sec": evented_rps,
+        "evented_checkn_urls_per_sec": eventedn_rps,
+        "evented_checkn_vs_threaded_check": eventedn_rps / threaded_rps.max(1.0),
+    });
+    let latency = serde_json::json!({
+        "threaded_check": latency_json(threaded_lat),
+        "evented_check": latency_json(evented_lat),
+        "evented_checkn_per_frame": latency_json(eventedn_lat),
+    });
+    let obj = record
+        .as_object_mut()
+        .expect("bench record must be a JSON object");
+    obj.insert("serve_throughput".into(), throughput);
+    obj.insert("serve_latency".into(), latency);
+    std::fs::write(&out, serde_json::to_string_pretty(&record).unwrap())
+        .unwrap_or_else(|e| panic!("could not write {out}: {e}"));
+    println!("merged serve_throughput + serve_latency into {out}");
+}

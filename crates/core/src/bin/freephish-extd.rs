@@ -7,20 +7,26 @@
 //!
 //! ```text
 //! freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]
+//!                      [--engine threaded|evented]
 //!     Serve verdicts on 127.0.0.1:N (default: an ephemeral port).
 //!     FILE holds one `<url> [score]` per line ('#' comments allowed);
 //!     malformed lines are skipped with a warning. With --store DIR the
 //!     daemon follows a pipeline run journal instead: verdicts hot-reload
 //!     as the pipeline appends them, and ADDs are durably journaled in
-//!     DIR/extd-adds. Ctrl-C / SIGTERM drains connections, flushes the
-//!     store, and exits 0.
+//!     DIR/extd-adds. --engine picks the serving engine: "evented" (the
+//!     default) runs the freephish-serve poll-loop engine with the binary
+//!     CHECKN protocol, backpressure and load shedding; "threaded" runs
+//!     the classic thread-per-connection line server. Ctrl-C / SIGTERM
+//!     drains connections, flushes the store, and exits 0.
 //!
 //! freephish-extd check <addr> <url> [url...]
 //!     Query a running daemon; exit code 2 if any URL is phishing.
 //! ```
 
 use freephish_core::extension::{KnownSetChecker, UrlChecker, VerdictClient, VerdictServer};
-use freephish_core::verdictstore::StoreChecker;
+use freephish_core::verdictstore::{EventedStoreChecker, StoreChecker};
+use freephish_serve::{EventedServer, IndexPublisher, ShardedIndex};
+use std::net::SocketAddr;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
@@ -114,7 +120,10 @@ fn load_blocklist(path: &str) -> std::io::Result<Vec<(String, f64)>> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]");
+    eprintln!(
+        "usage: freephish-extd serve [--port N] [--blocklist FILE] [--store DIR] \
+         [--engine threaded|evented]"
+    );
     eprintln!("       freephish-extd check <addr> <url> [url...]");
     std::process::exit(64);
 }
@@ -124,10 +133,55 @@ const SERVE_POLL: Duration = Duration::from_millis(150);
 /// How long shutdown waits for in-flight connections to finish.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// The serving engine behind one `--engine` choice; both expose the same
+/// address / shutdown / drain contract to the serve loop.
+enum Engine {
+    Threaded(VerdictServer),
+    Evented(EventedServer),
+}
+
+impl Engine {
+    fn addr(&self) -> SocketAddr {
+        match self {
+            Engine::Threaded(s) => s.addr(),
+            Engine::Evented(s) => s.addr(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Engine::Threaded(_) => "threaded",
+            Engine::Evented(_) => "evented",
+        }
+    }
+
+    fn shutdown(&mut self) {
+        match self {
+            Engine::Threaded(s) => s.shutdown(),
+            Engine::Evented(s) => s.shutdown(),
+        }
+    }
+
+    fn drain(&self, timeout: Duration) -> bool {
+        match self {
+            Engine::Threaded(s) => s.drain(timeout),
+            Engine::Evented(s) => s.drain(timeout),
+        }
+    }
+}
+
+/// What `--store` resolves to for the selected engine: the checker plus
+/// the periodic work the serve loop must do to hot-reload it.
+enum StoreBacking {
+    Threaded(Arc<StoreChecker>),
+    Evented(Arc<EventedStoreChecker>, IndexPublisher),
+}
+
 fn serve(args: &[String]) -> std::io::Result<()> {
     let mut entries = Vec::new();
     let mut port: u16 = 0;
     let mut store_dir: Option<String> = None;
+    let mut evented = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -146,6 +200,14 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                 let dir = args.get(i).cloned().unwrap_or_else(|| usage());
                 store_dir = Some(dir);
             }
+            "--engine" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("threaded") => evented = false,
+                    Some("evented") => evented = true,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -153,32 +215,57 @@ fn serve(args: &[String]) -> std::io::Result<()> {
 
     // A store-backed checker hot-reloads from the run journal; the static
     // checker serves the blocklist as loaded.
-    let store_checker: Option<Arc<StoreChecker>> = match &store_dir {
-        Some(dir) => {
-            let checker = Arc::new(StoreChecker::open(dir)?);
-            checker.reload()?;
-            for (url, score) in entries.drain(..) {
-                checker.add_durable(&url, score)?;
-            }
-            Some(checker)
-        }
-        None => None,
-    };
+    let mut backing: Option<StoreBacking> = None;
     let static_len = entries.len();
-    let checker: Arc<dyn UrlChecker> = match &store_checker {
-        Some(c) => c.clone(),
-        None => Arc::new(KnownSetChecker::new(entries)),
+    let checker: Arc<dyn UrlChecker> = match (&store_dir, evented) {
+        (Some(dir), false) => {
+            let c = Arc::new(StoreChecker::open(dir)?);
+            c.reload()?;
+            for (url, score) in entries.drain(..) {
+                c.add_durable(&url, score)?;
+            }
+            backing = Some(StoreBacking::Threaded(c.clone()));
+            c
+        }
+        (Some(dir), true) => {
+            let c = Arc::new(EventedStoreChecker::open(dir)?);
+            let mut publisher = c.publisher();
+            publisher.poll()?;
+            for (url, score) in entries.drain(..) {
+                c.add_durable(&url, score)?;
+            }
+            backing = Some(StoreBacking::Evented(c.clone(), publisher));
+            c
+        }
+        (None, false) => Arc::new(KnownSetChecker::new(entries)),
+        (None, true) => {
+            let index = ShardedIndex::with_default_shards();
+            index.publish(entries);
+            Arc::new(index)
+        }
     };
 
     shutdown::install();
-    let mut server = VerdictServer::start_on(port, checker.clone())?;
-    println!("freephish-extd listening on {}", server.addr());
-    match &store_checker {
-        Some(c) => println!(
+    let mut server = if evented {
+        Engine::Evented(EventedServer::start_on(port, checker.clone())?)
+    } else {
+        Engine::Threaded(VerdictServer::start_on(port, checker.clone())?)
+    };
+    println!(
+        "freephish-extd listening on {} (engine: {})",
+        server.addr(),
+        server.name()
+    );
+    match &backing {
+        Some(_) => println!(
             "following store {} ({} known URLs, generation {})",
             store_dir.as_deref().unwrap_or_default(),
-            c.len(),
-            c.generation()
+            match &backing {
+                Some(StoreBacking::Threaded(c)) => c.len(),
+                Some(StoreBacking::Evented(c, _)) => c.len(),
+                None => unreachable!(),
+            },
+            checker.generation()
         ),
         None => println!("known phishing URLs: {static_len}"),
     }
@@ -186,10 +273,18 @@ fn serve(args: &[String]) -> std::io::Result<()> {
 
     while !shutdown::requested() {
         std::thread::sleep(SERVE_POLL);
-        if let Some(c) = &store_checker {
-            if let Err(e) = c.reload() {
-                freephish_obs::warn("extd", format!("store reload failed: {e}"));
+        match &mut backing {
+            Some(StoreBacking::Threaded(c)) => {
+                if let Err(e) = c.reload() {
+                    freephish_obs::warn("extd", format!("store reload failed: {e}"));
+                }
             }
+            Some(StoreBacking::Evented(_, publisher)) => {
+                if let Err(e) = publisher.poll() {
+                    freephish_obs::warn("extd", format!("store reload failed: {e}"));
+                }
+            }
+            None => {}
         }
     }
 
@@ -198,8 +293,10 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     if !server.drain(DRAIN_TIMEOUT) {
         freephish_obs::warn("extd", "drain timed out with connections still active");
     }
-    if let Some(c) = &store_checker {
-        c.sync()?;
+    match &backing {
+        Some(StoreBacking::Threaded(c)) => c.sync()?,
+        Some(StoreBacking::Evented(c, _)) => c.sync()?,
+        None => {}
     }
     println!("bye");
     Ok(())
@@ -214,15 +311,16 @@ fn check(args: &[String]) -> std::io::Result<()> {
         .parse()
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
     let client = VerdictClient::new(addr);
+    let urls: Vec<String> = urls.to_vec();
+    // One connection, batched when the server speaks the binary protocol.
+    let verdicts = client.check_batch(&urls)?;
     let mut any_phish = false;
-    for url in urls {
-        match client.check(url) {
-            Ok(v) if v.is_phishing() => {
-                println!("PHISHING  {url}");
-                any_phish = true;
-            }
-            Ok(_) => println!("safe      {url}"),
-            Err(e) => println!("error     {url}: {e}"),
+    for (url, v) in urls.iter().zip(&verdicts) {
+        if v.is_phishing() {
+            println!("PHISHING  {url}");
+            any_phish = true;
+        } else {
+            println!("safe      {url}");
         }
     }
     if any_phish {

@@ -4,18 +4,22 @@
 //! navigation and blocks known FWB phishing URLs (Figure 13). The
 //! networked reproduction splits that into:
 //!
-//! * a [`VerdictServer`] — a small threaded TCP service speaking a
+//! * a [`VerdictServer`] — the threaded TCP engine speaking the
 //!   line-oriented protocol (`CHECK <url>\n` → `PHISHING <score>` /
 //!   `SAFE <score>` / `ERROR <msg>`), backed by any [`UrlChecker`];
 //! * a [`VerdictClient`] — the extension side, with a verdict cache so a
-//!   page's subresources do not re-query;
+//!   page's subresources do not re-query, a bounded connect timeout with
+//!   one jittered retry, and a batched [`VerdictClient::check_batch`]
+//!   that speaks the binary `CHECKN` protocol when the server offers it;
 //! * a [`NavigationGuard`] — the interception point: allow the navigation
 //!   or serve the block page.
 //!
-//! The wire protocol is deliberately trivial (one line per request,
-//! UTF-8, `\n`-terminated) and implemented over a [`bytes::BytesMut`]
-//! accumulation buffer, tokio-tutorial style, so partial reads are handled
-//! correctly.
+//! The protocol vocabulary ([`Verdict`], [`UrlChecker`], [`Request`] and
+//! the line codec) lives in `freephish-serve` — which also provides the
+//! event-driven [`freephish_serve::EventedServer`] engine — and is
+//! re-exported here so existing import paths keep working. The threaded
+//! engine remains the simple reference implementation; `freephish-extd
+//! serve --engine threaded|evented` selects between the two.
 //!
 //! The server keeps a full metrics registry — connections, requests by
 //! kind, verdicts by kind, protocol/IO errors, per-request latency — and
@@ -25,58 +29,20 @@
 
 use bytes::BytesMut;
 use freephish_obs::{Counter, MetricsSnapshot, Registry, Stopwatch};
-use parking_lot::RwLock;
+use freephish_simclock::Rng64;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// A verdict for one URL.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Verdict {
-    /// Block: phishing with the given score.
-    Phishing(f64),
-    /// Allow: benign with the given score.
-    Safe(f64),
-}
-
-impl Verdict {
-    /// True when navigation should be blocked.
-    pub fn is_phishing(&self) -> bool {
-        matches!(self, Verdict::Phishing(_))
-    }
-}
-
-/// Anything that can judge a URL (a model, a detection database, a stub).
-pub trait UrlChecker: Send + Sync {
-    /// Judge one URL.
-    fn check(&self, url: &str) -> Verdict;
-
-    /// Record `url` as known phishing (the wire protocol's `ADD`).
-    /// Returns the checker's new generation count. Checkers without a
-    /// mutable backing set refuse.
-    fn add(&self, url: &str, score: f64) -> Result<u64, String> {
-        let _ = (url, score);
-        Err("this checker does not accept additions".to_string())
-    }
-
-    /// Monotonic change counter: bumps whenever the backing set changes.
-    /// Static checkers stay at 0.
-    fn generation(&self) -> u64 {
-        0
-    }
-}
-
-impl<F> UrlChecker for F
-where
-    F: Fn(&str) -> Verdict + Send + Sync,
-{
-    fn check(&self, url: &str) -> Verdict {
-        self(url)
-    }
-}
+pub use freephish_serve::proto::{
+    decode_request, decode_verdict, encode_verdict, Request, HANDSHAKE_LINE, HANDSHAKE_OK,
+};
+pub use freephish_serve::{BinReply, BinRequest, UrlChecker, Verdict, MAX_BATCH};
 
 /// A checker backed by a set of known-phishing URLs (what the deployed
 /// extension consults between model refreshes).
@@ -119,6 +85,17 @@ impl UrlChecker for KnownSetChecker {
         }
     }
 
+    fn check_many(&self, urls: &[String]) -> Vec<Verdict> {
+        // One read-lock acquisition for the whole batch.
+        let known = self.known.read();
+        urls.iter()
+            .map(|u| match known.get(u) {
+                Some(&score) => Verdict::Phishing(score),
+                None => Verdict::Safe(0.0),
+            })
+            .collect()
+    }
+
     fn add(&self, url: &str, score: f64) -> Result<u64, String> {
         self.insert(url, score);
         Ok(self.generation())
@@ -130,82 +107,13 @@ impl UrlChecker for KnownSetChecker {
 }
 
 // ---------------------------------------------------------------------------
-// Wire protocol
-// ---------------------------------------------------------------------------
-
-/// Protocol request: `CHECK <url>`, `ADD <url> <score>` or `STATS`.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Request {
-    /// Ask for a verdict on a URL.
-    Check(String),
-    /// Record a URL as known phishing with the given score.
-    Add(String, f64),
-    /// Ask for the server's metrics snapshot.
-    Stats,
-}
-
-/// Parse one complete line out of the accumulation buffer, if available.
-/// Returns `Ok(None)` when more bytes are needed; malformed lines are an
-/// error carrying a message for the `ERROR` reply.
-pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, String> {
-    let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
-        return Ok(None);
-    };
-    let line = buf.split_to(pos + 1);
-    let line = std::str::from_utf8(&line[..pos]).map_err(|_| "non-utf8 request".to_string())?;
-    let line = line.trim_end_matches('\r');
-    if line == "STATS" {
-        return Ok(Some(Request::Stats));
-    }
-    match line.split_once(' ') {
-        Some(("CHECK", url)) if !url.trim().is_empty() => {
-            Ok(Some(Request::Check(url.trim().to_string())))
-        }
-        Some(("ADD", rest)) => {
-            let (url, score) = rest
-                .trim()
-                .rsplit_once(' ')
-                .ok_or_else(|| format!("malformed request: {line:?}"))?;
-            let score: f64 = score
-                .parse()
-                .map_err(|_| format!("bad score in {line:?}"))?;
-            if url.is_empty() || !(0.0..=1.0).contains(&score) {
-                return Err(format!("malformed request: {line:?}"));
-            }
-            Ok(Some(Request::Add(url.to_string(), score)))
-        }
-        _ => Err(format!("malformed request: {line:?}")),
-    }
-}
-
-/// Encode a verdict reply line.
-pub fn encode_verdict(v: &Verdict) -> String {
-    match v {
-        Verdict::Phishing(s) => format!("PHISHING {s:.4}\n"),
-        Verdict::Safe(s) => format!("SAFE {s:.4}\n"),
-    }
-}
-
-/// Parse a reply line into a verdict.
-pub fn decode_verdict(line: &str) -> Result<Verdict, String> {
-    let line = line.trim();
-    match line.split_once(' ') {
-        Some(("PHISHING", s)) => s
-            .parse()
-            .map(Verdict::Phishing)
-            .map_err(|_| format!("bad score in {line:?}")),
-        Some(("SAFE", s)) => s
-            .parse()
-            .map(Verdict::Safe)
-            .map_err(|_| format!("bad score in {line:?}")),
-        Some(("ERROR", msg)) => Err(msg.to_string()),
-        _ => Err(format!("malformed reply: {line:?}")),
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
+
+/// How often the accept loop wakes to poll the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read timeout, so handler threads notice shutdown.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Metric handles for the verdict service, shared across connection
 /// threads. One registry per server; handles resolved at startup.
@@ -249,11 +157,14 @@ impl ServerMetrics {
     }
 }
 
-/// The verdict service: a threaded TCP accept loop.
+/// The verdict service: a threaded TCP accept loop (one handler thread per
+/// connection). The event-driven alternative is
+/// [`freephish_serve::EventedServer`].
 pub struct VerdictServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     metrics: Arc<ServerMetrics>,
 }
 
@@ -267,41 +178,55 @@ impl VerdictServer {
     /// serving.
     pub fn start_on(port: u16, checker: Arc<dyn UrlChecker>) -> std::io::Result<VerdictServer> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
+        // Nonblocking accept: the loop polls the shutdown flag between
+        // attempts instead of needing a wake-up connection.
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let live = conn_threads.clone();
         let metrics = Arc::new(ServerMetrics::new());
         let accept_metrics = metrics.clone();
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match stream {
-                    Ok(s) => s,
-                    Err(e) => {
-                        accept_metrics.io_errors.inc();
-                        freephish_obs::warn("verdict_server", format!("accept failed: {e}"));
-                        continue;
-                    }
-                };
-                accept_metrics.connections_accepted.inc();
-                accept_metrics.connections_active.inc();
-                let checker = checker.clone();
-                let conn_metrics = accept_metrics.clone();
-                std::thread::spawn(move || {
-                    if let Err(e) = handle_connection(stream, checker, &conn_metrics) {
-                        conn_metrics.io_errors.inc();
-                        freephish_obs::warn("verdict_server", format!("connection failed: {e}"));
-                    }
-                    conn_metrics.connections_active.dec();
-                });
+        let accept_thread = std::thread::spawn(move || loop {
+            if flag.load(Ordering::SeqCst) {
+                break;
             }
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                Err(e) => {
+                    accept_metrics.io_errors.inc();
+                    freephish_obs::warn("verdict_server", format!("accept failed: {e}"));
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+            };
+            accept_metrics.connections_accepted.inc();
+            accept_metrics.connections_active.inc();
+            let checker = checker.clone();
+            let conn_metrics = accept_metrics.clone();
+            let conn_flag = flag.clone();
+            let handle = std::thread::spawn(move || {
+                if let Err(e) = handle_connection(stream, checker, &conn_metrics, &conn_flag) {
+                    conn_metrics.io_errors.inc();
+                    freephish_obs::warn("verdict_server", format!("connection failed: {e}"));
+                }
+                conn_metrics.connections_active.dec();
+            });
+            let mut threads = live.lock();
+            // Reap finished handlers so the vec tracks live connections.
+            threads.retain(|h| !h.is_finished());
+            threads.push(handle);
         });
         Ok(VerdictServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            conn_threads,
             metrics,
         })
     }
@@ -317,25 +242,42 @@ impl VerdictServer {
         self.metrics.registry.snapshot()
     }
 
-    /// Wait up to `timeout` for in-flight connections to finish. Returns
-    /// true when the connection count reached zero; false on timeout
-    /// (remaining connections are abandoned to their threads).
-    pub fn drain(&self, timeout: std::time::Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while self.metrics.connections_active.get() > 0 {
-            if std::time::Instant::now() >= deadline {
+    /// Wait up to `timeout` for in-flight connections to finish, joining
+    /// each handler thread as it completes. Returns true when every
+    /// handler has been joined; false on timeout (remaining handlers keep
+    /// running — call again, or [`VerdictServer::shutdown`] to make them
+    /// exit at their next read-timeout tick).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = {
+                let mut threads = self.conn_threads.lock();
+                let mut i = 0;
+                while i < threads.len() {
+                    if threads[i].is_finished() {
+                        let handle = threads.swap_remove(i);
+                        let _ = handle.join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                threads.len()
+            };
+            if remaining == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(5));
         }
-        true
     }
 
-    /// Stop accepting connections.
+    /// Stop accepting connections. Existing handlers notice the flag at
+    /// their next read-timeout tick and exit; [`VerdictServer::drain`]
+    /// joins them.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocked accept with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -345,6 +287,7 @@ impl VerdictServer {
 impl Drop for VerdictServer {
     fn drop(&mut self) {
         self.shutdown();
+        self.drain(Duration::from_secs(2));
     }
 }
 
@@ -352,7 +295,13 @@ fn handle_connection(
     mut stream: TcpStream,
     checker: Arc<dyn UrlChecker>,
     metrics: &ServerMetrics,
+    shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
+    // The accepted socket can inherit the listener's nonblocking mode on
+    // some platforms; force blocking-with-timeout so the read loop can
+    // poll the shutdown flag.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(CONN_READ_TIMEOUT))?;
     let mut buf = BytesMut::with_capacity(1024);
     let mut chunk = [0u8; 512];
     loop {
@@ -393,6 +342,13 @@ fn handle_connection(
                     watch.record(&metrics.request_seconds);
                     stream.write_all(reply.as_bytes())?;
                 }
+                Ok(Some(Request::Binary)) => {
+                    // Only the evented engine speaks the binary protocol;
+                    // refusing the handshake is the client's deterministic
+                    // signal to fall back to pipelined lines.
+                    metrics.protocol_errors.inc();
+                    stream.write_all(b"ERROR binary protocol not supported\n")?;
+                }
                 Ok(None) => break,
                 Err(msg) => {
                     metrics.protocol_errors.inc();
@@ -400,11 +356,20 @@ fn handle_connection(
                 }
             }
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(()); // client closed
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(()); // server shutting down
         }
-        buf.extend_from_slice(&chunk[..n]);
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timeout: loop to re-check the shutdown flag.
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -412,22 +377,97 @@ fn handle_connection(
 // Client + navigation guard
 // ---------------------------------------------------------------------------
 
+/// How long the client waits for a TCP connect before retrying.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+fn io_invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read one `\n`-terminated line through a shared accumulation buffer, so
+/// bytes belonging to a following binary frame are never lost to
+/// read-ahead when a connection switches protocols.
+fn read_line_buffered(stream: &mut TcpStream, buf: &mut BytesMut) -> std::io::Result<String> {
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line = buf.split_to(pos + 1);
+            let text =
+                std::str::from_utf8(&line[..pos]).map_err(|_| io_invalid("non-utf8 reply"))?;
+            return Ok(text.trim_end_matches('\r').to_string());
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-reply",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Read one complete binary reply frame through the shared buffer.
+fn read_bin_reply(stream: &mut TcpStream, buf: &mut BytesMut) -> std::io::Result<BinReply> {
+    loop {
+        if let Some(reply) = freephish_serve::decode_bin_reply(buf).map_err(io_invalid)? {
+            return Ok(reply);
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-reply",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
 /// The extension-side client with a verdict cache.
 pub struct VerdictClient {
     addr: SocketAddr,
     cache: RwLock<HashMap<String, Verdict>>,
     cache_hits: Counter,
     cache_misses: Counter,
+    registry: Registry,
+    retries: Arc<Counter>,
+    rng: Mutex<Rng64>,
 }
 
 impl VerdictClient {
     /// A client for the service at `addr`.
     pub fn new(addr: SocketAddr) -> VerdictClient {
+        VerdictClient::with_seed(addr, 0x0BAD_5EED)
+    }
+
+    /// A client whose retry-backoff jitter stream is seeded explicitly, so
+    /// simulations and tests stay deterministic.
+    pub fn with_seed(addr: SocketAddr, seed: u64) -> VerdictClient {
+        let registry = Registry::new();
         VerdictClient {
             addr,
             cache: RwLock::new(HashMap::new()),
             cache_hits: Counter::new(),
             cache_misses: Counter::new(),
+            retries: registry.counter("verdict_client_retries_total", &[]),
+            registry,
+            rng: Mutex::new(Rng64::new(seed)),
+        }
+    }
+
+    /// Connect with a bounded timeout; on failure, retry once after a
+    /// jittered backoff (5–25 ms, drawn from the client's seeded stream).
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        match TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT) {
+            Ok(s) => Ok(s),
+            Err(first) => {
+                self.retries.inc();
+                let backoff = Duration::from_millis(self.rng.lock().range_u64(5, 25));
+                std::thread::sleep(backoff);
+                TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT).map_err(|_| first)
+            }
         }
     }
 
@@ -438,22 +478,104 @@ impl VerdictClient {
             return Ok(*v);
         }
         self.cache_misses.inc();
-        let mut stream = TcpStream::connect(self.addr)?;
+        let mut stream = self.connect()?;
         stream.write_all(format!("CHECK {url}\n").as_bytes())?;
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
         reader.read_line(&mut line)?;
-        let verdict = decode_verdict(&line)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let verdict = decode_verdict(&line).map_err(io_invalid)?;
         self.cache.write().insert(url.to_string(), verdict);
         Ok(verdict)
+    }
+
+    /// Check many URLs in as few round trips as possible. Cached verdicts
+    /// are served locally; misses travel over one connection, batched
+    /// through binary `CHECKN` frames (up to [`MAX_BATCH`] URLs each) when
+    /// the server accepts the `BINARY` handshake, and as pipelined `CHECK`
+    /// lines on the same connection when it refuses (the threaded engine).
+    pub fn check_batch(&self, urls: &[String]) -> std::io::Result<Vec<Verdict>> {
+        let mut out: Vec<Option<Verdict>> = vec![None; urls.len()];
+        let mut miss_idx = Vec::new();
+        {
+            let cache = self.cache.read();
+            for (i, url) in urls.iter().enumerate() {
+                match cache.get(url) {
+                    Some(v) => {
+                        self.cache_hits.inc();
+                        out[i] = Some(*v);
+                    }
+                    None => {
+                        self.cache_misses.inc();
+                        miss_idx.push(i);
+                    }
+                }
+            }
+        }
+        if !miss_idx.is_empty() {
+            let misses: Vec<String> = miss_idx.iter().map(|&i| urls[i].clone()).collect();
+            let verdicts = self.fetch_batch(&misses)?;
+            let mut cache = self.cache.write();
+            for (&i, v) in miss_idx.iter().zip(&verdicts) {
+                cache.insert(urls[i].clone(), *v);
+                out[i] = Some(*v);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("every slot resolved"))
+            .collect())
+    }
+
+    /// One connection, all of `urls`: binary when offered, lines otherwise.
+    fn fetch_batch(&self, urls: &[String]) -> std::io::Result<Vec<Verdict>> {
+        let mut stream = self.connect()?;
+        let mut buf = BytesMut::new();
+        stream.write_all(format!("{HANDSHAKE_LINE}\n").as_bytes())?;
+        let handshake = read_line_buffered(&mut stream, &mut buf)?;
+        let mut verdicts = Vec::with_capacity(urls.len());
+        if handshake == HANDSHAKE_OK {
+            for batch in urls.chunks(MAX_BATCH) {
+                let mut frame = BytesMut::new();
+                freephish_serve::encode_bin_request(
+                    &mut frame,
+                    &BinRequest::CheckN(batch.to_vec()),
+                )
+                .map_err(io_invalid)?;
+                stream.write_all(&frame)?;
+                match read_bin_reply(&mut stream, &mut buf)? {
+                    BinReply::VerdictN(vs) if vs.len() == batch.len() => verdicts.extend(vs),
+                    BinReply::Busy => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "server busy",
+                        ))
+                    }
+                    BinReply::Error(msg) => return Err(io_invalid(msg)),
+                    other => return Err(io_invalid(format!("unexpected reply: {other:?}"))),
+                }
+            }
+        } else {
+            // Handshake refused: pipelined line protocol, same connection.
+            let mut req = String::new();
+            for url in urls {
+                req.push_str("CHECK ");
+                req.push_str(url);
+                req.push('\n');
+            }
+            stream.write_all(req.as_bytes())?;
+            for _ in urls {
+                let line = read_line_buffered(&mut stream, &mut buf)?;
+                verdicts.push(decode_verdict(&line).map_err(io_invalid)?);
+            }
+        }
+        Ok(verdicts)
     }
 
     /// Push a URL into the service's known set (`ADD <url> <score>\n` →
     /// `OK <generation>`). Invalidates the local cache entry for `url` so
     /// the next check sees the new verdict.
     pub fn add(&self, url: &str, score: f64) -> std::io::Result<u64> {
-        let mut stream = TcpStream::connect(self.addr)?;
+        let mut stream = self.connect()?;
         stream.write_all(format!("ADD {url} {score}\n").as_bytes())?;
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
@@ -475,7 +597,7 @@ impl VerdictClient {
     /// Scrape the server's metrics over the wire (`STATS\n` → one line of
     /// JSON, as produced by [`freephish_obs::to_json`]).
     pub fn stats(&self) -> std::io::Result<serde_json::Value> {
-        let mut stream = TcpStream::connect(self.addr)?;
+        let mut stream = self.connect()?;
         stream.write_all(b"STATS\n")?;
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
@@ -504,6 +626,17 @@ impl VerdictClient {
     /// Verdicts that needed a round trip to the service.
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses.get()
+    }
+
+    /// Connect attempts that needed the one retry.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Snapshot of the client's own metrics
+    /// (`verdict_client_retries_total`).
+    pub fn client_metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// Fraction of checks answered locally; 0 when nothing was checked.
@@ -739,6 +872,19 @@ mod tests {
     }
 
     #[test]
+    fn known_set_check_many_matches_check() {
+        let c = KnownSetChecker::new([("https://p.weebly.com/".to_string(), 0.9)]);
+        let urls = vec![
+            "https://p.weebly.com/".to_string(),
+            "https://s.weebly.com/".to_string(),
+        ];
+        let batch = c.check_many(&urls);
+        for (url, v) in urls.iter().zip(&batch) {
+            assert_eq!(c.check(url), *v);
+        }
+    }
+
+    #[test]
     fn multiple_requests_per_connection() {
         let checker = Arc::new(KnownSetChecker::new([(
             "https://p.weebly.com/".to_string(),
@@ -756,5 +902,88 @@ mod tests {
         reader.read_line(&mut l2).unwrap();
         assert!(l1.starts_with("PHISHING"));
         assert!(l2.starts_with("SAFE"));
+    }
+
+    #[test]
+    fn threaded_server_refuses_binary_handshake() {
+        let server = VerdictServer::start(Arc::new(KnownSetChecker::new([]))).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"BINARY\n").unwrap();
+        let mut buf = BytesMut::new();
+        let line = read_line_buffered(&mut stream, &mut buf).unwrap();
+        assert!(line.starts_with("ERROR"), "{line:?}");
+        // The connection stays usable for the line protocol.
+        stream.write_all(b"CHECK https://x.weebly.com/\n").unwrap();
+        let line2 = read_line_buffered(&mut stream, &mut buf).unwrap();
+        assert!(line2.starts_with("SAFE"), "{line2:?}");
+    }
+
+    #[test]
+    fn check_batch_falls_back_to_line_protocol() {
+        let checker = Arc::new(KnownSetChecker::new([(
+            "https://evil.weebly.com/".to_string(),
+            0.97,
+        )]));
+        let server = VerdictServer::start(checker).unwrap();
+        let client = VerdictClient::new(server.addr());
+        let urls = vec![
+            "https://evil.weebly.com/".to_string(),
+            "https://fine.weebly.com/".to_string(),
+        ];
+        let verdicts = client.check_batch(&urls).unwrap();
+        assert!(verdicts[0].is_phishing());
+        assert!(!verdicts[1].is_phishing());
+        // Verdicts were cached: a repeat is answered locally.
+        let hits_before = client.cache_hits();
+        let again = client.check_batch(&urls).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(client.cache_hits(), hits_before + 2);
+    }
+
+    #[test]
+    fn client_retries_once_with_jittered_backoff() {
+        // A port with nothing listening: both attempts fail, one retry per
+        // connect.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let client = VerdictClient::with_seed(addr, 7);
+        assert!(client.check("https://x.weebly.com/").is_err());
+        assert_eq!(client.retries(), 1);
+        assert!(client.check("https://x.weebly.com/").is_err());
+        assert_eq!(client.retries(), 2);
+        let snap = client.client_metrics();
+        assert_eq!(snap.counter("verdict_client_retries_total", &[]), 2);
+    }
+
+    fn wait_for_active(server: &VerdictServer) {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.metrics.connections_active.get() == 0 {
+            assert!(Instant::now() < deadline, "connection never registered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn drain_joins_connection_threads() {
+        let server = VerdictServer::start(Arc::new(KnownSetChecker::new([]))).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        wait_for_active(&server);
+        // An idle connection holds its handler thread: drain times out.
+        assert!(!server.drain(Duration::from_millis(100)));
+        drop(stream);
+        // Handler sees EOF and exits; drain joins it.
+        assert!(server.drain(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn shutdown_releases_idle_connections() {
+        let mut server = VerdictServer::start(Arc::new(KnownSetChecker::new([]))).unwrap();
+        let _stream = TcpStream::connect(server.addr()).unwrap();
+        wait_for_active(&server);
+        server.shutdown();
+        // The handler notices the flag at its next read-timeout tick even
+        // though the client never closed.
+        assert!(server.drain(Duration::from_secs(2)));
     }
 }

@@ -6,8 +6,15 @@
 //! applies every journaled verdict to its in-memory known set, so the
 //! verdict service hot-reloads as the pipeline appends detections.
 //! Manual `ADD`s from the wire protocol are durably journaled in a
-//! *sidecar* store (`<dir>/extd-adds`) owned by the daemon — never in the
-//! main journal — preserving single-writer integrity on both logs.
+//! *sidecar* store ([`SidecarAdds`], at `<dir>/extd-adds`) owned by the
+//! daemon — never in the main journal — preserving single-writer
+//! integrity on both logs.
+//!
+//! [`EventedStoreChecker`] is the same contract rebuilt for the evented
+//! engine: reads resolve against a `freephish-serve`
+//! [`ShardedIndex`] (RCU-style snapshots, no lock held during lookups)
+//! and the main journal is ingested by an [`IndexPublisher`] built from
+//! [`journal_payload_decoder`].
 //!
 //! Snapshot redelivery (the tail follower re-reads history after the
 //! pipeline compacts its WAL) is harmless here: applying a verdict twice
@@ -15,6 +22,7 @@
 
 use crate::extension::{UrlChecker, Verdict};
 use crate::journal::{decode_event, encode_event, obs_store_observer, AddEvent, RunEvent};
+use freephish_serve::{IndexPublisher, PayloadDecoder, ShardedIndex};
 use freephish_store::segment::scan_buffer;
 use freephish_store::{Store, StoreOptions, TailFollower};
 use parking_lot::{Mutex, RwLock};
@@ -22,37 +30,32 @@ use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Name of the sidecar store directory holding manual additions.
 pub const ADDS_SUBDIR: &str = "extd-adds";
 
-/// A [`UrlChecker`] backed by a run-journal store directory, hot-reloading
-/// as the pipeline appends verdicts, plus a durable sidecar for manual
-/// additions.
-pub struct StoreChecker {
-    known: RwLock<HashMap<String, f64>>,
-    generation: AtomicU64,
-    main: Mutex<TailFollower>,
-    adds: Mutex<Store>,
+/// The daemon-owned durable journal of manual `ADD`s, kept in a sidecar
+/// store (`<dir>/extd-adds`) so the pipeline's run journal keeps its
+/// single writer.
+pub struct SidecarAdds {
+    store: Store,
 }
 
-impl StoreChecker {
-    /// Open against the run journal at `dir`. Recovers previously
-    /// journaled manual additions from the sidecar immediately; call
-    /// [`StoreChecker::reload`] to ingest the main journal (and again
-    /// periodically to hot-reload).
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<StoreChecker> {
-        let dir = dir.as_ref().to_path_buf();
-        let (adds_store, recovered) = Store::open_with(
-            dir.join(ADDS_SUBDIR),
+impl SidecarAdds {
+    /// Open (or create) the sidecar under `dir`. Returns the store plus
+    /// every previously journaled `(url, score)` addition, in order.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<(SidecarAdds, Vec<(String, f64)>)> {
+        let (store, recovered) = Store::open_with(
+            dir.as_ref().join(ADDS_SUBDIR),
             StoreOptions::default(),
             Some(obs_store_observer()),
         )?;
-        let mut known = HashMap::new();
+        let mut entries = Vec::new();
         let mut apply = |payload: &[u8]| -> io::Result<()> {
             match decode_event(payload)? {
                 RunEvent::Add(a) => {
-                    known.insert(a.url, a.score);
+                    entries.push((a.url, a.score));
                     Ok(())
                 }
                 _ => Err(io::Error::new(
@@ -76,12 +79,68 @@ impl StoreChecker {
         for (_, payload) in &recovered.records {
             apply(payload)?;
         }
+        Ok((SidecarAdds { store }, entries))
+    }
+
+    /// Durably journal one manual addition (append + fsync).
+    pub fn append(&mut self, url: &str, score: f64) -> io::Result<()> {
+        let ev = RunEvent::Add(AddEvent {
+            url: url.to_string(),
+            score,
+        });
+        self.store.append(&encode_event(&ev))?;
+        self.store.sync()
+    }
+
+    /// Flush + fsync (shutdown path).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.store.sync()
+    }
+
+    /// The sidecar store directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+}
+
+/// Decode one run-journal payload into an optional `(url, score)` entry:
+/// the [`PayloadDecoder`] that lets a `freephish-serve`
+/// [`IndexPublisher`] (which knows nothing of the journal schema) ingest
+/// this crate's run journals.
+pub fn journal_payload_decoder() -> PayloadDecoder {
+    Box::new(|payload: &[u8]| match decode_event(payload)? {
+        RunEvent::Verdict(v) => Ok(Some((v.url, v.score))),
+        RunEvent::Add(a) => Ok(Some((a.url, a.score))),
+        // The journal's bookkeeping records carry no verdicts.
+        RunEvent::Meta(_) | RunEvent::Report(_) | RunEvent::Checkpoint(_) => Ok(None),
+    })
+}
+
+/// A [`UrlChecker`] backed by a run-journal store directory, hot-reloading
+/// as the pipeline appends verdicts, plus a durable sidecar for manual
+/// additions.
+pub struct StoreChecker {
+    known: RwLock<HashMap<String, f64>>,
+    generation: AtomicU64,
+    main: Mutex<TailFollower>,
+    adds: Mutex<SidecarAdds>,
+}
+
+impl StoreChecker {
+    /// Open against the run journal at `dir`. Recovers previously
+    /// journaled manual additions from the sidecar immediately; call
+    /// [`StoreChecker::reload`] to ingest the main journal (and again
+    /// periodically to hot-reload).
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<StoreChecker> {
+        let dir = dir.as_ref().to_path_buf();
+        let (adds, recovered) = SidecarAdds::open(&dir)?;
+        let known: HashMap<String, f64> = recovered.into_iter().collect();
         let generation = known.len() as u64;
         Ok(StoreChecker {
             known: RwLock::new(known),
             generation: AtomicU64::new(generation),
             main: Mutex::new(TailFollower::new(&dir)),
-            adds: Mutex::new(adds_store),
+            adds: Mutex::new(adds),
         })
     }
 
@@ -129,15 +188,7 @@ impl StoreChecker {
 
     /// Durably journal a manual addition in the sidecar and apply it.
     pub fn add_durable(&self, url: &str, score: f64) -> io::Result<u64> {
-        let ev = RunEvent::Add(AddEvent {
-            url: url.to_string(),
-            score,
-        });
-        {
-            let mut adds = self.adds.lock();
-            adds.append(&encode_event(&ev))?;
-            adds.sync()?;
-        }
+        self.adds.lock().append(url, score)?;
         self.known.write().insert(url.to_string(), score);
         Ok(self.generation.fetch_add(1, Ordering::SeqCst) + 1)
     }
@@ -160,6 +211,90 @@ impl StoreChecker {
     /// The sidecar store directory.
     pub fn adds_dir(&self) -> PathBuf {
         self.adds.lock().dir().to_path_buf()
+    }
+}
+
+/// The evented engine's store-backed checker: the [`StoreChecker`]
+/// contract rebuilt on a `freephish-serve` [`ShardedIndex`], so reads
+/// take RCU-style snapshots instead of a shared `RwLock`, and batches
+/// resolve against one consistent generation.
+///
+/// Main-journal ingestion happens through the [`IndexPublisher`] returned
+/// by [`EventedStoreChecker::publisher`]; poll it from the serve loop.
+pub struct EventedStoreChecker {
+    dir: PathBuf,
+    index: Arc<ShardedIndex>,
+    adds: Mutex<SidecarAdds>,
+}
+
+impl EventedStoreChecker {
+    /// Open against the run journal at `dir`. Recovers previously
+    /// journaled manual additions from the sidecar into the index
+    /// immediately; pair with [`EventedStoreChecker::publisher`] to ingest
+    /// (and hot-reload) the main journal.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<EventedStoreChecker> {
+        let dir = dir.as_ref().to_path_buf();
+        let (adds, recovered) = SidecarAdds::open(&dir)?;
+        let index = Arc::new(ShardedIndex::with_default_shards());
+        if !recovered.is_empty() {
+            index.publish(recovered);
+        }
+        Ok(EventedStoreChecker {
+            dir,
+            index,
+            adds: Mutex::new(adds),
+        })
+    }
+
+    /// An [`IndexPublisher`] tailing the main run journal into this
+    /// checker's index.
+    pub fn publisher(&self) -> IndexPublisher {
+        IndexPublisher::new(&self.dir, self.index.clone(), journal_payload_decoder())
+    }
+
+    /// The shared index (what the serve layer reads from).
+    pub fn index(&self) -> Arc<ShardedIndex> {
+        self.index.clone()
+    }
+
+    /// Durably journal a manual addition in the sidecar and publish it.
+    pub fn add_durable(&self, url: &str, score: f64) -> io::Result<u64> {
+        self.adds.lock().append(url, score)?;
+        Ok(self.index.publish([(url.to_string(), score)]))
+    }
+
+    /// Flush + fsync the sidecar (shutdown path).
+    pub fn sync(&self) -> io::Result<()> {
+        self.adds.lock().sync()
+    }
+
+    /// Number of known-phishing URLs.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing is known yet.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+impl UrlChecker for EventedStoreChecker {
+    fn check(&self, url: &str) -> Verdict {
+        self.index.check(url)
+    }
+
+    fn check_many(&self, urls: &[String]) -> Vec<Verdict> {
+        self.index.check_many(urls)
+    }
+
+    fn add(&self, url: &str, score: f64) -> Result<u64, String> {
+        self.add_durable(url, score)
+            .map_err(|e| format!("store write failed: {e}"))
+    }
+
+    fn generation(&self) -> u64 {
+        self.index.generation()
     }
 }
 
@@ -319,5 +454,58 @@ mod tests {
         let (_, rec) = RunJournal::open(dir.path()).unwrap();
         assert_eq!(rec.dropped_events, 0);
         assert!(rec.events.iter().all(|e| !matches!(e, RunEvent::Add(_))));
+    }
+
+    #[test]
+    fn evented_checker_hot_reloads_via_publisher() {
+        let dir = TempDir::new("eventedchecker-live");
+        let mut journal = RunJournal::create(dir.path(), &meta()).unwrap();
+        let checker = EventedStoreChecker::open(dir.path()).unwrap();
+        let mut publisher = checker.publisher();
+        // Only the Meta bookkeeping record exists: nothing to publish.
+        assert_eq!(publisher.poll().unwrap(), 0);
+        assert_eq!(checker.generation(), 0);
+
+        journal.append_verdict(verdict(1)).unwrap();
+        journal
+            .checkpoint(CheckpointEvent {
+                tick_secs: 600,
+                scanned: 1,
+                observed: 1,
+                detections_total: 1,
+            })
+            .unwrap();
+        assert_eq!(publisher.poll().unwrap(), 1);
+        assert!(checker.check("https://v1.weebly.com/").is_phishing());
+        assert!(!checker.check("https://v2.weebly.com/").is_phishing());
+        assert_eq!(checker.generation(), 1);
+
+        // Batches resolve against the published index too.
+        let verdicts = checker.check_many(&[
+            "https://v1.weebly.com/".to_string(),
+            "https://v2.weebly.com/".to_string(),
+        ]);
+        assert!(verdicts[0].is_phishing());
+        assert!(!verdicts[1].is_phishing());
+    }
+
+    #[test]
+    fn evented_manual_adds_are_durable_and_engine_compatible() {
+        let dir = TempDir::new("eventedchecker-adds");
+        {
+            let checker = EventedStoreChecker::open(dir.path()).unwrap();
+            checker
+                .add_durable("https://manual.wixsite.com/a", 0.88)
+                .unwrap();
+            assert_eq!(checker.len(), 1);
+            checker.sync().unwrap();
+        }
+        // The evented checker recovers its own sidecar...
+        let again = EventedStoreChecker::open(dir.path()).unwrap();
+        assert!(again.check("https://manual.wixsite.com/a").is_phishing());
+        // ...and the threaded engine's checker reads the same format, so
+        // `--engine` can be switched without losing manual additions.
+        let threaded = StoreChecker::open(dir.path()).unwrap();
+        assert!(threaded.check("https://manual.wixsite.com/a").is_phishing());
     }
 }

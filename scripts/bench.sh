@@ -10,10 +10,14 @@
 #   * the classifier train phase at one thread vs the host default;
 #   * the persistence layer — buffered vs per-record-fsync append
 #     throughput and cold WAL recovery (clean and torn-tail), recorded
-#     under the store_append_throughput and store_recovery keys.
+#     under the store_append_throughput and store_recovery keys;
+#   * the serving layer — loadgen drives the threaded and evented verdict
+#     engines with concurrent connections (line CHECK and binary CHECKN),
+#     merged in under the serve_throughput and serve_latency keys.
 #
 # Knobs: FREEPHISH_BENCH_REPS (best-of reps, default 3),
-#        FREEPHISH_BENCH_OUT (output path, default BENCH_PIPELINE.json).
+#        FREEPHISH_BENCH_OUT (output path, default BENCH_PIPELINE.json),
+#        FREEPHISH_LOADGEN_CONNS / _SECS / _BATCH (loadgen shape).
 # Run from the repository root: ./scripts/bench.sh
 set -euo pipefail
 
@@ -25,4 +29,18 @@ cargo build --release -p freephish-bench --bin perfbench
 echo "== perfbench =="
 ./target/release/perfbench
 
-echo "== bench.sh: wrote ${FREEPHISH_BENCH_OUT:-BENCH_PIPELINE.json} =="
+echo "== cargo build --release -p freephish-bench --bin loadgen =="
+cargo build --release -p freephish-bench --bin loadgen
+
+echo "== loadgen =="
+./target/release/loadgen
+
+OUT="${FREEPHISH_BENCH_OUT:-BENCH_PIPELINE.json}"
+for key in serve_throughput serve_latency; do
+  if ! grep -q "\"$key\"" "$OUT"; then
+    echo "bench.sh: ERROR: \"$key\" missing from $OUT" >&2
+    exit 1
+  fi
+done
+
+echo "== bench.sh: wrote $OUT =="

@@ -20,6 +20,12 @@ cargo test -q -p freephish-store
 echo "== cargo test -q -p freephish-store (FREEPHISH_THREADS=1) =="
 FREEPHISH_THREADS=1 cargo test -q -p freephish-store
 
+echo "== cargo test -q -p freephish-serve (host-default threads) =="
+cargo test -q -p freephish-serve
+
+echo "== cargo test -q -p freephish-serve (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 cargo test -q -p freephish-serve
+
 echo "== cargo test -q (host-default threads) =="
 cargo test -q
 

@@ -14,6 +14,7 @@ pub use freephish_fwbsim as fwbsim;
 pub use freephish_htmlparse as htmlparse;
 pub use freephish_ml as ml;
 pub use freephish_obs as obs;
+pub use freephish_serve as serve;
 pub use freephish_simclock as simclock;
 pub use freephish_socialsim as socialsim;
 pub use freephish_store as store;

@@ -1,0 +1,171 @@
+//! Integration: the threaded and evented serving engines answer identical
+//! verdicts under concurrent mixed traffic (CHECK, batched CHECKN, ADD,
+//! STATS), and the evented engine's admission control sheds with `BUSY`
+//! instead of queueing when its in-flight budget is saturated.
+
+use freephish::core::extension::{KnownSetChecker, VerdictClient, VerdictServer};
+use freephish::serve::{EventedServer, ServeConfig, ShardedIndex, UrlChecker, Verdict};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn seeded_entries(n: usize) -> Vec<(String, f64)> {
+    (0..n)
+        .map(|i| (format!("https://evil{i}.weebly.com/login"), 0.9))
+        .collect()
+}
+
+#[test]
+fn both_engines_serve_identical_verdicts_under_concurrent_mixed_load() {
+    const CLIENTS: usize = 32;
+    let entries = seeded_entries(64);
+    let threaded_checker = Arc::new(KnownSetChecker::new(entries.clone()));
+    let evented_index = ShardedIndex::with_default_shards();
+    evented_index.publish(entries.clone());
+    let mut threaded = VerdictServer::start(threaded_checker).unwrap();
+    let mut evented = EventedServer::start(Arc::new(evented_index)).unwrap();
+    let t_addr = threaded.addr();
+    let e_addr = evented.addr();
+
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let entries = entries.clone();
+        handles.push(std::thread::spawn(move || {
+            let tc = VerdictClient::with_seed(t_addr, c as u64);
+            let ec = VerdictClient::with_seed(e_addr, c as u64);
+
+            // Single CHECKs over a mix of seeded and unknown URLs.
+            let probe: Vec<String> = (0..8)
+                .map(|i| entries[(c * 7 + i * 3) % entries.len()].0.clone())
+                .chain((0..4).map(|i| format!("https://clean{c}-{i}.wixsite.com/")))
+                .collect();
+            for url in &probe {
+                let tv = tc.check(url).unwrap();
+                let ev = ec.check(url).unwrap();
+                assert_eq!(
+                    tv.is_phishing(),
+                    ev.is_phishing(),
+                    "CHECK disagrees on {url}"
+                );
+            }
+
+            // Batched checks: the evented engine answers over binary
+            // CHECKN, the threaded engine falls back to pipelined lines —
+            // the verdicts must match anyway.
+            let batch: Vec<String> = (0..16)
+                .map(|i| entries[(c * 5 + i) % entries.len()].0.clone())
+                .chain((0..4).map(|i| format!("https://batch{c}-{i}.weebly.com/")))
+                .collect();
+            let tb = tc.check_batch(&batch).unwrap();
+            let eb = ec.check_batch(&batch).unwrap();
+            assert_eq!(tb.len(), batch.len());
+            for ((url, tv), ev) in batch.iter().zip(&tb).zip(&eb) {
+                assert_eq!(
+                    tv.is_phishing(),
+                    ev.is_phishing(),
+                    "CHECKN disagrees on {url}"
+                );
+            }
+
+            // An ADD unique to this client, pushed to both engines.
+            let mine = format!("https://added-by-{c}.weebly.com/");
+            tc.add(&mine, 0.91).unwrap();
+            ec.add(&mine, 0.91).unwrap();
+            assert!(tc.check(&mine).unwrap().is_phishing());
+            assert!(ec.check(&mine).unwrap().is_phishing());
+
+            // STATS scrapes from both engines mid-storm.
+            assert!(tc.stats().unwrap().as_object().is_some());
+            assert!(ec.stats().unwrap().as_object().is_some());
+            mine
+        }));
+    }
+    let added: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // After the storm both engines agree on every seeded and added URL.
+    let tc = VerdictClient::new(t_addr);
+    let ec = VerdictClient::new(e_addr);
+    for (url, _) in &entries {
+        assert!(tc.check(url).unwrap().is_phishing(), "{url}");
+        assert!(ec.check(url).unwrap().is_phishing(), "{url}");
+    }
+    for url in &added {
+        assert!(tc.check(url).unwrap().is_phishing(), "{url}");
+        assert!(ec.check(url).unwrap().is_phishing(), "{url}");
+    }
+
+    // The evented engine actually served batches over the binary protocol.
+    let snap = evented.metrics();
+    assert!(snap.counter("serve_requests_total", &[("kind", "checkn")]) >= CLIENTS as u64);
+
+    // Both engines shut down cleanly with every handler joined.
+    threaded.shutdown();
+    assert!(threaded.drain(Duration::from_secs(5)));
+    evented.shutdown();
+    assert!(evented.drain(Duration::from_secs(5)));
+}
+
+/// Read one `\n`-terminated line byte-by-byte off a raw stream.
+fn read_line_raw(stream: &mut TcpStream) -> Vec<u8> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream
+            .read(&mut byte)
+            .expect("reply must arrive before the read timeout");
+        assert!(n > 0, "server closed mid-line");
+        if byte[0] == b'\n' {
+            return line;
+        }
+        line.push(byte[0]);
+    }
+}
+
+#[test]
+fn saturated_budget_sheds_with_busy_not_a_hang() {
+    // A checker that holds the only budget unit for two seconds.
+    let slow = |_: &str| {
+        std::thread::sleep(Duration::from_secs(2));
+        Verdict::Safe(0.0)
+    };
+    let checker: Arc<dyn UrlChecker> = Arc::new(slow);
+    let cfg = ServeConfig {
+        workers: 2,
+        max_inflight_urls: 1,
+        ..ServeConfig::default()
+    };
+    let server = EventedServer::start_with(cfg, checker).unwrap();
+
+    // The first connection lands on worker 0 (round-robin) and its CHECK
+    // occupies the whole budget inside the slow checker.
+    let mut a = TcpStream::connect(server.addr()).unwrap();
+    a.write_all(b"CHECK https://slow.weebly.com/\n").unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The second connection lands on worker 1. Its CHECK cannot acquire
+    // budget and must be shed immediately — a BUSY reply well before the
+    // slow check completes, not a queue wait.
+    let mut b = TcpStream::connect(server.addr()).unwrap();
+    b.set_read_timeout(Some(Duration::from_millis(1200)))
+        .unwrap();
+    b.write_all(b"CHECK https://other.weebly.com/\n").unwrap();
+    let started = Instant::now();
+    let line = read_line_raw(&mut b);
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "BUSY took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(line, b"BUSY", "{:?}", String::from_utf8_lossy(&line));
+    assert!(server.metrics().counter("serve_shed_total", &[]) >= 1);
+
+    // The admitted request still completes normally.
+    a.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let line = read_line_raw(&mut a);
+    assert!(
+        line.starts_with(b"SAFE"),
+        "{:?}",
+        String::from_utf8_lossy(&line)
+    );
+}
