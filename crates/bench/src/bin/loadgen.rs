@@ -14,18 +14,25 @@
 //!   the deployment shape for browser-fleet fanout.
 //!
 //! Throughput is URLs verdicted per second across all connections;
-//! latency is per-RPC microseconds (p50/p99 over every sample). Results
-//! merge into the existing record at `FREEPHISH_BENCH_OUT` (default
-//! `BENCH_PIPELINE.json`) so `bench.sh` composes this with perfbench.
+//! latency is per-RPC microseconds (p50/p99 over every sample). During
+//! the CHECKN phase the evented engine's ops plane is mounted and a
+//! scraper thread polls `/varz` mid-run, adding three server-side keys:
+//! `serve_p999` (the rolling windowed quantiles the engine itself
+//! measured), `serve_worker_utilization` (per-worker busy fraction) and
+//! `ops_scrape_latency` (client-observed cost of a scrape under load).
+//! Results merge into the existing record at `FREEPHISH_BENCH_OUT`
+//! (default `BENCH_PIPELINE.json`) so `bench.sh` composes this with
+//! perfbench.
 
 use bytes::BytesMut;
 use freephish_core::extension::{KnownSetChecker, VerdictServer};
 use freephish_serve::{
-    decode_bin_reply, encode_bin_request, BinReply, BinRequest, EventedServer, ShardedIndex,
-    HANDSHAKE_OK,
+    decode_bin_reply, encode_bin_request, http_get, BinReply, BinRequest, EventedServer, OpsServer,
+    ShardedIndex, HANDSHAKE_OK,
 };
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -190,6 +197,58 @@ fn latency_json(mut samples: Vec<u64>) -> serde_json::Value {
     })
 }
 
+/// A mid-run ops-plane scraper: polls `GET /varz` every `period` the way
+/// a Prometheus scrape would, while the load phase runs, so the recorded
+/// scrape cost and the server-side quantiles come from a server under
+/// load. Returns (client-side GET latencies in µs, last /varz body).
+struct OpsScraper {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<(Vec<u64>, String)>,
+}
+
+impl OpsScraper {
+    fn start(addr: SocketAddr, period: Duration) -> OpsScraper {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut lat = Vec::new();
+            let last = loop {
+                let t0 = Instant::now();
+                let body = match http_get(addr, "/varz") {
+                    Ok((200, body)) => {
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        body
+                    }
+                    Ok((code, body)) => panic!("/varz returned {code}: {body}"),
+                    Err(e) => panic!("/varz scrape failed: {e}"),
+                };
+                // Check after the scrape so the final body postdates the
+                // stop request — it sees the whole load phase.
+                if flag.load(Ordering::SeqCst) {
+                    break body;
+                }
+                std::thread::sleep(period);
+            };
+            (lat, last)
+        });
+        OpsScraper { stop, handle }
+    }
+
+    fn finish(self) -> (Vec<u64>, String) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.join().expect("ops scraper panicked")
+    }
+}
+
+/// Pull one windowed-quantile gauge (integer µs) out of a /varz body.
+fn window_gauge(varz: &serde_json::Value, cmd: &str, q: &str) -> Option<i64> {
+    varz["gauges"]
+        .get(&format!(
+            "serve_window_latency_us{{cmd=\"{cmd}\",q=\"{q}\"}}"
+        ))
+        .and_then(|v| v.as_i64())
+}
+
 fn main() {
     let conns = env_usize("FREEPHISH_LOADGEN_CONNS", 64);
     let batch = env_usize("FREEPHISH_LOADGEN_BATCH", 64).clamp(1, 256);
@@ -227,13 +286,52 @@ fn main() {
         line_worker(e_addr, p.clone(), stop, tid)
     });
     println!("  evented   CHECK : {evented_rps:>12.0} urls/s");
+
+    // CHECKN phase with the ops plane mounted: a scraper thread hits
+    // /varz mid-run so `serve_p999`, the worker-utilization gauges and
+    // the scrape cost itself are all measured under load.
+    let mut ops = OpsServer::start(0, evented.ops_config()).expect("start ops plane");
+    let scraper = OpsScraper::start(ops.addr(), Duration::from_millis(50));
     let p = pool.clone();
     let (eventedn_rps, eventedn_lat) = drive(conns, secs, move |stop, tid| {
         batch_worker(e_addr, p.clone(), stop, tid, batch)
     });
+    let (scrape_lat, varz_body) = scraper.finish();
+    ops.shutdown();
     evented.shutdown();
     evented.drain(Duration::from_secs(5));
     println!("  evented   CHECKN: {eventedn_rps:>12.0} urls/s");
+
+    let varz: serde_json::Value =
+        serde_json::from_str(&varz_body).expect("final /varz body parses as JSON");
+    let serve_p999 = serde_json::json!({
+        "checkn_p50_us": window_gauge(&varz, "checkn", "p50"),
+        "checkn_p99_us": window_gauge(&varz, "checkn", "p99"),
+        "checkn_p999_us": window_gauge(&varz, "checkn", "p999"),
+    });
+    // Per-worker busy fraction, straight from the poll-loop gauges.
+    let mut worker_bp: Vec<i64> = varz["gauges"]
+        .as_object()
+        .expect("/varz has a gauges object")
+        .iter()
+        .filter(|(k, _)| k.starts_with("serve_worker_utilization{"))
+        .filter_map(|(_, v)| v.as_i64())
+        .collect();
+    worker_bp.sort_unstable();
+    let utilization = serde_json::json!({
+        "workers": worker_bp.len(),
+        "min_basis_points": worker_bp.first().copied(),
+        "max_basis_points": worker_bp.last().copied(),
+        "mean_basis_points": if worker_bp.is_empty() { None } else {
+            Some(worker_bp.iter().sum::<i64>() / worker_bp.len() as i64)
+        },
+    });
+    let scrape_latency = latency_json(scrape_lat);
+    println!(
+        "  ops plane: checkn window p999 {:?}µs, {} scrapes",
+        window_gauge(&varz, "checkn", "p999"),
+        scrape_latency["samples"]
+    );
     println!(
         "  evented CHECKN vs threaded CHECK: {:.1}x",
         eventedn_rps / threaded_rps.max(1.0)
@@ -263,7 +361,13 @@ fn main() {
         .expect("bench record must be a JSON object");
     obj.insert("serve_throughput".into(), throughput);
     obj.insert("serve_latency".into(), latency);
+    obj.insert("serve_p999".into(), serve_p999);
+    obj.insert("serve_worker_utilization".into(), utilization);
+    obj.insert("ops_scrape_latency".into(), scrape_latency);
     std::fs::write(&out, serde_json::to_string_pretty(&record).unwrap())
         .unwrap_or_else(|e| panic!("could not write {out}: {e}"));
-    println!("merged serve_throughput + serve_latency into {out}");
+    println!(
+        "merged serve_throughput, serve_latency, serve_p999, \
+         serve_worker_utilization and ops_scrape_latency into {out}"
+    );
 }

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]
-//!                      [--engine threaded|evented]
+//!                      [--engine threaded|evented] [--ops-port N]
 //!     Serve verdicts on 127.0.0.1:N (default: an ephemeral port).
 //!     FILE holds one `<url> [score]` per line ('#' comments allowed);
 //!     malformed lines are skipped with a warning. With --store DIR the
@@ -16,7 +16,12 @@
 //!     DIR/extd-adds. --engine picks the serving engine: "evented" (the
 //!     default) runs the freephish-serve poll-loop engine with the binary
 //!     CHECKN protocol, backpressure and load shedding; "threaded" runs
-//!     the classic thread-per-connection line server. Ctrl-C / SIGTERM
+//!     the classic thread-per-connection line server. With --ops-port N
+//!     the daemon also mounts the ops plane on 127.0.0.1:N: GET /metrics
+//!     (Prometheus text), /varz (JSON), /healthz, /readyz, /events and
+//!     /traces/slow. /readyz reports 503 until the serving index has
+//!     published its first generation and — when --store is given — the
+//!     journal tail is caught up. Ctrl-C / SIGTERM
 //!     drains connections, flushes the store, and exits 0.
 //!
 //! freephish-extd check <addr> <url> [url...]
@@ -25,9 +30,9 @@
 
 use freephish_core::extension::{KnownSetChecker, UrlChecker, VerdictClient, VerdictServer};
 use freephish_core::verdictstore::{EventedStoreChecker, StoreChecker};
-use freephish_serve::{EventedServer, IndexPublisher, ShardedIndex};
+use freephish_serve::{EventedServer, IndexPublisher, OpsConfig, OpsServer, ShardedIndex};
 use std::net::SocketAddr;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -122,7 +127,7 @@ fn load_blocklist(path: &str) -> std::io::Result<Vec<(String, f64)>> {
 fn usage() -> ! {
     eprintln!(
         "usage: freephish-extd serve [--port N] [--blocklist FILE] [--store DIR] \
-         [--engine threaded|evented]"
+         [--engine threaded|evented] [--ops-port N]"
     );
     eprintln!("       freephish-extd check <addr> <url> [url...]");
     std::process::exit(64);
@@ -162,6 +167,13 @@ impl Engine {
         }
     }
 
+    fn ops_config(&self) -> OpsConfig {
+        match self {
+            Engine::Threaded(s) => s.ops_config(),
+            Engine::Evented(s) => s.ops_config(),
+        }
+    }
+
     fn drain(&self, timeout: Duration) -> bool {
         match self {
             Engine::Threaded(s) => s.drain(timeout),
@@ -180,11 +192,17 @@ enum StoreBacking {
 fn serve(args: &[String]) -> std::io::Result<()> {
     let mut entries = Vec::new();
     let mut port: u16 = 0;
+    let mut ops_port: Option<u16> = None;
     let mut store_dir: Option<String> = None;
     let mut evented = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--ops-port" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                ops_port = Some(raw.parse().unwrap_or_else(|_| usage()));
+            }
             "--blocklist" => {
                 i += 1;
                 let path = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
@@ -256,6 +274,35 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         server.addr(),
         server.name()
     );
+
+    // When --store is given, readiness additionally requires the journal
+    // tail to be caught up: true after every successful reload/publish
+    // poll, false the moment one fails. The flag starts true because the
+    // checker constructors above already did one successful full read.
+    let caught_up = Arc::new(AtomicBool::new(true));
+    let mut ops_server = match ops_port {
+        Some(p) => {
+            let mut cfg = server.ops_config();
+            if backing.is_some() {
+                let inner = cfg.ready.clone();
+                let flag = caught_up.clone();
+                cfg.ready = Arc::new(move || {
+                    let mut r = inner();
+                    r.conditions
+                        .push(("store_journal_caught_up", flag.load(Ordering::SeqCst)));
+                    r.ready = r.conditions.iter().all(|&(_, ok)| ok);
+                    r
+                });
+            }
+            let ops = OpsServer::start(p, cfg)?;
+            println!(
+                "ops plane on http://{} (/metrics /varz /healthz /readyz /events /traces/slow)",
+                ops.addr()
+            );
+            Some(ops)
+        }
+        None => None,
+    };
     match &backing {
         Some(_) => println!(
             "following store {} ({} known URLs, generation {})",
@@ -274,21 +321,28 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     while !shutdown::requested() {
         std::thread::sleep(SERVE_POLL);
         match &mut backing {
-            Some(StoreBacking::Threaded(c)) => {
-                if let Err(e) = c.reload() {
+            Some(StoreBacking::Threaded(c)) => match c.reload() {
+                Ok(_) => caught_up.store(true, Ordering::SeqCst),
+                Err(e) => {
+                    caught_up.store(false, Ordering::SeqCst);
                     freephish_obs::warn("extd", format!("store reload failed: {e}"));
                 }
-            }
-            Some(StoreBacking::Evented(_, publisher)) => {
-                if let Err(e) = publisher.poll() {
+            },
+            Some(StoreBacking::Evented(_, publisher)) => match publisher.poll() {
+                Ok(_) => caught_up.store(true, Ordering::SeqCst),
+                Err(e) => {
+                    caught_up.store(false, Ordering::SeqCst);
                     freephish_obs::warn("extd", format!("store reload failed: {e}"));
                 }
-            }
+            },
             None => {}
         }
     }
 
     println!("shutting down: draining connections");
+    if let Some(ops) = ops_server.as_mut() {
+        ops.shutdown();
+    }
     server.shutdown();
     if !server.drain(DRAIN_TIMEOUT) {
         freephish_obs::warn("extd", "drain timed out with connections still active");

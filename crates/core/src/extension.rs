@@ -28,7 +28,8 @@
 //! compact JSON (`STATS <json>\n`) so any client can scrape the service.
 
 use bytes::BytesMut;
-use freephish_obs::{Counter, MetricsSnapshot, Registry, Stopwatch};
+use freephish_obs::{Counter, MetricKey, MetricsSnapshot, Registry, Stopwatch, WindowedHistogram};
+use freephish_serve::{OpsConfig, Readiness};
 use freephish_simclock::Rng64;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -129,7 +130,17 @@ struct ServerMetrics {
     protocol_errors: Arc<Counter>,
     io_errors: Arc<Counter>,
     request_seconds: Arc<freephish_obs::Histogram>,
+    /// Rolling SLO windows per command kind, mirroring the evented
+    /// engine's `serve_window_latency_us` export so both engines answer
+    /// "what was p99.9 over the last few seconds" the same way.
+    window_check: WindowedHistogram,
+    window_add: WindowedHistogram,
 }
+
+/// Rolling SLO horizon: eight one-second windows ≈ the last 8 seconds.
+/// Matches the evented engine so scrapes are comparable across engines.
+const SLO_WINDOWS: usize = 8;
+const SLO_WINDOW_WIDTH: Duration = Duration::from_secs(1);
 
 impl ServerMetrics {
     fn new() -> ServerMetrics {
@@ -145,13 +156,36 @@ impl ServerMetrics {
             protocol_errors: registry.counter("verdict_protocol_errors_total", &[]),
             io_errors: registry.counter("verdict_io_errors_total", &[]),
             request_seconds: registry.histogram("verdict_request_seconds", &[]),
+            window_check: WindowedHistogram::wall(SLO_WINDOWS, SLO_WINDOW_WIDTH),
+            window_add: WindowedHistogram::wall(SLO_WINDOWS, SLO_WINDOW_WIDTH),
             registry,
         }
     }
 
+    /// The one observable snapshot every transport serves: the registry
+    /// plus rolling windowed quantiles (as integer-microsecond gauges)
+    /// and event-log drop accounting. `STATS` (in-band),
+    /// [`VerdictServer::metrics`] and the ops plane all call this, so
+    /// they can never drift apart.
+    fn observable_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        for (cmd, w) in [("check", &self.window_check), ("add", &self.window_add)] {
+            for (q, qname) in [(0.5, "p50"), (0.99, "p99"), (0.999, "p999")] {
+                if let Some(v) = w.quantile(q) {
+                    snap.gauges.insert(
+                        MetricKey::new("verdict_window_latency_us", &[("cmd", cmd), ("q", qname)]),
+                        (v * 1e6) as i64,
+                    );
+                }
+            }
+        }
+        freephish_obs::global_events().export_into(&mut snap);
+        snap
+    }
+
     /// One line of compact JSON for the `STATS` reply.
     fn stats_line(&self) -> String {
-        let json = freephish_obs::to_json(&self.registry.snapshot());
+        let json = freephish_obs::to_json(&self.observable_snapshot());
         let line = serde_json::to_string(&json).expect("metrics snapshot serializes");
         format!("STATS {line}\n")
     }
@@ -237,9 +271,32 @@ impl VerdictServer {
     }
 
     /// Snapshot of the server's metrics: connection and request counters,
-    /// verdicts by kind, error counters and the request latency histogram.
+    /// verdicts by kind, error counters, the request latency histogram,
+    /// and the rolling windowed quantile gauges
+    /// (`verdict_window_latency_us{cmd,q}`).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.registry.snapshot()
+        self.metrics.observable_snapshot()
+    }
+
+    /// Hooks for mounting this engine on an [`freephish_serve::OpsServer`]
+    /// scrape plane. The snapshot hook serves the same observable
+    /// snapshot as `STATS`; the threaded engine has no warm-up phase, so
+    /// readiness is unconditional (`--store` readiness is layered on by
+    /// the daemon, which owns the journal-following loop).
+    pub fn ops_config(&self) -> OpsConfig {
+        let metrics = self.metrics.clone();
+        let addr = self.addr;
+        OpsConfig {
+            snapshot: Arc::new(move || metrics.observable_snapshot()),
+            ready: Arc::new(Readiness::ready),
+            varz_extra: Some(Arc::new(move || {
+                serde_json::json!({
+                    "engine": "threaded",
+                    "serve_addr": addr.to_string(),
+                })
+            })),
+            traces: None,
+        }
     }
 
     /// Wait up to `timeout` for in-flight connections to finish, joining
@@ -319,7 +376,8 @@ fn handle_connection(
                         Verdict::Safe(_) => metrics.verdicts_safe.inc(),
                     }
                     let reply = encode_verdict(&verdict);
-                    watch.record(&metrics.request_seconds);
+                    let secs = watch.record(&metrics.request_seconds);
+                    metrics.window_check.record(secs);
                     stream.write_all(reply.as_bytes())?;
                 }
                 Ok(Some(Request::Add(url, score))) => {
@@ -332,7 +390,8 @@ fn handle_connection(
                             format!("ERROR {msg}\n")
                         }
                     };
-                    watch.record(&metrics.request_seconds);
+                    let secs = watch.record(&metrics.request_seconds);
+                    metrics.window_add.record(secs);
                     stream.write_all(reply.as_bytes())?;
                 }
                 Ok(Some(Request::Stats)) => {

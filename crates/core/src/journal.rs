@@ -301,6 +301,8 @@ struct StoreMetrics {
     segments_created: Arc<Counter>,
     snapshots: Arc<Counter>,
     snapshot_seconds: Arc<Histogram>,
+    append_seconds: Arc<Histogram>,
+    fsync_seconds: Arc<Histogram>,
     recoveries: Arc<Counter>,
     torn_tails: Arc<Counter>,
     truncated_bytes: Arc<Counter>,
@@ -318,6 +320,8 @@ fn store_metrics() -> &'static StoreMetrics {
             segments_created: registry.counter("store_segments_created_total", &[]),
             snapshots: registry.counter("store_snapshots_total", &[]),
             snapshot_seconds: registry.histogram("store_snapshot_seconds", &[]),
+            append_seconds: registry.histogram("store_append_seconds", &[]),
+            fsync_seconds: registry.histogram("store_fsync_seconds", &[]),
             recoveries: registry.counter("store_recoveries_total", &[]),
             torn_tails: registry.counter("store_torn_tails_total", &[]),
             truncated_bytes: registry.counter("store_truncated_bytes_total", &[]),
@@ -342,8 +346,20 @@ impl StoreObserver for ObsStoreObserver {
         m.appends.inc();
         m.bytes_written.add(framed_bytes);
     }
+    fn on_append_timed(&self, framed_bytes: u64, seconds: f64) {
+        self.on_append(framed_bytes);
+        store_metrics().append_seconds.record(seconds);
+        // If a request trace is active on this thread (an ADD inside a
+        // serve worker), the durability cost shows up as its own span.
+        freephish_obs::trace::span_record("store_append", seconds);
+    }
     fn on_fsync(&self) {
         store_metrics().fsyncs.inc();
+    }
+    fn on_fsync_timed(&self, seconds: f64) {
+        self.on_fsync();
+        store_metrics().fsync_seconds.record(seconds);
+        freephish_obs::trace::span_record("store_fsync", seconds);
     }
     fn on_segment_created(&self) {
         store_metrics().segments_created.inc();

@@ -2,9 +2,12 @@
 //!
 //! Issues a known mix of CHECK requests through a `VerdictClient`, then
 //! scrapes `STATS` and asserts the served counters match what was issued —
-//! both via the wire protocol and via `VerdictServer::metrics()`.
+//! via the wire protocol, via `VerdictServer::metrics()`, and via the ops
+//! plane's `/varz` endpoint. All three are views of one observable
+//! snapshot, so they must agree.
 
 use freephish_core::extension::{KnownSetChecker, VerdictClient, VerdictServer};
+use freephish_serve::{http_get, OpsServer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -62,6 +65,43 @@ fn stats_over_tcp_matches_issued_requests() {
     let latency = &stats["histograms"]["verdict_request_seconds"];
     assert_eq!(latency["count"], 5);
     assert!(latency["p99"].as_f64().unwrap() >= 0.0);
+    // The rolling windowed SLO quantiles ride the same STATS reply: five
+    // CHECKs landed in the current window, so every quantile gauge is
+    // present (integer microseconds, so >= 0).
+    for q in ["p50", "p99", "p999"] {
+        let key = format!("verdict_window_latency_us{{cmd=\"check\",q=\"{q}\"}}");
+        let v = stats["gauges"]
+            .get(&key)
+            .unwrap_or_else(|| panic!("STATS missing windowed gauge {key}"));
+        assert!(v.as_i64().unwrap() >= 0, "{key} = {v:?}");
+    }
+
+    // Second transport, same snapshot: mount the ops plane on the
+    // threaded engine and scrape /varz. Monotone counters and the
+    // windowed gauges agree with what STATS served.
+    let mut ops = OpsServer::start(0, server.ops_config()).unwrap();
+    let (code, body) = http_get(ops.addr(), "/varz").unwrap();
+    assert_eq!(code, 200, "{body}");
+    let varz: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(varz["engine"], "threaded");
+    assert_eq!(
+        varz["counters"]["verdict_requests_total{kind=\"check\"}"],
+        5
+    );
+    assert_eq!(
+        varz["counters"]["verdict_verdicts_total{kind=\"phishing\"}"],
+        2
+    );
+    assert!(
+        varz["gauges"]
+            .get("verdict_window_latency_us{cmd=\"check\",q=\"p999\"}")
+            .is_some(),
+        "/varz missing windowed gauges: {body}"
+    );
+    // The threaded engine is unconditionally ready.
+    let (code, _) = http_get(ops.addr(), "/readyz").unwrap();
+    assert_eq!(code, 200);
+    ops.shutdown();
 
     // The in-process snapshot agrees with the wire. Connection threads
     // decrement the active gauge asynchronously after the socket closes,

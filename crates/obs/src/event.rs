@@ -179,6 +179,21 @@ impl EventLog {
     pub fn evicted(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
     }
+
+    /// Inject drop accounting into a metrics snapshot as
+    /// `obs_events_suppressed_total` / `obs_events_evicted_total`, so a
+    /// scraper can detect lossy logging without in-process calls.
+    pub fn export_into(&self, snap: &mut crate::registry::MetricsSnapshot) {
+        use crate::registry::MetricKey;
+        snap.counters.insert(
+            MetricKey::new("obs_events_suppressed_total", &[]),
+            self.suppressed(),
+        );
+        snap.counters.insert(
+            MetricKey::new("obs_events_evicted_total", &[]),
+            self.evicted(),
+        );
+    }
 }
 
 /// The process-wide event log (capacity 1024, `FREEPHISH_LOG` filter).

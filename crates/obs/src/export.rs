@@ -4,14 +4,46 @@
 use crate::registry::{MetricKey, MetricsSnapshot};
 use serde_json::{json, Map, Value};
 
-/// Render a snapshot in the Prometheus text exposition format. Histograms
-/// emit the conventional `_bucket{le=...}` / `_sum` / `_count` series
-/// (empty buckets elided, `+Inf` always present).
+/// One-line `# HELP` text for a metric name. Known families get real
+/// descriptions; everything else gets a generic line (the exposition
+/// format wants HELP present, not necessarily prose-perfect).
+fn help_for(name: &str) -> &'static str {
+    match name {
+        "serve_requests_total" => "Requests executed by the serving engine, by command.",
+        "serve_urls_total" => "URLs checked by the serving engine.",
+        "serve_shed_total" => "Requests shed with BUSY by admission control.",
+        "serve_connections_active" => "Currently open client connections.",
+        "serve_generation" => "Index generation currently being served.",
+        "serve_service_seconds" => "Per-batch service time of the lookup stage.",
+        "serve_window_latency_us" => {
+            "Rolling windowed latency quantiles per command, microseconds."
+        }
+        "serve_worker_utilization" => "Per-worker busy fraction in basis points (0-10000).",
+        "ops_scrape_seconds" => "Time spent serving one ops-plane HTTP request.",
+        "ops_requests_total" => "Ops-plane HTTP requests served, by path.",
+        "obs_events_suppressed_total" => "Events dropped below the severity filter.",
+        "obs_events_evicted_total" => "Events evicted from the full event ring.",
+        "trace_requests_total" => "Requests that started a trace.",
+        "trace_sampled_total" => "Traces retained by periodic sampling.",
+        "trace_slow_captured_total" => "Traces retained by slow capture (total > rolling p99).",
+        "store_appends_total" => "Records appended to the durable store.",
+        "store_fsyncs_total" => "fsync calls issued by the durable store.",
+        "store_append_seconds" => "Latency of one durable append (frame + buffer).",
+        "store_fsync_seconds" => "Latency of one fsync.",
+        _ => "freephish metric.",
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format. Each
+/// metric family gets `# HELP` and `# TYPE` lines; histograms emit the
+/// conventional `_bucket{le=...}` / `_sum` / `_count` series (empty
+/// buckets elided, `+Inf` always present).
 pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     let mut last_name = "";
     for (key, value) in &snapshot.counters {
         if key.name != last_name {
+            out.push_str(&format!("# HELP {} {}\n", key.name, help_for(&key.name)));
             out.push_str(&format!("# TYPE {} counter\n", key.name));
             last_name = &key.name;
         }
@@ -20,6 +52,7 @@ pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
     last_name = "";
     for (key, value) in &snapshot.gauges {
         if key.name != last_name {
+            out.push_str(&format!("# HELP {} {}\n", key.name, help_for(&key.name)));
             out.push_str(&format!("# TYPE {} gauge\n", key.name));
             last_name = &key.name;
         }
@@ -28,6 +61,7 @@ pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
     last_name = "";
     for (key, hist) in &snapshot.histograms {
         if key.name != last_name {
+            out.push_str(&format!("# HELP {} {}\n", key.name, help_for(&key.name)));
             out.push_str(&format!("# TYPE {} histogram\n", key.name));
             last_name = &key.name;
         }
@@ -102,6 +136,7 @@ pub fn to_json(snapshot: &MetricsSnapshot) -> Value {
                 "p50": quantile_json(hist, 0.5),
                 "p90": quantile_json(hist, 0.9),
                 "p99": quantile_json(hist, 0.99),
+                "p999": quantile_json(hist, 0.999),
             }),
         );
     }
@@ -144,8 +179,10 @@ mod tests {
     #[test]
     fn prometheus_text_shape() {
         let text = to_prometheus(&sample());
+        assert!(text.contains("# HELP requests_total"));
         assert!(text.contains("# TYPE requests_total counter"));
         assert!(text.contains("requests_total{kind=\"check\"} 7"));
+        assert!(text.contains("# HELP latency_seconds"));
         assert!(text.contains("# TYPE connections_active gauge"));
         assert!(text.contains("connections_active 3"));
         assert!(text.contains("# TYPE latency_seconds histogram"));
@@ -174,6 +211,18 @@ mod tests {
         assert_eq!(h["max"], 0.1);
         assert!(h["p50"].as_f64().unwrap() >= 0.001);
         assert!(h["p99"].as_f64().unwrap() <= 0.1);
+    }
+
+    #[test]
+    fn hostile_label_values_stay_on_one_line() {
+        let r = Registry::new();
+        r.counter("hits_total", &[("url", "https://x/\"a\"\\b\nc")])
+            .inc();
+        let text = to_prometheus(&r.snapshot());
+        // One HELP, one TYPE, one sample line — the newline in the label
+        // value must not split the sample.
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("url=\"https://x/\\\"a\\\"\\\\b\\nc\""));
     }
 
     #[test]

@@ -102,6 +102,19 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Reset to empty. Not atomic with respect to concurrent `record`
+    /// calls: a racing sample may be partially dropped. Window rotation
+    /// in [`crate::window`] tolerates that bounded loss.
+    pub(crate) fn clear(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(f64::NAN.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NAN.to_bits(), Ordering::Relaxed);
+    }
+
     /// An immutable copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {

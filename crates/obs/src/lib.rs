@@ -18,6 +18,10 @@
 //! * [`event`] — a bounded structured-event ring buffer with severity
 //!   levels, filtered by the `FREEPHISH_LOG` environment variable
 //!   (default `warn`, so instrumented code is silent in tests).
+//! * [`window`] — [`WindowedHistogram`], rolling fixed-width windows of
+//!   histograms for SLO-grade quantiles over the recent past.
+//! * [`trace`] (module) — per-request [`TraceId`] span traces with a
+//!   ring-buffer [`TraceStore`] and tail-based slow capture.
 //! * [`export`] — Prometheus-style text exposition and a
 //!   `serde_json::Value` snapshot, both over [`MetricsSnapshot`].
 //!
@@ -33,13 +37,17 @@ pub mod histogram;
 pub mod metric;
 pub mod registry;
 pub mod timer;
+pub mod trace;
+pub mod window;
 
 pub use event::{global as global_events, Event, EventLog, Level};
 pub use export::{to_json, to_prometheus};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
-pub use registry::{MetricKey, MetricsSnapshot, Registry};
+pub use registry::{escape_label_value, MetricKey, MetricsSnapshot, Registry};
 pub use timer::{Span, Stopwatch};
+pub use trace::{Trace, TraceConfig, TraceId, TraceStore};
+pub use window::WindowedHistogram;
 
 use freephish_simclock::SimTime;
 

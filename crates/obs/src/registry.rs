@@ -34,7 +34,9 @@ impl MetricKey {
         }
     }
 
-    /// Render as `name{k="v",...}` (bare name when unlabeled).
+    /// Render as `name{k="v",...}` (bare name when unlabeled). Label
+    /// values are escaped per the Prometheus exposition format: `\` →
+    /// `\\`, `"` → `\"`, newline → `\n`.
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -42,10 +44,24 @@ impl MetricKey {
         let labels: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
             .collect();
         format!("{}{{{}}}", self.name, labels.join(","))
     }
+}
+
+/// Escape a label value per the Prometheus text exposition format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 #[derive(Default)]
@@ -247,5 +263,14 @@ mod tests {
             MetricKey::new("stage_seconds", &[("stage", "crawl")]).render(),
             "stage_seconds{stage=\"crawl\"}"
         );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let key = MetricKey::new("hits", &[("url", "https://a.b/\"x\"\\p\nq")]);
+        assert_eq!(key.render(), "hits{url=\"https://a.b/\\\"x\\\"\\\\p\\nq\"}");
+        // The rendered form contains no raw quote/newline inside the value.
+        let rendered = key.render();
+        assert!(!rendered.contains('\n'));
     }
 }

@@ -2,7 +2,7 @@
 //! floats never panics, quantiles stay inside the observed range and are
 //! monotone, and snapshot merging commutes with combined recording.
 
-use freephish_obs::{Histogram, HistogramSnapshot};
+use freephish_obs::{escape_label_value, Histogram, HistogramSnapshot, WindowedHistogram};
 use proptest::prelude::*;
 
 proptest! {
@@ -108,5 +108,85 @@ proptest! {
         prop_assert_eq!(&right.buckets, &reference.buckets);
         prop_assert_eq!(left.count, reference.count);
         prop_assert_eq!(right.min, reference.min);
+    }
+
+    /// A windowed histogram's `merged()` view equals merging its
+    /// per-window snapshots by hand, for any interleaving of recording
+    /// and manual window advances (including advances that wrap and
+    /// evict old windows).
+    #[test]
+    fn windowed_merged_equals_merge_of_windows(
+        ops in proptest::collection::vec((0.0f64..1e6, any::<bool>()), 0..200)
+    ) {
+        let w = WindowedHistogram::manual(4);
+        for &(v, advance) in &ops {
+            if advance {
+                w.advance();
+            }
+            w.record(v);
+        }
+        let mut manual = HistogramSnapshot::empty();
+        for (_, s) in w.window_snapshots() {
+            manual.merge(&s);
+        }
+        let merged = w.merged();
+        prop_assert_eq!(&manual.buckets, &merged.buckets);
+        prop_assert_eq!(manual.count, merged.count);
+        prop_assert_eq!(manual.sum, merged.sum);
+        prop_assert!(manual.min == merged.min
+            || (manual.min.is_nan() && merged.min.is_nan()));
+        prop_assert!(manual.max == merged.max
+            || (manual.max.is_nan() && merged.max.is_nan()));
+    }
+
+    /// Prometheus label-value escaping round-trips: the escaped form
+    /// contains no unescaped `"`, `\` or newline, and unescaping
+    /// recovers the original string exactly — for inputs deliberately
+    /// dense in the three special characters.
+    #[test]
+    fn prometheus_escaping_round_trips(
+        parts in proptest::collection::vec(prop_oneof![
+            Just("\n".to_string()),
+            Just("\"".to_string()),
+            Just("\\".to_string()),
+            Just("\\n".to_string()),
+            "\\PC{0,6}",
+        ], 0..24)
+    ) {
+        let original = parts.concat();
+        let escaped = escape_label_value(&original);
+
+        // Well-formedness: every special character is escaped, every
+        // backslash starts a valid escape sequence.
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            prop_assert!(c != '"' && c != '\n', "unescaped {:?} in {:?}", c, escaped);
+            if c == '\\' {
+                let next = chars.next();
+                prop_assert!(
+                    matches!(next, Some('\\') | Some('"') | Some('n')),
+                    "dangling or unknown escape {:?} in {:?}", next, escaped
+                );
+            }
+        }
+
+        // Round trip: decode and compare.
+        let mut decoded = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => decoded.push('\\'),
+                    Some('"') => decoded.push('"'),
+                    Some('n') => decoded.push('\n'),
+                    other => {
+                        prop_assert!(false, "bad escape {:?} in {:?}", other, escaped);
+                    }
+                }
+            } else {
+                decoded.push(c);
+            }
+        }
+        prop_assert_eq!(decoded, original);
     }
 }

@@ -24,18 +24,24 @@
 //! * [`verdict`] — [`Verdict`] and the [`UrlChecker`] trait (moved down
 //!   from `freephish-core`, which re-exports them), now with a batched
 //!   [`UrlChecker::check_many`] entry point.
+//! * [`ops`] — [`OpsServer`]: the scrape plane on its own port.
+//!   `/metrics` (Prometheus text), `/varz` (JSON), `/healthz`, `/readyz`,
+//!   `/events`, and `/traces/slow`, fed by engine-supplied [`OpsConfig`]
+//!   hooks so both serving engines mount the identical surface.
 //!
 //! Every decision the admission-control path takes is observable through
 //! `freephish-obs` as `serve_*` metrics: queue depth, batch sizes, shed
 //! counts, and service-time quantiles.
 
 pub mod index;
+pub mod ops;
 pub mod proto;
 pub mod server;
 pub mod sys;
 pub mod verdict;
 
 pub use index::{IndexPublisher, IndexSnapshot, PayloadDecoder, ShardedIndex};
+pub use ops::{http_get, OpsConfig, OpsServer, Readiness};
 pub use proto::{
     decode_bin_reply, decode_bin_request, decode_request, decode_verdict, encode_bin_reply,
     encode_bin_request, encode_verdict, BinReply, BinRequest, Request, HANDSHAKE_LINE,

@@ -33,6 +33,7 @@
 //! service-time quantiles, scrapeable in-process or over the wire via
 //! `STATS`.
 
+use crate::ops::{OpsConfig, Readiness};
 use crate::proto::{
     self, decode_bin_request, decode_request, encode_bin_reply, encode_verdict, BinReply,
     BinRequest, Request, FRAME_HEADER, HANDSHAKE_OK, MAX_FRAME_PAYLOAD,
@@ -40,8 +41,12 @@ use crate::proto::{
 use crate::sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use crate::verdict::{UrlChecker, Verdict};
 use bytes::BytesMut;
-use freephish_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, Stopwatch};
+use freephish_obs::{
+    trace, Counter, Gauge, Histogram, MetricKey, MetricsSnapshot, Registry, Stopwatch, TraceStore,
+    WindowedHistogram,
+};
 use parking_lot::Mutex;
+use serde_json::json;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -49,7 +54,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for the evented engine.
 #[derive(Debug, Clone)]
@@ -110,7 +115,16 @@ struct ServeMetrics {
     generation: Arc<Gauge>,
     batch_size: Arc<Histogram>,
     service_seconds: Arc<Histogram>,
+    /// Rolling end-to-end latency (read → reply enqueued) per command,
+    /// feeding the `serve_window_latency_us{cmd,q}` SLO gauges.
+    window_check: WindowedHistogram,
+    window_checkn: WindowedHistogram,
+    window_add: WindowedHistogram,
 }
+
+/// Rolling SLO horizon: eight one-second windows ≈ the last 8 seconds.
+const SLO_WINDOWS: usize = 8;
+const SLO_WINDOW_WIDTH: Duration = Duration::from_secs(1);
 
 impl ServeMetrics {
     fn new() -> ServeMetrics {
@@ -132,13 +146,31 @@ impl ServeMetrics {
             generation: registry.gauge("serve_generation", &[]),
             batch_size: registry.histogram("serve_batch_size", &[]),
             service_seconds: registry.histogram("serve_service_seconds", &[]),
+            window_check: WindowedHistogram::wall(SLO_WINDOWS, SLO_WINDOW_WIDTH),
+            window_checkn: WindowedHistogram::wall(SLO_WINDOWS, SLO_WINDOW_WIDTH),
+            window_add: WindowedHistogram::wall(SLO_WINDOWS, SLO_WINDOW_WIDTH),
             registry,
         }
     }
 
-    fn stats_json(&self) -> String {
-        let json = freephish_obs::to_json(&self.registry.snapshot());
-        serde_json::to_string(&json).expect("metrics snapshot serializes")
+    /// Inject the rolling windowed quantiles as integer-microsecond
+    /// gauges. Gauges — not histograms — because the value is "quantile
+    /// over the last N windows", which a cumulative histogram cannot say.
+    fn window_gauges_into(&self, snap: &mut MetricsSnapshot) {
+        for (cmd, w) in [
+            ("check", &self.window_check),
+            ("checkn", &self.window_checkn),
+            ("add", &self.window_add),
+        ] {
+            for (q, qname) in [(0.5, "p50"), (0.99, "p99"), (0.999, "p999")] {
+                if let Some(v) = w.quantile(q) {
+                    snap.gauges.insert(
+                        MetricKey::new("serve_window_latency_us", &[("cmd", cmd), ("q", qname)]),
+                        (v * 1e6) as i64,
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -183,9 +215,32 @@ struct Shared {
     checker: Arc<dyn UrlChecker>,
     metrics: ServeMetrics,
     budget: Budget,
+    traces: Arc<TraceStore>,
     shutdown: AtomicBool,
     inboxes: Vec<Mutex<Vec<TcpStream>>>,
     wakes: Vec<Mutex<UnixStream>>,
+}
+
+impl Shared {
+    /// The one observable snapshot every transport serves: the registry,
+    /// plus windowed SLO gauges, trace retention counters, and event-log
+    /// drop accounting. `STATS` (in-band) and the ops plane (HTTP) both
+    /// call this, so they can never drift apart.
+    fn observable_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .generation
+            .set(self.checker.generation() as i64);
+        let mut snap = self.metrics.registry.snapshot();
+        self.metrics.window_gauges_into(&mut snap);
+        self.traces.counters_into(&mut snap);
+        freephish_obs::global_events().export_into(&mut snap);
+        snap
+    }
+
+    fn stats_json(&self) -> String {
+        let json = freephish_obs::to_json(&self.observable_snapshot());
+        serde_json::to_string(&json).expect("metrics snapshot serializes")
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -203,6 +258,9 @@ struct Conn {
     stream: TcpStream,
     read_buf: BytesMut,
     write_buf: BytesMut,
+    /// When this round's socket reads started and how long they took —
+    /// consumed as the trace clock + `accept` span of the next batch.
+    batch_start: Option<(Instant, f64)>,
     /// Peer half-closed; finish flushing then drop.
     read_eof: bool,
     /// Flush remaining replies, then drop.
@@ -217,6 +275,7 @@ impl Conn {
             stream,
             read_buf: BytesMut::with_capacity(4 * 1024),
             write_buf: BytesMut::with_capacity(4 * 1024),
+            batch_start: None,
             read_eof: false,
             closing: false,
             dead: false,
@@ -233,21 +292,29 @@ impl Conn {
 
     /// Read until `WouldBlock`, EOF, or the buffer cap.
     fn fill(&mut self, chunk: &mut [u8], metrics: &ServeMetrics) {
+        let t0 = Instant::now();
+        let mut got = false;
         while self.read_buf.len() < READ_BUF_CAP {
             match self.stream.read(chunk) {
                 Ok(0) => {
                     self.read_eof = true;
-                    return;
+                    break;
                 }
-                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    got = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
                     metrics.io_errors.inc();
                     self.dead = true;
-                    return;
+                    break;
                 }
             }
+        }
+        if got && self.batch_start.is_none() {
+            self.batch_start = Some((t0, t0.elapsed().as_secs_f64()));
         }
     }
 
@@ -286,9 +353,44 @@ impl Conn {
 // Request execution
 // ---------------------------------------------------------------------------
 
+/// Per-round timing handed to each executed batch: the trace clock start
+/// (when this round's bytes were read), the socket-read duration, and a
+/// running decode clock that segments parse time per executed request.
+struct BatchClock {
+    read_at: Instant,
+    accept_secs: f64,
+    seg: Instant,
+}
+
+impl BatchClock {
+    fn consume(conn: &mut Conn) -> BatchClock {
+        let (read_at, accept_secs) = conn
+            .batch_start
+            .take()
+            .unwrap_or_else(|| (Instant::now(), 0.0));
+        BatchClock {
+            read_at,
+            accept_secs,
+            seg: Instant::now(),
+        }
+    }
+
+    /// Close the current decode segment and start the next.
+    fn decode_secs(&mut self) -> f64 {
+        let d = self.seg.elapsed().as_secs_f64();
+        self.seg = Instant::now();
+        d
+    }
+}
+
 /// Execute a microbatch of single CHECKs (line and/or binary) against one
 /// index snapshot, or shed the whole batch with BUSY.
-fn exec_checks(conn: &mut Conn, s: &Shared, pending: &mut Vec<(String, ReplyMode)>) {
+fn exec_checks(
+    conn: &mut Conn,
+    s: &Shared,
+    pending: &mut Vec<(String, ReplyMode)>,
+    clock: &mut BatchClock,
+) {
     if pending.is_empty() {
         return;
     }
@@ -305,26 +407,35 @@ fn exec_checks(conn: &mut Conn, s: &Shared, pending: &mut Vec<(String, ReplyMode
         }
         return;
     }
+    trace::begin("check", n as u32, clock.read_at);
+    trace::span_record("accept", clock.accept_secs);
+    trace::span_record("decode", clock.decode_secs());
     let (urls, modes): (Vec<String>, Vec<ReplyMode>) = pending.drain(..).unzip();
     let watch = Stopwatch::start();
-    let verdicts = s.checker.check_many(&urls);
+    let verdicts = trace::span("lookup", || s.checker.check_many(&urls));
     watch.record(&s.metrics.service_seconds);
     s.budget.release(n);
     s.metrics.urls_checked.add(n as u64);
-    for (v, mode) in verdicts.iter().zip(modes) {
-        match v {
-            Verdict::Phishing(_) => s.metrics.verdicts_phishing.inc(),
-            Verdict::Safe(_) => s.metrics.verdicts_safe.inc(),
+    trace::span("respond", || {
+        for (v, mode) in verdicts.iter().zip(modes) {
+            match v {
+                Verdict::Phishing(_) => s.metrics.verdicts_phishing.inc(),
+                Verdict::Safe(_) => s.metrics.verdicts_safe.inc(),
+            }
+            match mode {
+                ReplyMode::Line => conn.push_bytes(encode_verdict(v).as_bytes()),
+                ReplyMode::Bin => conn.push_reply(&BinReply::Verdict(*v)),
+            }
         }
-        match mode {
-            ReplyMode::Line => conn.push_bytes(encode_verdict(v).as_bytes()),
-            ReplyMode::Bin => conn.push_reply(&BinReply::Verdict(*v)),
-        }
-    }
+    });
+    s.metrics
+        .window_check
+        .record(clock.read_at.elapsed().as_secs_f64());
+    trace::finish(&s.traces);
 }
 
 /// Execute one CHECKN frame as its own batch.
-fn exec_checkn(conn: &mut Conn, s: &Shared, urls: Vec<String>) {
+fn exec_checkn(conn: &mut Conn, s: &Shared, urls: Vec<String>, clock: &mut BatchClock) {
     let n = urls.len();
     s.metrics.requests_checkn.inc();
     s.metrics.batch_size.record(n as f64);
@@ -333,23 +444,43 @@ fn exec_checkn(conn: &mut Conn, s: &Shared, urls: Vec<String>) {
         conn.push_reply(&BinReply::Busy);
         return;
     }
+    trace::begin("checkn", n as u32, clock.read_at);
+    trace::span_record("accept", clock.accept_secs);
+    trace::span_record("decode", clock.decode_secs());
     let watch = Stopwatch::start();
-    let verdicts = s.checker.check_many(&urls);
+    let verdicts = trace::span("lookup", || s.checker.check_many(&urls));
     watch.record(&s.metrics.service_seconds);
     s.budget.release(n);
     s.metrics.urls_checked.add(n as u64);
-    for v in &verdicts {
-        match v {
-            Verdict::Phishing(_) => s.metrics.verdicts_phishing.inc(),
-            Verdict::Safe(_) => s.metrics.verdicts_safe.inc(),
+    trace::span("respond", || {
+        for v in &verdicts {
+            match v {
+                Verdict::Phishing(_) => s.metrics.verdicts_phishing.inc(),
+                Verdict::Safe(_) => s.metrics.verdicts_safe.inc(),
+            }
         }
-    }
-    conn.push_reply(&BinReply::VerdictN(verdicts));
+        conn.push_reply(&BinReply::VerdictN(verdicts));
+    });
+    s.metrics
+        .window_checkn
+        .record(clock.read_at.elapsed().as_secs_f64());
+    trace::finish(&s.traces);
 }
 
-fn exec_add(conn: &mut Conn, s: &Shared, url: &str, score: f64, mode: ReplyMode) {
+fn exec_add(
+    conn: &mut Conn,
+    s: &Shared,
+    url: &str,
+    score: f64,
+    mode: ReplyMode,
+    clock: &mut BatchClock,
+) {
     s.metrics.requests_add.inc();
-    match s.checker.add(url, score) {
+    trace::begin("add", 1, clock.read_at);
+    trace::span_record("accept", clock.accept_secs);
+    trace::span_record("decode", clock.decode_secs());
+    let result = trace::span("apply", || s.checker.add(url, score));
+    trace::span("respond", || match result {
         Ok(generation) => match mode {
             ReplyMode::Line => conn.push_bytes(format!("OK {generation}\n").as_bytes()),
             ReplyMode::Bin => conn.push_reply(&BinReply::Ok(generation)),
@@ -361,13 +492,16 @@ fn exec_add(conn: &mut Conn, s: &Shared, url: &str, score: f64, mode: ReplyMode)
                 ReplyMode::Bin => conn.push_reply(&BinReply::Error(msg)),
             }
         }
-    }
+    });
+    s.metrics
+        .window_add
+        .record(clock.read_at.elapsed().as_secs_f64());
+    trace::finish(&s.traces);
 }
 
 fn exec_stats(conn: &mut Conn, s: &Shared, mode: ReplyMode) {
     s.metrics.requests_stats.inc();
-    s.metrics.generation.set(s.checker.generation() as i64);
-    let json = s.metrics.stats_json();
+    let json = s.stats_json();
     match mode {
         ReplyMode::Line => conn.push_bytes(format!("STATS {json}\n").as_bytes()),
         ReplyMode::Bin => conn.push_reply(&BinReply::Stats(json)),
@@ -381,6 +515,7 @@ fn parse_and_execute(conn: &mut Conn, s: &Shared) {
     if conn.dead {
         return;
     }
+    let mut clock = BatchClock::consume(conn);
     let mut pending: Vec<(String, ReplyMode)> = Vec::new();
     loop {
         if conn.closing || conn.write_buf.len() >= s.cfg.write_buf_cap || conn.read_buf.is_empty() {
@@ -391,22 +526,22 @@ fn parse_and_execute(conn: &mut Conn, s: &Shared) {
                 Ok(None) => break,
                 Ok(Some(BinRequest::Check(url))) => pending.push((url, ReplyMode::Bin)),
                 Ok(Some(BinRequest::CheckN(urls))) => {
-                    exec_checks(conn, s, &mut pending);
-                    exec_checkn(conn, s, urls);
+                    exec_checks(conn, s, &mut pending, &mut clock);
+                    exec_checkn(conn, s, urls, &mut clock);
                 }
                 Ok(Some(BinRequest::Add(url, score))) => {
-                    exec_checks(conn, s, &mut pending);
-                    exec_add(conn, s, &url, score, ReplyMode::Bin);
+                    exec_checks(conn, s, &mut pending, &mut clock);
+                    exec_add(conn, s, &url, score, ReplyMode::Bin, &mut clock);
                 }
                 Ok(Some(BinRequest::Stats)) => {
-                    exec_checks(conn, s, &mut pending);
+                    exec_checks(conn, s, &mut pending, &mut clock);
                     exec_stats(conn, s, ReplyMode::Bin);
                 }
                 Err(msg) => {
                     // Framing is byte-precise: a bad frame poisons the
                     // stream, so reply and close.
                     s.metrics.protocol_errors.inc();
-                    exec_checks(conn, s, &mut pending);
+                    exec_checks(conn, s, &mut pending, &mut clock);
                     conn.push_reply(&BinReply::Error(msg));
                     conn.closing = true;
                     break;
@@ -417,28 +552,28 @@ fn parse_and_execute(conn: &mut Conn, s: &Shared) {
                 Ok(None) => break,
                 Ok(Some(Request::Check(url))) => pending.push((url, ReplyMode::Line)),
                 Ok(Some(Request::Add(url, score))) => {
-                    exec_checks(conn, s, &mut pending);
-                    exec_add(conn, s, &url, score, ReplyMode::Line);
+                    exec_checks(conn, s, &mut pending, &mut clock);
+                    exec_add(conn, s, &url, score, ReplyMode::Line, &mut clock);
                 }
                 Ok(Some(Request::Stats)) => {
-                    exec_checks(conn, s, &mut pending);
+                    exec_checks(conn, s, &mut pending, &mut clock);
                     exec_stats(conn, s, ReplyMode::Line);
                 }
                 Ok(Some(Request::Binary)) => {
-                    exec_checks(conn, s, &mut pending);
+                    exec_checks(conn, s, &mut pending, &mut clock);
                     conn.push_bytes(format!("{HANDSHAKE_OK}\n").as_bytes());
                 }
                 Err(msg) => {
                     // Line errors are recoverable: reply and keep going,
                     // matching the threaded engine.
                     s.metrics.protocol_errors.inc();
-                    exec_checks(conn, s, &mut pending);
+                    exec_checks(conn, s, &mut pending, &mut clock);
                     conn.push_bytes(format!("ERROR {msg}\n").as_bytes());
                 }
             }
         }
     }
-    exec_checks(conn, s, &mut pending);
+    exec_checks(conn, s, &mut pending, &mut clock);
     // A connection at the read cap with nothing parseable (and no write
     // backpressure excusing it) can never make progress: protocol error.
     if !conn.closing
@@ -458,11 +593,25 @@ fn parse_and_execute(conn: &mut Conn, s: &Shared) {
 // Worker + acceptor loops
 // ---------------------------------------------------------------------------
 
+/// How often the per-worker utilization gauge is refreshed.
+const UTIL_FLUSH: Duration = Duration::from_millis(500);
+
 fn worker_loop(s: Arc<Shared>, wake: UnixStream, wid: usize) {
     let _ = wake.set_nonblocking(true);
     let mut conns: Vec<Conn> = Vec::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     let timeout = s.cfg.poll_interval.as_millis() as i32;
+    // Busy/idle accounting: time blocked in poll(2) is idle, everything
+    // else is busy. Published in basis points (0-10000) per worker.
+    let wid_label = wid.to_string();
+    let util = s
+        .metrics
+        .registry
+        .gauge("serve_worker_utilization", &[("worker", &wid_label)]);
+    let mut busy = Duration::ZERO;
+    let mut idle = Duration::ZERO;
+    let mut segment = Instant::now();
+    let mut last_flush = Instant::now();
     loop {
         // Adopt handed-off connections before polling so they are part of
         // this round's fd set.
@@ -497,7 +646,21 @@ fn worker_loop(s: Arc<Shared>, wake: UnixStream, wid: usize) {
             }
             fds.push(PollFd::new(c.stream.as_raw_fd(), events));
         }
-        if let Err(e) = poll_fds(&mut fds, timeout) {
+        busy += segment.elapsed();
+        segment = Instant::now();
+        let poll_result = poll_fds(&mut fds, timeout);
+        idle += segment.elapsed();
+        segment = Instant::now();
+        if last_flush.elapsed() >= UTIL_FLUSH {
+            let total = busy + idle;
+            if !total.is_zero() {
+                util.set((busy.as_secs_f64() / total.as_secs_f64() * 10_000.0) as i64);
+            }
+            busy = Duration::ZERO;
+            idle = Duration::ZERO;
+            last_flush = Instant::now();
+        }
+        if let Err(e) = poll_result {
             s.metrics.io_errors.inc();
             freephish_obs::warn("serve", format!("worker {wid} poll failed: {e}"));
             std::thread::sleep(Duration::from_millis(10));
@@ -613,6 +776,7 @@ impl EventedServer {
             wakes,
             budget,
             metrics,
+            traces: Arc::new(TraceStore::new()),
             checker,
             shutdown: AtomicBool::new(false),
             cfg,
@@ -643,9 +807,44 @@ impl EventedServer {
         self.addr
     }
 
-    /// Snapshot of the `serve_*` metrics.
+    /// Snapshot of the `serve_*` metrics, including the rolling windowed
+    /// SLO gauges and trace/event accounting — the same view `STATS` and
+    /// the ops plane serve.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.registry.snapshot()
+        self.shared.observable_snapshot()
+    }
+
+    /// The trace store retaining this engine's sampled and slow traces.
+    pub fn traces(&self) -> Arc<TraceStore> {
+        self.shared.traces.clone()
+    }
+
+    /// Ops-plane hooks for mounting an [`crate::ops::OpsServer`] in front
+    /// of this engine. Default readiness: the index has published at
+    /// least one generation. Callers with store-backed startup (journal
+    /// tailing) should override `ready` with their own conditions.
+    pub fn ops_config(&self) -> OpsConfig {
+        let snap = self.shared.clone();
+        let ready = self.shared.clone();
+        let addr = self.addr;
+        let workers = self.shared.cfg.workers;
+        OpsConfig {
+            snapshot: Arc::new(move || snap.observable_snapshot()),
+            ready: Arc::new(move || {
+                Readiness::from_conditions(vec![(
+                    "index_generation_published",
+                    ready.checker.generation() > 0,
+                )])
+            }),
+            varz_extra: Some(Arc::new(move || {
+                json!({
+                    "engine": "evented",
+                    "serve_addr": addr.to_string(),
+                    "workers": workers,
+                })
+            })),
+            traces: Some(self.shared.traces.clone()),
+        }
     }
 
     /// Connections currently owned by workers.

@@ -38,8 +38,21 @@ pub trait StoreObserver: Send + Sync {
     fn on_append(&self, framed_bytes: u64) {
         let _ = framed_bytes;
     }
+    /// Like [`StoreObserver::on_append`], carrying the append's wall
+    /// duration. The default delegates to the untimed hook, so observers
+    /// that don't track latency need not change.
+    fn on_append_timed(&self, framed_bytes: u64, seconds: f64) {
+        let _ = seconds;
+        self.on_append(framed_bytes);
+    }
     /// An fdatasync was issued.
     fn on_fsync(&self) {}
+    /// Like [`StoreObserver::on_fsync`], carrying the fsync's wall
+    /// duration. The default delegates to the untimed hook.
+    fn on_fsync_timed(&self, seconds: f64) {
+        let _ = seconds;
+        self.on_fsync();
+    }
     /// A new segment file was created.
     fn on_segment_created(&self) {}
     /// A snapshot completed, taking `seconds` and writing `payload_bytes`.
@@ -265,9 +278,10 @@ impl Store {
         if self.writer.len() >= self.opts.segment_max_bytes {
             self.rotate()?;
         }
+        let t0 = Instant::now();
         let framed = self.writer.append(payload);
         if let Some(obs) = &self.observer {
-            obs.on_append(framed);
+            obs.on_append_timed(framed, t0.elapsed().as_secs_f64());
         }
         if self.opts.sync_every_append {
             self.sync()?;
@@ -283,17 +297,19 @@ impl Store {
 
     /// Flush and fdatasync the active segment.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        let t0 = Instant::now();
         self.writer.sync()?;
         if let Some(obs) = &self.observer {
-            obs.on_fsync();
+            obs.on_fsync_timed(t0.elapsed().as_secs_f64());
         }
         Ok(())
     }
 
     fn rotate(&mut self) -> std::io::Result<()> {
+        let t0 = Instant::now();
         self.writer.sync()?;
         if let Some(obs) = &self.observer {
-            obs.on_fsync();
+            obs.on_fsync_timed(t0.elapsed().as_secs_f64());
         }
         let next = self.writer.index() + 1;
         self.writer = SegmentWriter::create(&self.dir, next)?;

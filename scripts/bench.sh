@@ -13,7 +13,10 @@
 #     under the store_append_throughput and store_recovery keys;
 #   * the serving layer — loadgen drives the threaded and evented verdict
 #     engines with concurrent connections (line CHECK and binary CHECKN),
-#     merged in under the serve_throughput and serve_latency keys.
+#     merged in under the serve_throughput and serve_latency keys; during
+#     the CHECKN phase the ops plane is mounted and scraped mid-run,
+#     adding the serve_p999, serve_worker_utilization and
+#     ops_scrape_latency keys.
 #
 # Knobs: FREEPHISH_BENCH_REPS (best-of reps, default 3),
 #        FREEPHISH_BENCH_OUT (output path, default BENCH_PIPELINE.json),
@@ -36,7 +39,7 @@ echo "== loadgen =="
 ./target/release/loadgen
 
 OUT="${FREEPHISH_BENCH_OUT:-BENCH_PIPELINE.json}"
-for key in serve_throughput serve_latency; do
+for key in serve_throughput serve_latency serve_p999 serve_worker_utilization ops_scrape_latency; do
   if ! grep -q "\"$key\"" "$OUT"; then
     echo "bench.sh: ERROR: \"$key\" missing from $OUT" >&2
     exit 1

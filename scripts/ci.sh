@@ -32,4 +32,8 @@ cargo test -q
 echo "== cargo test -q (FREEPHISH_THREADS=1) =="
 FREEPHISH_THREADS=1 cargo test -q
 
+echo "== ops plane smoke (ops_smoke) =="
+cargo build --release -p freephish-bench --bin ops_smoke
+./target/release/ops_smoke
+
 echo "== ci.sh: all gates passed =="
