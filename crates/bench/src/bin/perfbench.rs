@@ -8,6 +8,12 @@
 //!   locally from the retained `wagner_fischer` reference, per-call Vec
 //!   allocations and all), the Myers bit-parallel kernel serially, and the
 //!   Myers kernel fanned across the `freephish-par` pool.
+//! * **classification hot path** — end-to-end snapshot scoring on the
+//!   wire-speed path (span tokens → `PageFacts` → flat forests) vs the
+//!   retained legacy path (owned tokens → DOM queries → boxed trees), plus
+//!   each stage in isolation: `urls_classified_per_sec`,
+//!   `html_tokenize_mb_per_sec`, `forest_predict_rows_per_sec`,
+//!   `url_features_per_sec`, each next to its legacy figure.
 //! * **pipeline tick** — one full `run_tick` over a 1,000-post feed at
 //!   `FREEPHISH_THREADS=1` and at the host default, plus a bare
 //!   poll+crawl+score loop (the seed's uninstrumented tick shape).
@@ -216,6 +222,133 @@ fn bench_pipeline_tick(reps: usize) -> serde_json::Value {
     })
 }
 
+/// The wire-speed classification hot path against its pre-rewrite self:
+/// end-to-end snapshot scoring (parse → features → inference), plus each
+/// stage in isolation — span vs owned tokenisation, flat-batch vs boxed
+/// forest walks, SWAR/Myers vs scalar URL lexical features.
+fn bench_hot_path(reps: usize) -> serde_json::Value {
+    use freephish_core::features::{url_features, url_features_legacy, FeatureSet, FeatureVector};
+    use freephish_urlparse::Url;
+
+    let corpus = build(&GroundTruthConfig {
+        n_phish: 150,
+        n_benign: 150,
+        seed: 31,
+    });
+    let mut rng = Rng64::new(32);
+    let model = AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng);
+    let snapshots: Vec<(Url, &str)> = corpus
+        .iter()
+        .map(|ls| (Url::parse(&ls.site.url).unwrap(), ls.site.html.as_str()))
+        .collect();
+    let html_bytes: usize = snapshots.iter().map(|(_, h)| h.len()).sum();
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    // End-to-end: classify every snapshot, fast path vs the retained
+    // legacy path, in the same process on the same corpus.
+    let fast_secs = time_best(reps, || {
+        snapshots
+            .iter()
+            .map(|(u, h)| model.score_snapshot(u, h))
+            .sum::<f64>()
+    });
+    let legacy_secs = time_best(reps, || {
+        snapshots
+            .iter()
+            .map(|(u, h)| model.score_snapshot_legacy(u, h))
+            .sum::<f64>()
+    });
+    let urls_per_sec = snapshots.len() as f64 / fast_secs;
+    let legacy_urls_per_sec = snapshots.len() as f64 / legacy_secs;
+
+    // Stage: HTML tokenisation, borrowed spans vs owned tokens.
+    let span_tok_secs = time_best(reps, || {
+        snapshots
+            .iter()
+            .map(|(_, h)| freephish_htmlparse::tokenize_spans(h).count())
+            .sum::<usize>()
+    });
+    let owned_tok_secs = time_best(reps, || {
+        snapshots
+            .iter()
+            .map(|(_, h)| freephish_htmlparse::legacy::tokenize(h).len())
+            .sum::<usize>()
+    });
+    let tokenize_mb_per_sec = html_bytes as f64 / span_tok_secs / MIB;
+
+    // Stage: forest inference, flat blocked batch vs boxed per-row walks,
+    // over the corpus rows replicated to a steady-state batch.
+    let rows: Vec<Vec<f64>> = snapshots
+        .iter()
+        .map(|(u, h)| FeatureVector::extract_fast(FeatureSet::Augmented, u, h).values)
+        .collect();
+    let batch_refs: Vec<&[f64]> = (0..20_000)
+        .map(|i| rows[i % rows.len()].as_slice())
+        .collect();
+    let flat_batch_secs = time_best(reps, || model.score_features_batch(&batch_refs));
+    let boxed_secs = time_best(reps, || {
+        batch_refs
+            .iter()
+            .map(|r| model.score_features_boxed(r))
+            .sum::<f64>()
+    });
+    let rows_per_sec = batch_refs.len() as f64 / flat_batch_secs;
+    let boxed_rows_per_sec = batch_refs.len() as f64 / boxed_secs;
+
+    // Stage: the eight URL-lexical features, SWAR + shared-tokenisation
+    // Myers vs the scalar legacy scans.
+    let url_fast_secs = time_best(reps, || {
+        snapshots
+            .iter()
+            .map(|(u, _)| url_features(u).iter().sum::<f64>())
+            .sum::<f64>()
+    });
+    let url_legacy_secs = time_best(reps, || {
+        snapshots
+            .iter()
+            .map(|(u, _)| url_features_legacy(u).iter().sum::<f64>())
+            .sum::<f64>()
+    });
+    let url_feat_per_sec = snapshots.len() as f64 / url_fast_secs;
+
+    let speedup = urls_per_sec / legacy_urls_per_sec;
+    println!(
+        "classification hot path ({} snapshots, {:.1} MiB html):",
+        snapshots.len(),
+        html_bytes as f64 / MIB
+    );
+    println!("  classify fast    {fast_secs:.4}s   ({urls_per_sec:.0} urls/s)");
+    println!("  classify legacy  {legacy_secs:.4}s   ({legacy_urls_per_sec:.0} urls/s, fast is {speedup:.1}x)");
+    println!("  tokenize spans   {span_tok_secs:.4}s   ({tokenize_mb_per_sec:.1} MiB/s)");
+    println!(
+        "  tokenize owned   {owned_tok_secs:.4}s   ({:.1} MiB/s)",
+        html_bytes as f64 / owned_tok_secs / MIB
+    );
+    println!(
+        "  forest flat      {flat_batch_secs:.4}s   ({rows_per_sec:.0} rows/s over {} rows)",
+        batch_refs.len()
+    );
+    println!("  forest boxed     {boxed_secs:.4}s   ({boxed_rows_per_sec:.0} rows/s)");
+    println!("  url feats fast   {url_fast_secs:.4}s   ({url_feat_per_sec:.0} urls/s)");
+    println!(
+        "  url feats legacy {url_legacy_secs:.4}s   ({:.0} urls/s)",
+        snapshots.len() as f64 / url_legacy_secs
+    );
+    serde_json::json!({
+        "snapshots": snapshots.len(),
+        "html_bytes": html_bytes,
+        "urls_classified_per_sec": urls_per_sec,
+        "legacy_urls_classified_per_sec": legacy_urls_per_sec,
+        "classify_speedup_vs_legacy": speedup,
+        "html_tokenize_mb_per_sec": tokenize_mb_per_sec,
+        "legacy_html_tokenize_mb_per_sec": html_bytes as f64 / owned_tok_secs / MIB,
+        "forest_predict_rows_per_sec": rows_per_sec,
+        "boxed_predict_rows_per_sec": boxed_rows_per_sec,
+        "url_features_per_sec": url_feat_per_sec,
+        "legacy_url_features_per_sec": snapshots.len() as f64 / url_legacy_secs,
+    })
+}
+
 fn bench_train(reps: usize) -> serde_json::Value {
     let corpus = build(&GroundTruthConfig::tiny());
     let train = || {
@@ -359,6 +492,7 @@ fn main() {
         freephish_par::configured_threads(),
     );
     let similarity = bench_similarity(reps);
+    let hot_path = bench_hot_path(reps);
     let tick = bench_pipeline_tick(reps);
     let train = bench_train(reps);
     let store = bench_store(reps);
@@ -371,6 +505,7 @@ fn main() {
             "configured": freephish_par::configured_threads(),
         },
         "site_similarity_sweep": similarity,
+        "classify_hot_path": hot_path,
         "pipeline_tick": tick,
         "train_phase": train,
         "store_append_throughput": store["store_append_throughput"],

@@ -10,13 +10,15 @@
 //! [`FeatureSet::Base`] is the original 20-feature StackModel layout used
 //! by the Table 2 baseline; [`FeatureSet::Augmented`] is FreePhish's.
 
-use freephish_htmlparse::Document;
+use freephish_htmlparse::{Document, PageFacts};
 use freephish_urlparse::lexical::{
-    best_brand_match, digit_ratio, host_dot_count, host_hyphen_count, sensitive_word_count,
-    suspicious_symbol_count, BrandMatch,
+    best_brand_match_in, digit_ratio, host_dot_count, host_hyphen_count, prepare_brands,
+    sensitive_word_count, suspicious_symbol_count, BrandCatalog, BrandMatch,
 };
-use freephish_urlparse::Url;
+use freephish_urlparse::{legacy, swar, Url};
 use freephish_webgen::brands::{brand_tokens, BRANDS};
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Which feature layout to extract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,21 +40,33 @@ pub struct FeatureVector {
     pub values: Vec<f64>,
 }
 
-/// The eight URL-based features shared by both layouts.
-fn url_features(url: &Url) -> Vec<f64> {
-    let s = url.as_string();
-    let brand = best_brand_match(url, &brand_tokens());
-    let brand_score = match brand {
+/// The full brand catalog, compiled once per process (lower-casing and
+/// byte-bag fingerprints hoisted out of the per-URL hot path).
+fn brand_catalog() -> &'static BrandCatalog {
+    static CATALOG: OnceLock<BrandCatalog> = OnceLock::new();
+    CATALOG.get_or_init(|| prepare_brands(&brand_tokens()))
+}
+
+/// Map a brand-match verdict to its ordinal feature value.
+fn brand_score(brand: Option<(usize, BrandMatch)>) -> f64 {
+    match brand {
         Some((_, BrandMatch::Exact)) => 3.0,
         Some((_, BrandMatch::Misspelled)) => 2.0,
         Some((_, BrandMatch::Embedded)) => 1.0,
         _ => 0.0,
-    };
+    }
+}
+
+/// The eight URL-based features shared by both layouts (public so the perf
+/// bench can time the URL-lexical stage in isolation).
+pub fn url_features(url: &Url) -> Vec<f64> {
+    let s = url.as_string();
+    let brand = best_brand_match_in(url, brand_catalog());
     vec![
         s.len() as f64,
         suspicious_symbol_count(&s) as f64,
         sensitive_word_count(&s) as f64,
-        brand_score,
+        brand_score(brand),
         digit_ratio(&s),
         host_dot_count(url) as f64,
         host_hyphen_count(url) as f64,
@@ -60,20 +74,82 @@ fn url_features(url: &Url) -> Vec<f64> {
     ]
 }
 
+/// The seed's URL feature stage, retained verbatim for benchmarking and
+/// equivalence testing: scalar char scans and per-brand re-tokenisation
+/// with the Wagner–Fischer reference kernel. Produces the same vector as
+/// [`url_features`] bit for bit (the urlparse equivalence tests pin each
+/// pair of implementations together).
+pub fn url_features_legacy(url: &Url) -> Vec<f64> {
+    let s = url.as_string();
+    let brand = legacy::best_brand_match(url, &brand_tokens());
+    vec![
+        s.len() as f64,
+        legacy::suspicious_symbol_count(&s) as f64,
+        legacy::sensitive_word_count(&s) as f64,
+        brand_score(brand),
+        legacy::digit_ratio(&s),
+        legacy::host_dot_count(url) as f64,
+        legacy::host_hyphen_count(url) as f64,
+        f64::from(url.host().is_ip()),
+    ]
+}
+
+/// Brand lookups compiled for free-text scanning: a token → lowest-brand-
+/// index map for whole-word hits, plus the (index, lowered name, byte bag)
+/// list for long-name substring hits.
+struct TextBrandIndex {
+    token_index: HashMap<&'static str, usize>,
+    long_names: Vec<(usize, String, u64)>,
+}
+
+fn text_brand_index() -> &'static TextBrandIndex {
+    static INDEX: OnceLock<TextBrandIndex> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut token_index = HashMap::new();
+        let mut long_names = Vec::new();
+        for (i, b) in BRANDS.iter().enumerate() {
+            token_index.entry(b.token).or_insert(i);
+            if b.name.len() >= 5 {
+                let lower = b.name.to_ascii_lowercase();
+                let bag = swar::byte_bag(&lower);
+                long_names.push((i, lower, bag));
+            }
+        }
+        TextBrandIndex {
+            token_index,
+            long_names,
+        }
+    })
+}
+
 /// Does free text mention a catalog brand? Short brand tokens only match
 /// as whole words (otherwise "ing" matches "planting"); names of five or
 /// more characters may match as substrings ("bank of america" inside a
-/// sentence).
+/// sentence). Returns the first matching brand in catalog order.
 pub fn text_mentions_brand(text: &str) -> Option<&'static freephish_webgen::Brand> {
+    let index = text_brand_index();
     let lower = text.to_ascii_lowercase();
-    let words: std::collections::HashSet<&str> = lower
-        .split(|c: char| !c.is_ascii_alphanumeric())
-        .filter(|w| !w.is_empty())
-        .collect();
-    BRANDS.iter().find(|b| {
-        words.contains(b.token)
-            || (b.name.len() >= 5 && lower.contains(&b.name.to_ascii_lowercase()))
-    })
+    // First catalog brand matching = lowest matching index across both the
+    // whole-word and substring criteria.
+    let mut best: Option<usize> = None;
+    for w in lower.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if let Some(&i) = index.token_index.get(w) {
+            best = Some(best.map_or(i, |b| b.min(i)));
+        }
+    }
+    let bag = swar::byte_bag(&lower);
+    for (i, name, nbag) in &index.long_names {
+        // `long_names` is in catalog order, so no later entry can win.
+        if best.is_some_and(|b| b <= *i) {
+            break;
+        }
+        // A clear bag bit proves a byte of the name is absent from the
+        // text, so the substring scan can be skipped outright.
+        if nbag & !bag == 0 && lower.contains(name.as_str()) {
+            best = Some(*i);
+        }
+    }
+    best.map(|i| &BRANDS[i])
 }
 
 /// The ten HTML-based features shared by both layouts (the StackModel's
@@ -129,9 +205,70 @@ fn multi_tld_count(url: &Url) -> usize {
 }
 
 impl FeatureVector {
+    /// Hot-path extraction for a snapshot (URL + raw HTML): all twelve HTML
+    /// signals come from one [`PageFacts`] streaming pass over borrowed
+    /// span tokens — no DOM is built, no per-query arena scans run. The
+    /// URL half is shared with [`FeatureVector::extract`], and `PageFacts`
+    /// is property-tested equal to the DOM queries, so the resulting vector
+    /// is bit-identical to the DOM path.
+    pub fn extract_fast(set: FeatureSet, url: &Url, html: &str) -> FeatureVector {
+        let own = url
+            .host()
+            .registrable_domain()
+            .unwrap_or_else(|| url.host().to_string());
+        let facts = PageFacts::extract(html, &own);
+        Self::from_facts(set, url, &facts)
+    }
+
+    /// Assemble a vector from pre-extracted page facts (the fast-path twin
+    /// of [`FeatureVector::extract`]).
+    pub fn from_facts(set: FeatureSet, url: &Url, facts: &PageFacts) -> FeatureVector {
+        let mut values = url_features(url);
+        let title_brand = facts
+            .title
+            .as_deref()
+            .map(|t| text_mentions_brand(t).is_some())
+            .unwrap_or(false);
+        values.extend([
+            facts.n_links as f64,
+            facts.n_internal_links as f64,
+            facts.n_external_links as f64,
+            facts.n_empty_links as f64,
+            f64::from(facts.has_login_form),
+            facts.n_credential_inputs as f64,
+            facts.dom_nodes as f64,
+            facts.n_forms as f64,
+            facts.n_iframes as f64,
+            f64::from(title_brand),
+        ]);
+        match set {
+            FeatureSet::Base => {
+                values.push(f64::from(url.is_https()));
+                values.push(multi_tld_count(url) as f64);
+            }
+            FeatureSet::Augmented => {
+                values.push(f64::from(facts.banner_obfuscated));
+                values.push(f64::from(facts.has_noindex));
+            }
+        }
+        FeatureVector { set, values }
+    }
+
     /// Extract features for a snapshot (URL + parsed page).
     pub fn extract(set: FeatureSet, url: &Url, doc: &Document) -> FeatureVector {
-        let mut values = url_features(url);
+        Self::assemble(set, url, doc, url_features(url))
+    }
+
+    /// The retained seed extraction path: [`url_features_legacy`] (scalar
+    /// scans, per-brand re-tokenisation, Wagner–Fischer) plus the per-query
+    /// DOM walks. Bit-identical to [`FeatureVector::extract`]; exists so
+    /// benchmarks and equivalence tests can run the pre-rewrite pipeline
+    /// end to end.
+    pub fn extract_legacy(set: FeatureSet, url: &Url, doc: &Document) -> FeatureVector {
+        Self::assemble(set, url, doc, url_features_legacy(url))
+    }
+
+    fn assemble(set: FeatureSet, url: &Url, doc: &Document, mut values: Vec<f64>) -> FeatureVector {
         values.extend(html_features(url, doc));
         match set {
             FeatureSet::Base => {
@@ -212,6 +349,61 @@ mod tests {
     }
 
     #[test]
+    fn text_brand_scan_matches_naive_reference() {
+        // The original find-first walk, kept as the oracle for the indexed
+        // scan (token map + byte-bag-gated substring pass).
+        fn naive(text: &str) -> Option<&'static freephish_webgen::Brand> {
+            let lower = text.to_ascii_lowercase();
+            let words: std::collections::HashSet<&str> = lower
+                .split(|c: char| !c.is_ascii_alphanumeric())
+                .filter(|w| !w.is_empty())
+                .collect();
+            BRANDS.iter().find(|b| {
+                words.contains(b.token)
+                    || (b.name.len() >= 5 && lower.contains(&b.name.to_ascii_lowercase()))
+            })
+        }
+        let mut samples: Vec<String> = vec![
+            "".into(),
+            "Sign in to PayPal".into(),
+            "paypal".into(),
+            "planting tips for spring".into(),
+            "Bank of America — verify your account".into(),
+            "netflix and microsoft and att".into(),
+            "NETFLIX!".into(),
+            "unrelated gardening blog".into(),
+            "chase CHASE Chase".into(),
+        ];
+        // Every brand's own name and token must round-trip.
+        for b in BRANDS.iter() {
+            samples.push(format!("Welcome to {}", b.name));
+            samples.push(format!("{} support desk", b.token));
+        }
+        for s in &samples {
+            let got = text_mentions_brand(s).map(|b| b.token);
+            let want = naive(s).map(|b| b.token);
+            assert_eq!(got, want, "text={s:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_extract_is_bit_identical_to_extract() {
+        for kind in [
+            PageKind::CredentialPhish { brand: 4 },
+            PageKind::Benign { topic: 2 },
+        ] {
+            let (url, doc) = snapshot(kind, true, true);
+            for set in [FeatureSet::Base, FeatureSet::Augmented] {
+                let fast = FeatureVector::extract(set, &url, &doc);
+                let legacy = FeatureVector::extract_legacy(set, &url, &doc);
+                let fast_bits: Vec<u64> = fast.values.iter().map(|v| v.to_bits()).collect();
+                let legacy_bits: Vec<u64> = legacy.values.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fast_bits, legacy_bits, "set={set:?}");
+            }
+        }
+    }
+
+    #[test]
     fn widths_are_20() {
         assert_eq!(FeatureVector::width(FeatureSet::Base), 20);
         assert_eq!(FeatureVector::width(FeatureSet::Augmented), 20);
@@ -283,6 +475,39 @@ mod tests {
         let names = FeatureVector::feature_names(FeatureSet::Augmented);
         let get = |n: &str| v.values[names.iter().position(|x| x == n).unwrap()];
         assert_eq!(get("brand_match"), 3.0); // exact token
+    }
+
+    #[test]
+    fn extract_fast_is_bit_identical_to_dom_extract() {
+        for kind in [
+            PageKind::CredentialPhish { brand: 0 },
+            PageKind::CredentialPhish { brand: 4 },
+            PageKind::Benign { topic: 0 },
+            PageKind::Benign { topic: 2 },
+        ] {
+            for (noindex, obf) in [(false, false), (true, true), (true, false)] {
+                let (url, site_html) = {
+                    let site = PageSpec {
+                        fwb: FwbKind::Weebly,
+                        kind: kind.clone(),
+                        site_name: "fast-eq".into(),
+                        noindex,
+                        obfuscate_banner: obf,
+                        seed: 11,
+                    }
+                    .generate();
+                    (Url::parse(&site.url).unwrap(), site.html)
+                };
+                let doc = parse(&site_html);
+                for set in [FeatureSet::Base, FeatureSet::Augmented] {
+                    let slow = FeatureVector::extract(set, &url, &doc);
+                    let fast = FeatureVector::extract_fast(set, &url, &site_html);
+                    let slow_bits: Vec<u64> = slow.values.iter().map(|v| v.to_bits()).collect();
+                    let fast_bits: Vec<u64> = fast.values.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(slow_bits, fast_bits, "kind={kind:?} set={set:?}");
+                }
+            }
+        }
     }
 
     #[test]

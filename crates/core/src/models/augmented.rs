@@ -9,7 +9,6 @@
 use super::{PageFetcher, PhishDetector};
 use crate::features::{FeatureSet, FeatureVector};
 use crate::groundtruth::{to_dataset, LabeledSite};
-use freephish_htmlparse::parse;
 use freephish_ml::{StackModel, StackModelConfig};
 use freephish_simclock::Rng64;
 use freephish_urlparse::Url;
@@ -36,11 +35,37 @@ impl AugmentedStackModel {
         self.model.predict_proba(row)
     }
 
-    /// Extract-and-score convenience for one snapshot.
+    /// Score many pre-extracted rows through the flattened forests'
+    /// blocked batch walk. Bit-identical to [`Self::score_features`] per
+    /// row.
+    pub fn score_features_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        self.model.predict_proba_batch(rows)
+    }
+
+    /// Score one row on the boxed (pre-flattening) tree walk — the
+    /// perf-bench baseline for the inference stage.
+    pub fn score_features_boxed(&self, row: &[f64]) -> f64 {
+        self.model.predict_proba_boxed(row)
+    }
+
+    /// Extract-and-score convenience for one snapshot, on the wire-speed
+    /// path: single-pass [`freephish_htmlparse::PageFacts`] feature
+    /// extraction plus flattened-forest inference. Bit-identical to
+    /// [`AugmentedStackModel::score_snapshot_legacy`].
     pub fn score_snapshot(&self, url: &Url, html: &str) -> f64 {
-        let doc = parse(html);
-        let v = FeatureVector::extract(FeatureSet::Augmented, url, &doc);
+        let v = FeatureVector::extract_fast(FeatureSet::Augmented, url, html);
         self.model.predict_proba(&v.values)
+    }
+
+    /// The pre-optimisation scoring path, verbatim: owned-token tokenise,
+    /// build the DOM, run each feature as its own query, scalar URL scans
+    /// with per-brand re-tokenisation, walk the boxed trees. Kept callable
+    /// as the perf-bench baseline and the oracle for the hot-path
+    /// equivalence tests.
+    pub fn score_snapshot_legacy(&self, url: &Url, html: &str) -> f64 {
+        let doc = freephish_htmlparse::legacy::parse(html);
+        let v = FeatureVector::extract_legacy(FeatureSet::Augmented, url, &doc);
+        self.model.predict_proba_boxed(&v.values)
     }
 }
 
@@ -62,6 +87,7 @@ mod tests {
     use super::*;
     use crate::groundtruth::{build, GroundTruthConfig};
     use crate::models::NoFetch;
+    use freephish_htmlparse::parse;
     use freephish_ml::metrics::BinaryMetrics;
 
     #[test]
@@ -82,6 +108,28 @@ mod tests {
         let m = BinaryMetrics::from_scores(&labels, &scores);
         assert!(m.f1 > 0.9, "f1={}", m.f1);
         assert!(m.accuracy > 0.9, "accuracy={}", m.accuracy);
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_legacy_path() {
+        let corpus = build(&GroundTruthConfig {
+            n_phish: 40,
+            n_benign: 40,
+            seed: 21,
+        });
+        let mut rng = Rng64::new(22);
+        let model = AugmentedStackModel::train(&corpus, &StackModelConfig::tiny(), &mut rng);
+        for ls in &corpus {
+            let url = Url::parse(&ls.site.url).unwrap();
+            let fast = model.score_snapshot(&url, &ls.site.html);
+            let legacy = model.score_snapshot_legacy(&url, &ls.site.html);
+            assert_eq!(
+                fast.to_bits(),
+                legacy.to_bits(),
+                "url={} fast={fast} legacy={legacy}",
+                ls.site.url
+            );
+        }
     }
 
     #[test]

@@ -140,8 +140,7 @@ impl Pipeline {
                 classify_secs: None,
             };
         };
-        let doc = freephish_htmlparse::parse(html);
-        let v = FeatureVector::extract(FeatureSet::Augmented, &parsed, &doc);
+        let v = FeatureVector::extract_fast(FeatureSet::Augmented, &parsed, html);
         let feature_secs = feature_watch.elapsed_secs();
 
         let classify_watch = Stopwatch::start();

@@ -31,7 +31,7 @@ pub enum Node {
 }
 
 /// Elements that never have children.
-const VOID: &[&str] = &[
+pub(crate) const VOID: &[&str] = &[
     "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
     "track", "wbr",
 ];
@@ -46,7 +46,12 @@ pub struct Document {
 impl Document {
     /// Parse a document from HTML source. Infallible.
     pub fn parse(html: &str) -> Document {
-        let tokens = tokenize(html);
+        Document::from_tokens(tokenize(html))
+    }
+
+    /// Build a document from an owned token stream (shared by the default
+    /// parse path and the [`crate::legacy`] reference parser).
+    pub(crate) fn from_tokens(tokens: Vec<Token>) -> Document {
         let mut nodes: Vec<Node> = Vec::new();
         let mut roots: Vec<NodeId> = Vec::new();
         // Stack of open element ids.

@@ -1,0 +1,258 @@
+//! The pre-rewrite owned tokenizer, retained verbatim as the reference
+//! implementation for equivalence tests and benchmarks.
+//!
+//! The production [`crate::token::tokenize`] is now a thin adapter over the
+//! zero-copy span tokenizer ([`crate::span`]); this module preserves the
+//! original allocation-per-token implementation (including its
+//! lower-case-the-suffix raw-text scan) so property tests can assert the
+//! two produce identical streams and benchmarks can measure the rewrite
+//! against the real before-state.
+
+use crate::dom::Document;
+use crate::token::{decode_entities, Attr, Token};
+
+const RAW_TEXT: &[&str] = &["script", "style"];
+
+/// Tokenize an HTML string with the pre-rewrite implementation.
+pub fn tokenize(html: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let b = html.as_bytes();
+    let mut i = 0;
+    let mut text_start = 0;
+
+    while i < b.len() {
+        if b[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // A '<' only starts a construct when followed by '!', '?', '/', or a
+        // letter; otherwise it is literal text.
+        let starts_construct = matches!(b.get(i + 1), Some(b'!') | Some(b'?') | Some(b'/'))
+            || b.get(i + 1)
+                .map(|c| c.is_ascii_alphabetic())
+                .unwrap_or(false);
+        if !starts_construct {
+            i += 1;
+            continue;
+        }
+        // Flush pending text.
+        if i > text_start {
+            push_text(&mut out, &html[text_start..i]);
+        }
+
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            let body_start = i + 4;
+            match html[body_start..].find("-->") {
+                Some(end) => {
+                    out.push(Token::Comment(
+                        html[body_start..body_start + end].to_string(),
+                    ));
+                    i = body_start + end + 3;
+                }
+                None => {
+                    out.push(Token::Comment(html[body_start..].to_string()));
+                    i = b.len();
+                }
+            }
+            text_start = i;
+            continue;
+        }
+
+        // Doctype / processing instruction: skip to '>'.
+        if matches!(b.get(i + 1), Some(b'!') | Some(b'?')) {
+            match html[i..].find('>') {
+                Some(end) => i += end + 1,
+                None => i = b.len(),
+            }
+            text_start = i;
+            continue;
+        }
+
+        // Close tag?
+        if b.get(i + 1) == Some(&b'/') {
+            let name_start = i + 2;
+            let end = html[name_start..].find('>').map(|e| name_start + e);
+            match end {
+                Some(e) => {
+                    let name: String = html[name_start..e]
+                        .trim()
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                        .collect::<String>()
+                        .to_ascii_lowercase();
+                    if !name.is_empty() {
+                        out.push(Token::Close { tag: name });
+                    }
+                    i = e + 1;
+                }
+                None => i = b.len(),
+            }
+            text_start = i;
+            continue;
+        }
+
+        match parse_open_tag(html, i) {
+            Some((tag, attrs, self_closing, next)) => {
+                let is_raw = RAW_TEXT.contains(&tag.as_str()) && !self_closing;
+                out.push(Token::Open {
+                    tag: tag.clone(),
+                    attrs,
+                    self_closing,
+                });
+                i = next;
+                if is_raw {
+                    // Swallow raw text until the matching close tag.
+                    let close = format!("</{tag}");
+                    let lower = html[i..].to_ascii_lowercase();
+                    match lower.find(&close) {
+                        Some(offset) => {
+                            if offset > 0 {
+                                out.push(Token::Text(html[i..i + offset].to_string()));
+                            }
+                            let after = i + offset;
+                            let gt = html[after..].find('>').map(|g| after + g + 1);
+                            out.push(Token::Close { tag: tag.clone() });
+                            i = gt.unwrap_or(b.len());
+                        }
+                        None => {
+                            if i < b.len() {
+                                out.push(Token::Text(html[i..].to_string()));
+                            }
+                            i = b.len();
+                        }
+                    }
+                }
+                text_start = i;
+            }
+            None => {
+                // Unreachable with the EOF-recovering tag parser, but kept
+                // as a defensive fallback: treat the rest as text.
+                i = b.len();
+                text_start = i;
+            }
+        }
+    }
+    if text_start < b.len() {
+        push_text(&mut out, &html[text_start..]);
+    }
+    out
+}
+
+/// Parse a document with the pre-rewrite tokenizer (the DOM builder itself
+/// is shared — it is a pure function of the token stream).
+pub fn parse(html: &str) -> Document {
+    Document::from_tokens(tokenize(html))
+}
+
+fn push_text(out: &mut Vec<Token>, raw: &str) {
+    if raw.chars().all(|c| c.is_whitespace()) {
+        return;
+    }
+    out.push(Token::Text(decode_entities(raw).into_owned()));
+}
+
+/// Parse an open tag starting at `html[start] == '<'`. Returns
+/// (tag, attrs, self_closing, index-after-`>`), or None if unterminated.
+fn parse_open_tag(html: &str, start: usize) -> Option<(String, Vec<Attr>, bool, usize)> {
+    let b = html.as_bytes();
+    let mut i = start + 1;
+
+    let name_start = i;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'-') {
+        i += 1;
+    }
+    let tag = html[name_start..i].to_ascii_lowercase();
+
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    loop {
+        // Skip whitespace.
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() {
+            // Unterminated tag at EOF: recover with what we have instead of
+            // discarding the element (phishing kits truncate markup).
+            return Some((tag, attrs, self_closing, i));
+        }
+        match b[i] {
+            b'>' => return Some((tag, attrs, self_closing, i + 1)),
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            b'<' => {
+                // Broken tag; re-synchronise by treating it as closed here.
+                return Some((tag, attrs, self_closing, i));
+            }
+            _ => {
+                // Attribute name.
+                let an_start = i;
+                while i < b.len()
+                    && !b[i].is_ascii_whitespace()
+                    && b[i] != b'='
+                    && b[i] != b'>'
+                    && b[i] != b'/'
+                {
+                    i += 1;
+                }
+                let name = html[an_start..i].to_ascii_lowercase();
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let mut value = String::new();
+                if i < b.len() && b[i] == b'=' {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < b.len() && (b[i] == b'"' || b[i] == b'\'') {
+                        let quote = b[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < b.len() && b[i] != quote {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i.min(b.len())]).into_owned();
+                        if i < b.len() {
+                            i += 1; // past closing quote
+                        }
+                    } else {
+                        let v_start = i;
+                        while i < b.len() && !b[i].is_ascii_whitespace() && b[i] != b'>' {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i]).into_owned();
+                    }
+                }
+                if !name.is_empty() {
+                    attrs.push(Attr { name, value });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_and_adapter_agree_on_a_page() {
+        let html = r#"<!DOCTYPE html><HTML><head><title>T &amp; U</title>
+            <script>if (a < b) { x("<p>"); }</SCRIPT></head>
+            <body><a HREF="https://x.com/?a=1&amp;b=2">link</a>
+            <input type=password><!-- note --></body></html>"#;
+        assert_eq!(tokenize(html), crate::token::tokenize(html));
+    }
+
+    #[test]
+    fn legacy_parse_matches_document_parse() {
+        let html = "<div><p>a</div>b<br><span>c";
+        let a = parse(html);
+        let b = Document::parse(html);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.roots().len(), b.roots().len());
+    }
+}

@@ -16,11 +16,18 @@
 //! * `<script>`/`<style>` contents are treated as raw text.
 
 pub mod dom;
+pub mod facts;
+pub mod legacy;
 pub mod query;
+pub mod sdom;
+pub mod span;
 pub mod token;
 
 pub use dom::{Document, Node, NodeId};
-pub use token::{tokenize, Attr, Token};
+pub use facts::PageFacts;
+pub use sdom::{SpanDocument, SpanNode};
+pub use span::{tokenize_spans, SpanAttr, SpanToken};
+pub use token::{decode_entities, tokenize, Attr, Token};
 
 /// Parse an HTML document. Infallible: any byte soup yields *some* tree.
 ///

@@ -4,6 +4,13 @@
 
 use crate::dom::{Document, Node, NodeId};
 
+/// Credential vocabulary looked for in text-input names/placeholders/ids
+/// (shared with the single-pass extractor in [`crate::facts`]).
+pub(crate) const SENSITIVE_NAMES: &[&str] = &[
+    "pass", "pwd", "ssn", "card", "cvv", "account", "user", "email", "phone", "pin", "social",
+    "routing", "address", "dob", "login",
+];
+
 /// A borrowed view of an element node.
 #[derive(Debug, Clone, Copy)]
 pub struct ElementRef<'a> {
@@ -168,10 +175,6 @@ impl Document {
     /// numbers, plus text inputs whose name/placeholder mention credential
     /// vocabulary (SSN, card, account...).
     pub fn credential_inputs(&self) -> Vec<ElementRef<'_>> {
-        const SENSITIVE_NAMES: &[&str] = &[
-            "pass", "pwd", "ssn", "card", "cvv", "account", "user", "email", "phone", "pin",
-            "social", "routing", "address", "dob", "login",
-        ];
         self.inputs()
             .into_iter()
             .filter(|i| {
@@ -272,7 +275,7 @@ impl Document {
 /// Minimal host extraction for absolute URLs inside href values (full
 /// parsing lives in `freephish-urlparse`; this avoids a dependency cycle and
 /// is only used for internal/external link counting).
-fn freephish_urlparse_lite_host(url: &str) -> Option<String> {
+pub(crate) fn freephish_urlparse_lite_host(url: &str) -> Option<String> {
     let rest = url
         .strip_prefix("https://")
         .or_else(|| url.strip_prefix("http://"))?;

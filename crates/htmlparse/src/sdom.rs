@@ -1,0 +1,302 @@
+//! Bump-index DOM over borrowed span tokens.
+//!
+//! The owned [`crate::dom::Document`] stores a `Vec<NodeId>` child list per
+//! element — one heap allocation per parent and a pointer chase per hop.
+//! [`SpanDocument`] keeps the same tree shape in three flat arrays: nodes in
+//! document order plus `first_child`/`next_sibling` u32 links (bump indices
+//! assigned in token order, `u32::MAX` = none). Node payloads borrow from
+//! the source string exactly like [`crate::span::SpanToken`]s, so building
+//! the tree allocates only the arena itself and whatever tokens had to fold.
+//!
+//! Tree-construction rules are identical to `Document::from_tokens`: void
+//! and self-closed elements take no children, unclosed elements auto-close
+//! at EOF, stray close tags unwind to a matching ancestor or are ignored.
+
+use crate::dom::VOID;
+use crate::span::{tokenize_spans, SpanAttr, SpanToken};
+use std::borrow::Cow;
+
+/// Sentinel for "no node" in the link arrays.
+const NIL: u32 = u32::MAX;
+
+/// A node payload borrowed from the source document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanNode<'a> {
+    /// An element: lower-cased tag plus attributes in source order.
+    Element {
+        /// Tag name, lower-cased (borrowed when already lower-case).
+        tag: Cow<'a, str>,
+        /// Attributes in source order.
+        attrs: Vec<SpanAttr<'a>>,
+    },
+    /// A text run (entity-decoded; raw inside script/style).
+    Text(Cow<'a, str>),
+    /// A comment body.
+    Comment(&'a str),
+}
+
+/// A parsed document as a flat arena with bump-index child links.
+#[derive(Debug, Clone)]
+pub struct SpanDocument<'a> {
+    nodes: Vec<SpanNode<'a>>,
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    roots: Vec<u32>,
+}
+
+impl<'a> SpanDocument<'a> {
+    /// Parse `html` into a borrowed arena tree. Infallible.
+    pub fn parse(html: &'a str) -> SpanDocument<'a> {
+        let mut nodes: Vec<SpanNode<'a>> = Vec::new();
+        let mut first_child: Vec<u32> = Vec::new();
+        let mut next_sibling: Vec<u32> = Vec::new();
+        // Last child of each node, so sibling links append in O(1).
+        let mut last_child: Vec<u32> = Vec::new();
+        let mut roots: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+
+        let attach = |nodes: &mut Vec<SpanNode<'a>>,
+                      first_child: &mut Vec<u32>,
+                      next_sibling: &mut Vec<u32>,
+                      last_child: &mut Vec<u32>,
+                      roots: &mut Vec<u32>,
+                      stack: &[u32],
+                      node: SpanNode<'a>|
+         -> u32 {
+            let id = nodes.len() as u32;
+            nodes.push(node);
+            first_child.push(NIL);
+            next_sibling.push(NIL);
+            last_child.push(NIL);
+            match stack.last() {
+                Some(&parent) => {
+                    let p = parent as usize;
+                    if last_child[p] == NIL {
+                        first_child[p] = id;
+                    } else {
+                        next_sibling[last_child[p] as usize] = id;
+                    }
+                    last_child[p] = id;
+                }
+                None => roots.push(id),
+            }
+            id
+        };
+
+        for tok in tokenize_spans(html) {
+            match tok {
+                SpanToken::Open {
+                    tag,
+                    attrs,
+                    self_closing,
+                } => {
+                    let pushes = !self_closing && !VOID.contains(&tag.as_ref());
+                    let id = attach(
+                        &mut nodes,
+                        &mut first_child,
+                        &mut next_sibling,
+                        &mut last_child,
+                        &mut roots,
+                        &stack,
+                        SpanNode::Element { tag, attrs },
+                    );
+                    if pushes {
+                        stack.push(id);
+                    }
+                }
+                SpanToken::Close { tag } => {
+                    if let Some(pos) = stack.iter().rposition(|&id| {
+                        matches!(&nodes[id as usize], SpanNode::Element { tag: t, .. } if *t == tag)
+                    }) {
+                        stack.truncate(pos);
+                    }
+                }
+                SpanToken::Text(t) => {
+                    attach(
+                        &mut nodes,
+                        &mut first_child,
+                        &mut next_sibling,
+                        &mut last_child,
+                        &mut roots,
+                        &stack,
+                        SpanNode::Text(t),
+                    );
+                }
+                SpanToken::Comment(c) => {
+                    attach(
+                        &mut nodes,
+                        &mut first_child,
+                        &mut next_sibling,
+                        &mut last_child,
+                        &mut roots,
+                        &stack,
+                        SpanNode::Comment(c),
+                    );
+                }
+            }
+        }
+        SpanDocument {
+            nodes,
+            first_child,
+            next_sibling,
+            roots,
+        }
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node indices in document order.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Payload of node `id`.
+    pub fn node(&self, id: u32) -> &SpanNode<'a> {
+        &self.nodes[id as usize]
+    }
+
+    /// Iterate the children of `id` in document order, without allocating.
+    pub fn children(&self, id: u32) -> Children<'_, 'a> {
+        Children {
+            doc: self,
+            next: self.first_child[id as usize],
+        }
+    }
+
+    /// Depth-first walk in document order.
+    pub fn walk(&self, mut f: impl FnMut(u32, &SpanNode<'a>)) {
+        let mut stack: Vec<u32> = self.roots.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            f(id, &self.nodes[id as usize]);
+            // Push children in reverse so the first child pops first.
+            let mut kids: Vec<u32> = self.children(id).map(|(c, _)| c).collect();
+            kids.reverse();
+            stack.extend(kids);
+        }
+    }
+}
+
+/// Iterator over a node's children (id + payload).
+pub struct Children<'d, 'a> {
+    doc: &'d SpanDocument<'a>,
+    next: u32,
+}
+
+impl<'d, 'a> Iterator for Children<'d, 'a> {
+    type Item = (u32, &'d SpanNode<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == NIL {
+            return None;
+        }
+        let id = self.next;
+        self.next = self.doc.next_sibling[id as usize];
+        Some((id, &self.doc.nodes[id as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::{Document, Node};
+
+    /// Flatten a Document to (depth, label) pairs in walk order.
+    fn shape_owned(doc: &Document) -> Vec<String> {
+        let mut out = Vec::new();
+        doc.walk(|_, n| {
+            out.push(match n {
+                Node::Element { tag, attrs, .. } => format!(
+                    "E:{tag}:{}",
+                    attrs
+                        .iter()
+                        .map(|a| format!("{}={}", a.name, a.value))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                Node::Text(t) => format!("T:{t}"),
+                Node::Comment(c) => format!("C:{c}"),
+            });
+        });
+        out
+    }
+
+    fn shape_span(doc: &SpanDocument<'_>) -> Vec<String> {
+        let mut out = Vec::new();
+        doc.walk(|_, n| {
+            out.push(match n {
+                SpanNode::Element { tag, attrs } => format!(
+                    "E:{tag}:{}",
+                    attrs
+                        .iter()
+                        .map(|a| format!("{}={}", a.name, a.value))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                SpanNode::Text(t) => format!("T:{t}"),
+                SpanNode::Comment(c) => format!("C:{c}"),
+            });
+        });
+        out
+    }
+
+    fn check(html: &str) {
+        let span = SpanDocument::parse(html);
+        let owned = Document::parse(html);
+        assert_eq!(span.len(), owned.len(), "node count, html={html:?}");
+        assert_eq!(
+            span.roots().len(),
+            owned.roots().len(),
+            "root count, html={html:?}"
+        );
+        assert_eq!(shape_span(&span), shape_owned(&owned), "html={html:?}");
+    }
+
+    #[test]
+    fn mirrors_owned_dom_shape() {
+        for html in [
+            "<div><p>a</p><p>b</p></div>",
+            "<p><br>text</p>",
+            "<div><p>a",
+            "</div><p>x</p>",
+            "<div><p>a</div>b",
+            "<div><!-- hidden banner --></div>",
+            "<a>1</a><b>2</b>",
+            "",
+            "<script>var x = '<p>';</script>after",
+            r#"<form><input type="password" name="pw"></form>"#,
+        ] {
+            check(html);
+        }
+    }
+
+    #[test]
+    fn children_iterator_matches_links() {
+        let doc = SpanDocument::parse("<div><p>a</p><p>b</p><br></div>");
+        let root = doc.roots()[0];
+        let kids: Vec<_> = doc.children(root).map(|(id, _)| id).collect();
+        assert_eq!(kids.len(), 3);
+        assert!(matches!(doc.node(kids[2]), SpanNode::Element { tag, .. } if tag == "br"));
+    }
+
+    #[test]
+    fn borrows_survive_into_tree() {
+        let html = "<p class=\"x\">hello</p>";
+        let doc = SpanDocument::parse(html);
+        let root = doc.roots()[0];
+        match doc.node(root) {
+            SpanNode::Element { tag, attrs } => {
+                assert!(matches!(tag, Cow::Borrowed(_)));
+                assert!(matches!(attrs[0].value, Cow::Borrowed(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! Zero-copy HTML tokenizer: spans borrowed from the source document.
+//!
+//! This is the hot-path twin of the owned tokenizer in [`crate::token`].
+//! Tokens reference the source string wherever possible: tag and attribute
+//! names borrow when already lower-case, text and attribute values borrow
+//! when entity decoding would not change a byte, and comments always borrow.
+//! The owned [`crate::token::tokenize`] API is a thin adapter over this
+//! iterator, so both produce exactly the same stream (property-tested
+//! against the retained [`crate::legacy`] implementation).
+//!
+//! Raw-text elements (`script`, `style`) are matched with an in-place
+//! case-insensitive scan instead of lower-casing the remaining document,
+//! which turns the legacy tokenizer's accidental O(n²) on script-heavy
+//! pages into a single pass.
+
+use crate::token::decode_entities;
+use std::borrow::Cow;
+
+/// One attribute on an open tag: name lower-cased, value entity-decoded.
+/// Both borrow from the source unless folding/decoding changed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAttr<'a> {
+    /// Attribute name, lower-cased.
+    pub name: Cow<'a, str>,
+    /// Attribute value; empty for valueless attributes.
+    pub value: Cow<'a, str>,
+}
+
+impl SpanAttr<'_> {
+    /// The value as a plain `&str`.
+    pub fn value_str(&self) -> &str {
+        self.value.as_ref()
+    }
+}
+
+/// One borrowed token of the HTML stream. Mirrors [`crate::token::Token`]
+/// field for field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanToken<'a> {
+    /// `<tag attr=...>`.
+    Open {
+        /// Tag name, lower-cased.
+        tag: Cow<'a, str>,
+        /// Attributes in document order.
+        attrs: Vec<SpanAttr<'a>>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    Close {
+        /// Tag name, lower-cased.
+        tag: Cow<'a, str>,
+    },
+    /// A run of character data (entity-decoded; raw inside script/style).
+    Text(Cow<'a, str>),
+    /// `<!-- ... -->` contents, always borrowed.
+    Comment(&'a str),
+}
+
+/// Elements whose content is raw text until the matching close tag.
+pub(crate) const RAW_TEXT: &[&str] = &["script", "style"];
+
+/// Lower-case `s`, borrowing when it already is.
+pub(crate) fn lower_cow(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// First case-insensitive occurrence of `needle_lower` (must be ASCII
+/// lower-case) in `hay`, as a byte offset. Scans in place — no allocation.
+fn find_ci(hay: &str, needle_lower: &str) -> Option<usize> {
+    let h = hay.as_bytes();
+    let n = needle_lower.as_bytes();
+    if n.is_empty() {
+        return Some(0);
+    }
+    if h.len() < n.len() {
+        return None;
+    }
+    let first = n[0];
+    (0..=h.len() - n.len()).find(|&k| {
+        h[k].to_ascii_lowercase() == first
+            && h[k + 1..k + n.len()]
+                .iter()
+                .zip(&n[1..])
+                .all(|(a, b)| a.to_ascii_lowercase() == *b)
+    })
+}
+
+/// Tokenize into borrowed span tokens. Never panics.
+pub fn tokenize_spans(html: &str) -> SpanTokenizer<'_> {
+    SpanTokenizer {
+        html,
+        i: 0,
+        text_start: 0,
+        pending: Vec::new(),
+        pending_next: 0,
+    }
+}
+
+/// Streaming tokenizer over a source document. Yields [`SpanToken`]s in
+/// exactly the order (and with exactly the content) of the owned API.
+#[derive(Debug, Clone)]
+pub struct SpanTokenizer<'a> {
+    html: &'a str,
+    i: usize,
+    text_start: usize,
+    /// Tokens produced by one construct ahead of the caller (a raw-text
+    /// element yields Open + Text + Close in one step). Drained FIFO.
+    pending: Vec<SpanToken<'a>>,
+    pending_next: usize,
+}
+
+impl<'a> SpanTokenizer<'a> {
+    fn take_pending(&mut self) -> Option<SpanToken<'a>> {
+        if self.pending_next < self.pending.len() {
+            let t = std::mem::replace(&mut self.pending[self.pending_next], SpanToken::Comment(""));
+            self.pending_next += 1;
+            if self.pending_next == self.pending.len() {
+                self.pending.clear();
+                self.pending_next = 0;
+            }
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Parse the construct at `self.i` (which points at a construct-starting
+    /// `<`), pushing its token(s) onto `pending` and advancing `i` and
+    /// `text_start`.
+    fn parse_construct(&mut self) {
+        let html = self.html;
+        let b = html.as_bytes();
+        let i = self.i;
+
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            let body_start = i + 4;
+            match html[body_start..].find("-->") {
+                Some(end) => {
+                    self.pending
+                        .push(SpanToken::Comment(&html[body_start..body_start + end]));
+                    self.i = body_start + end + 3;
+                }
+                None => {
+                    self.pending.push(SpanToken::Comment(&html[body_start..]));
+                    self.i = b.len();
+                }
+            }
+            self.text_start = self.i;
+            return;
+        }
+
+        // Doctype / processing instruction: skip to '>'.
+        if matches!(b.get(i + 1), Some(b'!') | Some(b'?')) {
+            match html[i..].find('>') {
+                Some(end) => self.i = i + end + 1,
+                None => self.i = b.len(),
+            }
+            self.text_start = self.i;
+            return;
+        }
+
+        // Close tag?
+        if b.get(i + 1) == Some(&b'/') {
+            let name_start = i + 2;
+            match html[name_start..].find('>').map(|e| name_start + e) {
+                Some(e) => {
+                    let trimmed = html[name_start..e].trim();
+                    let name_end = trimmed
+                        .char_indices()
+                        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '-'))
+                        .map(|(k, _)| k)
+                        .unwrap_or(trimmed.len());
+                    let name = &trimmed[..name_end];
+                    if !name.is_empty() {
+                        self.pending.push(SpanToken::Close {
+                            tag: lower_cow(name),
+                        });
+                    }
+                    self.i = e + 1;
+                }
+                None => self.i = b.len(),
+            }
+            self.text_start = self.i;
+            return;
+        }
+
+        // Open tag.
+        let (tag, attrs, self_closing, next) = parse_open_tag_spans(html, i);
+        let is_raw = RAW_TEXT.contains(&tag.as_ref()) && !self_closing;
+        let raw_tag = is_raw.then(|| tag.clone());
+        self.pending.push(SpanToken::Open {
+            tag,
+            attrs,
+            self_closing,
+        });
+        self.i = next;
+        if let Some(tag) = raw_tag {
+            // Swallow raw text until the matching close tag,
+            // case-insensitively, without lower-casing the whole suffix.
+            let mut close = String::with_capacity(2 + tag.len());
+            close.push_str("</");
+            close.push_str(tag.as_ref());
+            let i = self.i;
+            match find_ci(&html[i..], &close) {
+                Some(offset) => {
+                    if offset > 0 {
+                        self.pending
+                            .push(SpanToken::Text(Cow::Borrowed(&html[i..i + offset])));
+                    }
+                    let after = i + offset;
+                    let gt = html[after..].find('>').map(|g| after + g + 1);
+                    self.pending.push(SpanToken::Close { tag });
+                    self.i = gt.unwrap_or(b.len());
+                }
+                None => {
+                    if i < b.len() {
+                        self.pending
+                            .push(SpanToken::Text(Cow::Borrowed(&html[i..])));
+                    }
+                    self.i = b.len();
+                }
+            }
+        }
+        self.text_start = self.i;
+    }
+}
+
+impl<'a> Iterator for SpanTokenizer<'a> {
+    type Item = SpanToken<'a>;
+
+    fn next(&mut self) -> Option<SpanToken<'a>> {
+        if let Some(t) = self.take_pending() {
+            return Some(t);
+        }
+        let b = self.html.as_bytes();
+        while self.i < b.len() {
+            if b[self.i] != b'<' {
+                self.i += 1;
+                continue;
+            }
+            // A '<' only starts a construct when followed by '!', '?', '/',
+            // or a letter; otherwise it is literal text.
+            let starts_construct =
+                matches!(b.get(self.i + 1), Some(b'!') | Some(b'?') | Some(b'/'))
+                    || b.get(self.i + 1)
+                        .map(|c| c.is_ascii_alphabetic())
+                        .unwrap_or(false);
+            if !starts_construct {
+                self.i += 1;
+                continue;
+            }
+            let text = (self.i > self.text_start).then(|| &self.html[self.text_start..self.i]);
+            self.parse_construct();
+            if let Some(raw) = text {
+                if !raw.chars().all(char::is_whitespace) {
+                    return Some(SpanToken::Text(decode_entities(raw)));
+                }
+            }
+            if let Some(t) = self.take_pending() {
+                return Some(t);
+            }
+            // Construct produced no token (doctype, PI, empty close name):
+            // keep scanning.
+        }
+        if self.text_start < b.len() {
+            let raw = &self.html[self.text_start..];
+            self.text_start = b.len();
+            if !raw.chars().all(char::is_whitespace) {
+                return Some(SpanToken::Text(decode_entities(raw)));
+            }
+        }
+        None
+    }
+}
+
+/// Parse an open tag starting at `html[start] == '<'`. Returns
+/// (tag, attrs, self_closing, index-after-`>`). EOF-recovering, exactly
+/// like the owned parser.
+fn parse_open_tag_spans(
+    html: &str,
+    start: usize,
+) -> (Cow<'_, str>, Vec<SpanAttr<'_>>, bool, usize) {
+    let b = html.as_bytes();
+    let mut i = start + 1;
+
+    let name_start = i;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'-') {
+        i += 1;
+    }
+    let tag = lower_cow(&html[name_start..i]);
+
+    let mut attrs: Vec<SpanAttr<'_>> = Vec::new();
+    let mut self_closing = false;
+    loop {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() {
+            // Unterminated tag at EOF: recover with what we have.
+            return (tag, attrs, self_closing, i);
+        }
+        match b[i] {
+            b'>' => return (tag, attrs, self_closing, i + 1),
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            b'<' => {
+                // Broken tag; re-synchronise by treating it as closed here.
+                return (tag, attrs, self_closing, i);
+            }
+            _ => {
+                let an_start = i;
+                while i < b.len()
+                    && !b[i].is_ascii_whitespace()
+                    && b[i] != b'='
+                    && b[i] != b'>'
+                    && b[i] != b'/'
+                {
+                    i += 1;
+                }
+                let name = lower_cow(&html[an_start..i]);
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                let mut value = Cow::Borrowed("");
+                if i < b.len() && b[i] == b'=' {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    if i < b.len() && (b[i] == b'"' || b[i] == b'\'') {
+                        let quote = b[i];
+                        i += 1;
+                        let v_start = i;
+                        while i < b.len() && b[i] != quote {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i.min(b.len())]);
+                        if i < b.len() {
+                            i += 1; // past closing quote
+                        }
+                    } else {
+                        let v_start = i;
+                        while i < b.len() && !b[i].is_ascii_whitespace() && b[i] != b'>' {
+                            i += 1;
+                        }
+                        value = decode_entities(&html[v_start..i]);
+                    }
+                }
+                if !name.is_empty() {
+                    attrs.push(SpanAttr { name, value });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(html: &str) -> Vec<SpanToken<'_>> {
+        tokenize_spans(html).collect()
+    }
+
+    #[test]
+    fn borrows_when_already_clean() {
+        let toks = collect(r#"<p class="x">hello</p>"#);
+        match &toks[0] {
+            SpanToken::Open { tag, attrs, .. } => {
+                assert!(matches!(tag, Cow::Borrowed(_)));
+                assert!(matches!(attrs[0].name, Cow::Borrowed(_)));
+                assert!(matches!(attrs[0].value, Cow::Borrowed(_)));
+            }
+            other => panic!("expected open, got {other:?}"),
+        }
+        assert!(matches!(&toks[1], SpanToken::Text(Cow::Borrowed("hello"))));
+    }
+
+    #[test]
+    fn allocates_only_when_folding_changes_bytes() {
+        let toks = collect("<DIV>a &amp; b</DIV>");
+        match &toks[0] {
+            SpanToken::Open { tag, .. } => assert!(matches!(tag, Cow::Owned(_))),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&toks[1], SpanToken::Text(Cow::Owned(t)) if t == "a & b"));
+    }
+
+    #[test]
+    fn raw_text_borrows_without_decoding() {
+        let toks = collect("<script>a &amp; b</script>");
+        assert!(matches!(
+            &toks[1],
+            SpanToken::Text(Cow::Borrowed("a &amp; b"))
+        ));
+    }
+
+    #[test]
+    fn raw_close_found_case_insensitively() {
+        let toks = collect("<script>x</SCRIPT>after");
+        assert!(matches!(&toks[2], SpanToken::Close { tag } if tag == "script"));
+        assert!(matches!(&toks[3], SpanToken::Text(t) if t == "after"));
+    }
+
+    #[test]
+    fn comments_always_borrow() {
+        let toks = collect("<!-- C -->");
+        assert!(matches!(&toks[0], SpanToken::Comment(" C ")));
+    }
+
+    #[test]
+    fn find_ci_matches_lowercase_scan() {
+        assert_eq!(find_ci("abcDEFg", "def"), Some(3));
+        assert_eq!(find_ci("abc", "zz"), None);
+        assert_eq!(find_ci("xx</ScRiPt>", "</script"), Some(2));
+        assert_eq!(find_ci("", ""), Some(0));
+    }
+}

@@ -5,6 +5,7 @@
 //! swallow everything up to their matching close tag. Malformed input never
 //! panics — the tokenizer treats stray `<` as text when no tag can start.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// One attribute on an open tag. Names are lower-cased; values are unquoted
@@ -68,228 +69,52 @@ impl fmt::Display for Token {
     }
 }
 
-/// Elements whose content is raw text until the matching close tag.
-const RAW_TEXT: &[&str] = &["script", "style"];
-
 /// Tokenize an HTML string. Never panics.
+///
+/// This is a thin adapter over the zero-copy tokenizer in [`crate::span`]:
+/// it materialises each borrowed span token into an owned [`Token`], so
+/// existing callers see exactly the pre-rewrite stream (property-tested
+/// against [`crate::legacy::tokenize`]).
 pub fn tokenize(html: &str) -> Vec<Token> {
-    let mut out = Vec::new();
-    let b = html.as_bytes();
-    let mut i = 0;
-    let mut text_start = 0;
-
-    while i < b.len() {
-        if b[i] != b'<' {
-            i += 1;
-            continue;
-        }
-        // A '<' only starts a construct when followed by '!', '?', '/', or a
-        // letter; otherwise it is literal text.
-        let starts_construct = matches!(b.get(i + 1), Some(b'!') | Some(b'?') | Some(b'/'))
-            || b.get(i + 1)
-                .map(|c| c.is_ascii_alphabetic())
-                .unwrap_or(false);
-        if !starts_construct {
-            i += 1;
-            continue;
-        }
-        // Flush pending text.
-        if i > text_start {
-            push_text(&mut out, &html[text_start..i]);
-        }
-
-        // Comment?
-        if html[i..].starts_with("<!--") {
-            let body_start = i + 4;
-            match html[body_start..].find("-->") {
-                Some(end) => {
-                    out.push(Token::Comment(
-                        html[body_start..body_start + end].to_string(),
-                    ));
-                    i = body_start + end + 3;
-                }
-                None => {
-                    out.push(Token::Comment(html[body_start..].to_string()));
-                    i = b.len();
-                }
-            }
-            text_start = i;
-            continue;
-        }
-
-        // Doctype / processing instruction: skip to '>'.
-        if matches!(b.get(i + 1), Some(b'!') | Some(b'?')) {
-            match html[i..].find('>') {
-                Some(end) => i += end + 1,
-                None => i = b.len(),
-            }
-            text_start = i;
-            continue;
-        }
-
-        // Close tag?
-        if b.get(i + 1) == Some(&b'/') {
-            let name_start = i + 2;
-            let end = html[name_start..].find('>').map(|e| name_start + e);
-            match end {
-                Some(e) => {
-                    let name: String = html[name_start..e]
-                        .trim()
-                        .chars()
-                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
-                        .collect::<String>()
-                        .to_ascii_lowercase();
-                    if !name.is_empty() {
-                        out.push(Token::Close { tag: name });
-                    }
-                    i = e + 1;
-                }
-                None => i = b.len(),
-            }
-            text_start = i;
-            continue;
-        }
-
-        match parse_open_tag(html, i) {
-            Some((tag, attrs, self_closing, next)) => {
-                let is_raw = RAW_TEXT.contains(&tag.as_str()) && !self_closing;
-                out.push(Token::Open {
-                    tag: tag.clone(),
-                    attrs,
-                    self_closing,
-                });
-                i = next;
-                if is_raw {
-                    // Swallow raw text until the matching close tag.
-                    let close = format!("</{tag}");
-                    let lower = html[i..].to_ascii_lowercase();
-                    match lower.find(&close) {
-                        Some(offset) => {
-                            if offset > 0 {
-                                out.push(Token::Text(html[i..i + offset].to_string()));
-                            }
-                            let after = i + offset;
-                            let gt = html[after..].find('>').map(|g| after + g + 1);
-                            out.push(Token::Close { tag: tag.clone() });
-                            i = gt.unwrap_or(b.len());
-                        }
-                        None => {
-                            if i < b.len() {
-                                out.push(Token::Text(html[i..].to_string()));
-                            }
-                            i = b.len();
-                        }
-                    }
-                }
-                text_start = i;
-            }
-            None => {
-                // Unreachable with the EOF-recovering tag parser, but kept
-                // as a defensive fallback: treat the rest as text.
-                i = b.len();
-                text_start = i;
-            }
-        }
-    }
-    if text_start < b.len() {
-        push_text(&mut out, &html[text_start..]);
-    }
-    out
+    crate::span::tokenize_spans(html).map(Token::from).collect()
 }
 
-fn push_text(out: &mut Vec<Token>, raw: &str) {
-    if raw.chars().all(|c| c.is_whitespace()) {
-        return;
-    }
-    out.push(Token::Text(decode_entities(raw)));
-}
-
-/// Parse an open tag starting at `html[start] == '<'`. Returns
-/// (tag, attrs, self_closing, index-after-`>`), or None if unterminated.
-fn parse_open_tag(html: &str, start: usize) -> Option<(String, Vec<Attr>, bool, usize)> {
-    let b = html.as_bytes();
-    let mut i = start + 1;
-
-    let name_start = i;
-    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'-') {
-        i += 1;
-    }
-    let tag = html[name_start..i].to_ascii_lowercase();
-
-    let mut attrs = Vec::new();
-    let mut self_closing = false;
-    loop {
-        // Skip whitespace.
-        while i < b.len() && b[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        if i >= b.len() {
-            // Unterminated tag at EOF: recover with what we have instead of
-            // discarding the element (phishing kits truncate markup).
-            return Some((tag, attrs, self_closing, i));
-        }
-        match b[i] {
-            b'>' => return Some((tag, attrs, self_closing, i + 1)),
-            b'/' => {
-                self_closing = true;
-                i += 1;
-            }
-            b'<' => {
-                // Broken tag; re-synchronise by treating it as closed here.
-                return Some((tag, attrs, self_closing, i));
-            }
-            _ => {
-                // Attribute name.
-                let an_start = i;
-                while i < b.len()
-                    && !b[i].is_ascii_whitespace()
-                    && b[i] != b'='
-                    && b[i] != b'>'
-                    && b[i] != b'/'
-                {
-                    i += 1;
-                }
-                let name = html[an_start..i].to_ascii_lowercase();
-                while i < b.len() && b[i].is_ascii_whitespace() {
-                    i += 1;
-                }
-                let mut value = String::new();
-                if i < b.len() && b[i] == b'=' {
-                    i += 1;
-                    while i < b.len() && b[i].is_ascii_whitespace() {
-                        i += 1;
-                    }
-                    if i < b.len() && (b[i] == b'"' || b[i] == b'\'') {
-                        let quote = b[i];
-                        i += 1;
-                        let v_start = i;
-                        while i < b.len() && b[i] != quote {
-                            i += 1;
-                        }
-                        value = decode_entities(&html[v_start..i.min(b.len())]);
-                        if i < b.len() {
-                            i += 1; // past closing quote
-                        }
-                    } else {
-                        let v_start = i;
-                        while i < b.len() && !b[i].is_ascii_whitespace() && b[i] != b'>' {
-                            i += 1;
-                        }
-                        value = decode_entities(&html[v_start..i]);
-                    }
-                }
-                if !name.is_empty() {
-                    attrs.push(Attr { name, value });
-                }
-            }
+impl From<crate::span::SpanToken<'_>> for Token {
+    fn from(t: crate::span::SpanToken<'_>) -> Token {
+        use crate::span::SpanToken;
+        match t {
+            SpanToken::Open {
+                tag,
+                attrs,
+                self_closing,
+            } => Token::Open {
+                tag: tag.into_owned(),
+                attrs: attrs
+                    .into_iter()
+                    .map(|a| Attr {
+                        name: a.name.into_owned(),
+                        value: a.value.into_owned(),
+                    })
+                    .collect(),
+                self_closing,
+            },
+            SpanToken::Close { tag } => Token::Close {
+                tag: tag.into_owned(),
+            },
+            SpanToken::Text(t) => Token::Text(t.into_owned()),
+            SpanToken::Comment(c) => Token::Comment(c.to_string()),
         }
     }
 }
 
 /// Decode the entity subset that matters for feature extraction.
-pub fn decode_entities(s: &str) -> String {
+///
+/// Borrows the input untouched when it contains no `&` (the overwhelmingly
+/// common case for markup text runs), and only allocates when a recognised
+/// entity actually changes bytes.
+pub fn decode_entities(s: &str) -> Cow<'_, str> {
     if !s.contains('&') {
-        return s.to_string();
+        return Cow::Borrowed(s);
     }
     let mut out = String::with_capacity(s.len());
     let mut rest = s;
@@ -319,7 +144,7 @@ pub fn decode_entities(s: &str) -> String {
         }
     }
     out.push_str(rest);
-    out
+    Cow::Owned(out)
 }
 
 #[cfg(test)]

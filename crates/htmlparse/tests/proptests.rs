@@ -1,8 +1,33 @@
 //! Property tests: the HTML pipeline must be total (never panic) and
 //! structurally sane on arbitrary input.
 
-use freephish_htmlparse::{parse, tokenize, Node};
+use freephish_htmlparse::{legacy, parse, tokenize, Node, PageFacts};
 use proptest::prelude::*;
+
+/// HTML-shaped soup: denser in tags, attributes, entities, comments and
+/// raw-text elements than plain `\PC` strings, so equivalence tests hit the
+/// interesting tokenizer paths, while still frequently malformed.
+fn htmlish() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        "\\PC{0,12}",
+        "<[a-zA-Z]{1,6}( [a-zA-Z-]{1,5}(=('[^']{0,6}'|\"[^\"]{0,6}\"|[a-z&;#]{0,6}))?){0,3}/?>?",
+        "</[a-zA-Z]{1,6} ?>?",
+        Just("<!-- c -->".to_string()),
+        Just("<!--unterminated".to_string()),
+        Just("<!DOCTYPE html>".to_string()),
+        Just("<script>if (a<b) &amp; x</script>".to_string()),
+        Just("<SCRIPT>y</SCRIPT>".to_string()),
+        Just("<style>p{color:red}".to_string()),
+        Just("&amp; &lt; &unknown; &#39;".to_string()),
+        Just("<a href=\"#\">".to_string()),
+        Just("<a href=https://x.weebly.com/p>".to_string()),
+        Just("<input type=PASSWORD name=user_pin>".to_string()),
+        Just("<title>T</title>".to_string()),
+        Just("<meta name=robots content=\"noindex\">".to_string()),
+        Just("<div class=banner style=\"display: none\">".to_string()),
+    ];
+    proptest::collection::vec(piece, 0..24).prop_map(|v| v.concat())
+}
 
 proptest! {
     /// The tokenizer accepts any string without panicking.
@@ -62,5 +87,36 @@ proptest! {
         prop_assume!(!text.trim().is_empty());
         let doc = parse(&format!("<p>{text}</p>"));
         prop_assert_eq!(doc.visible_text(), text.trim());
+    }
+
+    /// The zero-copy span tokenizer (through the owned adapter) produces
+    /// exactly the legacy token stream on arbitrary input.
+    #[test]
+    fn span_tokenizer_equals_legacy_on_soup(s in "\\PC{0,500}") {
+        prop_assert_eq!(tokenize(&s), legacy::tokenize(&s));
+    }
+
+    /// Same equivalence on HTML-shaped (often malformed) input, which hits
+    /// the raw-text, entity and attribute paths far more often than soup.
+    #[test]
+    fn span_tokenizer_equals_legacy_on_htmlish(s in htmlish()) {
+        prop_assert_eq!(tokenize(&s), legacy::tokenize(&s));
+    }
+
+    /// The single-pass fact extractor matches the build-a-DOM-and-query
+    /// reference bit for bit on arbitrary input.
+    #[test]
+    fn page_facts_equal_dom_queries_on_soup(s in "\\PC{0,500}") {
+        let fast = PageFacts::extract(&s, "weebly.com");
+        let slow = PageFacts::from_document(&parse(&s), "weebly.com");
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Same fact equivalence on HTML-shaped input.
+    #[test]
+    fn page_facts_equal_dom_queries_on_htmlish(s in htmlish()) {
+        let fast = PageFacts::extract(&s, "weebly.com");
+        let slow = PageFacts::from_document(&parse(&s), "weebly.com");
+        prop_assert_eq!(fast, slow);
     }
 }

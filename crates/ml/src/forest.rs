@@ -11,6 +11,7 @@
 //! tree votes.
 
 use crate::dataset::Dataset;
+use crate::flat::{FlatForest, FlatForestBuilder};
 use crate::tree::{BinnedMatrix, RegTree, TreeConfig};
 use freephish_simclock::Rng64;
 
@@ -68,6 +69,10 @@ struct ForestTree {
 /// A fitted random forest.
 pub struct RandomForest {
     trees: Vec<ForestTree>,
+    /// Inference layout compiled from `trees`: the clamped vote transform
+    /// is folded into every leaf and column bags are remapped to dataset
+    /// columns, so prediction reads full rows with no per-tree projection.
+    flat: FlatForest,
 }
 
 impl RandomForest {
@@ -111,12 +116,31 @@ impl RandomForest {
                 columns: columns.clone(),
             }
         });
-        RandomForest { trees }
+        let mut b = FlatForestBuilder::new(0.0);
+        for ft in &trees {
+            // Fold the clamped vote transform into each leaf; remap the
+            // column bag so full rows are read directly.
+            b.push_tree(&ft.tree, Some(&ft.columns), |v| {
+                (0.5 + 0.5 * v).clamp(0.0, 1.0)
+            });
+        }
+        let flat = b.build();
+        RandomForest { trees, flat }
     }
 
     /// Probability of the positive class: average of per-tree votes mapped
     /// back to [0, 1].
     pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.flat.predict_row(row) / self.trees.len() as f64
+    }
+
+    /// Probability through the boxed per-tree walk (projection + enum
+    /// stepping) — the pre-flattening reference path, kept for equivalence
+    /// tests and benchmarks.
+    pub fn predict_proba_boxed(&self, row: &[f64]) -> f64 {
         if self.trees.is_empty() {
             return 0.5;
         }
@@ -129,6 +153,19 @@ impl RandomForest {
             total += (0.5 + 0.5 * ft.tree.predict_row(&projected)).clamp(0.0, 1.0);
         }
         total / self.trees.len() as f64
+    }
+
+    /// Probabilities for many rows via the batched flat traversal.
+    pub fn predict_proba_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        if self.trees.is_empty() {
+            return vec![0.5; rows.len()];
+        }
+        let n = self.trees.len() as f64;
+        let mut out = self.flat.predict_batch(rows);
+        for s in &mut out {
+            *s /= n;
+        }
+        out
     }
 
     /// Hard prediction at 0.5.

@@ -15,6 +15,7 @@
 //! phishing feature sets.
 
 use crate::dataset::Dataset;
+use crate::flat::{FlatForest, FlatForestBuilder};
 use crate::tree::{BinnedMatrix, RegTree, TreeConfig};
 use freephish_simclock::Rng64;
 
@@ -117,6 +118,9 @@ pub struct Gbdt {
     trees: Vec<RegTree>,
     base_score: f64,
     learning_rate: f64,
+    /// Inference layout compiled from `trees` (shrinkage folded into the
+    /// leaves, base score as bias). Bit-identical to the boxed path.
+    flat: FlatForest,
 }
 
 impl Gbdt {
@@ -154,15 +158,34 @@ impl Gbdt {
             }
             trees.push(tree);
         }
+        let flat = Self::compile(&trees, base_score, config.learning_rate);
         Gbdt {
             trees,
             base_score,
             learning_rate: config.learning_rate,
+            flat,
         }
+    }
+
+    /// Compile the boxed trees into the flat inference layout: base score
+    /// becomes the bias, shrinkage is folded into every leaf (same single
+    /// multiply the boxed loop performs, done once at compile time).
+    fn compile(trees: &[RegTree], base_score: f64, learning_rate: f64) -> FlatForest {
+        let mut b = FlatForestBuilder::new(base_score);
+        for t in trees {
+            b.push_tree(t, None, |v| learning_rate * v);
+        }
+        b.build()
     }
 
     /// Raw (log-odds) score for a feature row.
     pub fn raw_score(&self, row: &[f64]) -> f64 {
+        self.flat.predict_row(row)
+    }
+
+    /// Raw score through the boxed `RegTree` walk — the pre-flattening
+    /// reference path, kept for equivalence tests and benchmarks.
+    pub fn raw_score_boxed(&self, row: &[f64]) -> f64 {
         let mut s = self.base_score;
         for t in &self.trees {
             s += self.learning_rate * t.predict_row(row);
@@ -173,6 +196,25 @@ impl Gbdt {
     /// Predicted probability of the positive (phishing) class.
     pub fn predict_proba(&self, row: &[f64]) -> f64 {
         sigmoid(self.raw_score(row))
+    }
+
+    /// Probability through the boxed reference path.
+    pub fn predict_proba_boxed(&self, row: &[f64]) -> f64 {
+        sigmoid(self.raw_score_boxed(row))
+    }
+
+    /// Probabilities for many rows via the batched flat traversal.
+    pub fn predict_proba_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let mut out = self.flat.predict_batch(rows);
+        for s in &mut out {
+            *s = sigmoid(*s);
+        }
+        out
+    }
+
+    /// The compiled flat inference layout.
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
     }
 
     /// Probabilities for a whole dataset.

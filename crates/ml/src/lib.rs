@@ -16,6 +16,9 @@
 //!   [`gbdt::GbdtConfig::lightgbm_style`]);
 //! * [`stacking`] — the two-layer StackModel: K-fold out-of-fold base
 //!   predictions plus a majority-vote feature feed a second-layer GBDT;
+//! * [`flat`] — the flat packed-node inference layout every fitted
+//!   ensemble is compiled into (branchless stepping, leaves pre-scaled,
+//!   bit-identical to the boxed trees);
 //! * [`forest`] — a random forest (the classifier the paper's Section 4
 //!   overview names before Section 4.2 settles on stacking);
 //! * [`logistic`] — n-gram logistic regression (the URLNet-style baseline);
@@ -28,6 +31,7 @@
 //! the simulation kernel's RNG.
 
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod gbdt;
 pub mod knn;
@@ -37,6 +41,7 @@ pub mod stacking;
 pub mod tree;
 
 pub use dataset::Dataset;
+pub use flat::{FlatForest, FlatForestBuilder};
 pub use forest::{ForestConfig, RandomForest};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use knn::Knn;

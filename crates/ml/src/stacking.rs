@@ -160,6 +160,46 @@ impl StackModel {
         self.meta_model.predict_proba(&self.augment(row))
     }
 
+    /// Probability through the boxed reference paths of every layer —
+    /// the pre-flattening implementation, kept for equivalence tests and
+    /// benchmarks.
+    pub fn predict_proba_boxed(&self, row: &[f64]) -> f64 {
+        let mut out = row.to_vec();
+        let probs: Vec<f64> = self
+            .base_models
+            .iter()
+            .map(|m| m.predict_proba_boxed(row))
+            .collect();
+        let votes = probs.iter().filter(|&&p| p >= 0.5).count();
+        out.extend_from_slice(&probs);
+        out.push(f64::from(votes * 2 > probs.len()));
+        self.meta_model.predict_proba_boxed(&out)
+    }
+
+    /// Probabilities for many rows, batched through the flat layouts of
+    /// every layer: each base model walks all rows (cache-hot), then the
+    /// meta model walks the augmented rows. Per-row arithmetic is identical
+    /// to [`StackModel::predict_proba`], so outputs are bit-identical.
+    pub fn predict_proba_batch(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let base: Vec<Vec<f64>> = self
+            .base_models
+            .iter()
+            .map(|m| m.predict_proba_batch(rows))
+            .collect();
+        // All augmented rows live in one strided buffer: one allocation
+        // for the whole batch instead of one Vec per row.
+        let width = rows.first().map_or(0, |r| r.len()) + base.len() + 1;
+        let mut augmented: Vec<f64> = Vec::with_capacity(rows.len() * width);
+        for (i, row) in rows.iter().enumerate() {
+            augmented.extend_from_slice(row);
+            let votes = base.iter().filter(|b| b[i] >= 0.5).count();
+            augmented.extend(base.iter().map(|b| b[i]));
+            augmented.push(f64::from(votes * 2 > base.len()));
+        }
+        let aug_refs: Vec<&[f64]> = augmented.chunks_exact(width.max(1)).collect();
+        self.meta_model.predict_proba_batch(&aug_refs)
+    }
+
     /// Hard prediction at 0.5.
     pub fn predict(&self, row: &[f64]) -> u8 {
         u8::from(self.predict_proba(row) >= 0.5)

@@ -414,6 +414,12 @@ impl RegTree {
         }
     }
 
+    /// The node arena (index 0 is the root) — read by the flat-forest
+    /// compiler in [`crate::flat`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// Number of nodes (splits + leaves).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()

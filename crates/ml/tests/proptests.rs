@@ -1,8 +1,10 @@
 //! Property tests over the ML substrate.
 
 use freephish_ml::dataset::Dataset;
+use freephish_ml::forest::{ForestConfig, RandomForest};
 use freephish_ml::gbdt::{Gbdt, GbdtConfig};
 use freephish_ml::metrics::{auc, BinaryMetrics, ConfusionMatrix};
+use freephish_ml::stacking::{StackModel, StackModelConfig};
 use freephish_ml::tree::BinnedMatrix;
 use freephish_simclock::Rng64;
 use proptest::prelude::*;
@@ -89,5 +91,79 @@ proptest! {
         let mut rng = Rng64::new(seed);
         let (tr, te) = d.split(frac, &mut rng);
         prop_assert_eq!(tr.len() + te.len(), n);
+    }
+
+    /// Flat GBDT inference (row and batch) is bit-identical to the boxed
+    /// `predict_row` walk on randomly trained forests and arbitrary rows.
+    #[test]
+    fn flat_gbdt_equals_boxed(
+        rows in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0, any::<bool>()), 20..60),
+        probes in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rows = rows;
+        rows[0].2 = true;
+        rows[1].2 = false;
+        let d = small_dataset(rows);
+        let mut rng = Rng64::new(seed);
+        let cfg = GbdtConfig { n_trees: 6, ..GbdtConfig::tiny() };
+        let model = Gbdt::train(&cfg, &d, &mut rng);
+        let probe_rows: Vec<Vec<f64>> = probes.iter().map(|&(a, b)| vec![a, b]).collect();
+        let refs: Vec<&[f64]> = probe_rows.iter().map(|r| r.as_slice()).collect();
+        let batch = model.predict_proba_batch(&refs);
+        for (i, r) in refs.iter().enumerate() {
+            let flat = model.predict_proba(r);
+            let boxed = model.predict_proba_boxed(r);
+            prop_assert_eq!(flat.to_bits(), boxed.to_bits(), "row {}", i);
+            prop_assert_eq!(batch[i].to_bits(), boxed.to_bits(), "batch row {}", i);
+        }
+    }
+
+    /// Flat random-forest inference (column remap + folded vote transform)
+    /// is bit-identical to the boxed projection walk.
+    #[test]
+    fn flat_forest_equals_boxed(
+        rows in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0, any::<bool>()), 30..60),
+        seed in any::<u64>(),
+    ) {
+        let mut rows = rows;
+        rows[0].2 = true;
+        rows[1].2 = false;
+        let d = small_dataset(rows);
+        let mut rng = Rng64::new(seed);
+        let cfg = ForestConfig { n_trees: 8, ..ForestConfig::tiny() };
+        let model = RandomForest::train(&cfg, &d, &mut rng);
+        let refs: Vec<&[f64]> = (0..d.len()).map(|i| d.row(i)).collect();
+        let batch = model.predict_proba_batch(&refs);
+        for (i, r) in refs.iter().enumerate() {
+            let flat = model.predict_proba(r);
+            let boxed = model.predict_proba_boxed(r);
+            prop_assert_eq!(flat.to_bits(), boxed.to_bits(), "row {}", i);
+            prop_assert_eq!(batch[i].to_bits(), boxed.to_bits(), "batch row {}", i);
+        }
+    }
+}
+
+/// Stack training is expensive, so the stacked flat ≡ boxed equivalence
+/// runs as one deterministic case instead of inside the proptest loop.
+#[test]
+fn flat_stack_equals_boxed() {
+    let rows: Vec<(f64, f64, bool)> = (0..80)
+        .map(|i| {
+            let x = (i % 13) as f64 - 6.0;
+            let y = (i % 7) as f64 - 3.0;
+            (x, y, x + y > 0.0)
+        })
+        .collect();
+    let d = small_dataset(rows);
+    let mut rng = Rng64::new(42);
+    let model = StackModel::train(&StackModelConfig::tiny(), &d, &mut rng);
+    let refs: Vec<&[f64]> = (0..d.len()).map(|i| d.row(i)).collect();
+    let batch = model.predict_proba_batch(&refs);
+    for (i, r) in refs.iter().enumerate() {
+        let flat = model.predict_proba(r);
+        let boxed = model.predict_proba_boxed(r);
+        assert_eq!(flat.to_bits(), boxed.to_bits(), "row {i}");
+        assert_eq!(batch[i].to_bits(), boxed.to_bits(), "batch row {i}");
     }
 }

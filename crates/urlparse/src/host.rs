@@ -79,6 +79,15 @@ impl Host {
         matches!(self, Host::Ipv4(_))
     }
 
+    /// The stored DNS name (lower-case, no trailing dot) without
+    /// allocating. `None` for IP hosts.
+    pub fn domain_str(&self) -> Option<&str> {
+        match self {
+            Host::Domain(d) => Some(d.as_str()),
+            Host::Ipv4(_) => None,
+        }
+    }
+
     /// DNS labels, left to right (`["login", "weebly", "com"]`). Empty for
     /// IP hosts.
     pub fn labels(&self) -> Vec<&str> {

@@ -23,10 +23,13 @@
 //! ```
 
 pub mod host;
+pub mod legacy;
 pub mod lexical;
 pub mod parse;
+pub mod swar;
 
 pub use host::{Host, SuffixClass};
+pub use lexical::{best_brand_match_in, prepare_brands, token_iter, BrandCatalog, UrlTokens};
 pub use parse::{ParseError, Url};
 
 /// Extract every URL-looking token from free text (a post body). This is the

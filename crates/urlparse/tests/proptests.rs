@@ -1,6 +1,6 @@
 //! Property tests for the URL parser.
 
-use freephish_urlparse::{extract_urls, Host, Url};
+use freephish_urlparse::{extract_urls, legacy, lexical, Host, Url};
 use proptest::prelude::*;
 
 /// Strategy producing syntactically valid DNS labels.
@@ -87,5 +87,79 @@ proptest! {
     #[test]
     fn extract_never_panics(s in "\\PC{0,300}") {
         let _ = extract_urls(&s);
+    }
+
+    /// The SWAR byte-classification kernels agree with scalar char walks on
+    /// arbitrary unicode strings.
+    #[test]
+    fn swar_counts_equal_scalar(s in "\\PC{0,200}") {
+        use freephish_urlparse::swar;
+        prop_assert_eq!(
+            swar::digit_count(&s),
+            s.chars().filter(|c| c.is_ascii_digit()).count()
+        );
+        prop_assert_eq!(swar::char_count(&s), s.chars().count());
+        for t in [b'.', b'-', b'@', b'=', b'a'] {
+            prop_assert_eq!(
+                swar::count_byte(&s, t),
+                s.bytes().filter(|&b| b == t).count()
+            );
+        }
+        prop_assert_eq!(
+            lexical::suspicious_symbol_count(&s),
+            legacy::suspicious_symbol_count(&s)
+        );
+        prop_assert_eq!(
+            lexical::digit_ratio(&s).to_bits(),
+            legacy::digit_ratio(&s).to_bits()
+        );
+        prop_assert_eq!(
+            lexical::sensitive_word_count(&s),
+            legacy::sensitive_word_count(&s)
+        );
+    }
+
+    /// The allocation-free token iterator yields exactly the legacy
+    /// `Vec<String>` tokens — including the path/query boundary merge and
+    /// lower-casing — and the SWAR host counts match the legacy scans.
+    #[test]
+    fn lexical_scans_equal_legacy_on_urls(
+        host in hostname(),
+        path in "(/[a-zA-Z0-9._~%-]{0,8}){0,3}",
+        query in proptest::option::of("[a-zA-Z0-9=&_.-]{0,20}"),
+    ) {
+        let mut s = format!("https://{host}{path}");
+        if let Some(q) = &query {
+            s.push('?');
+            s.push_str(q);
+        }
+        let u = Url::parse(&s).expect("constructed URL must parse");
+        prop_assert_eq!(lexical::tokens(&u), legacy::tokens(&u), "url={}", s);
+        prop_assert_eq!(lexical::host_dot_count(&u), legacy::host_dot_count(&u));
+        prop_assert_eq!(
+            lexical::host_hyphen_count(&u),
+            legacy::host_hyphen_count(&u)
+        );
+    }
+
+    /// Myers-routed brand matching (single tokenisation) returns exactly
+    /// what the legacy per-brand Wagner–Fischer walk returns.
+    #[test]
+    fn brand_matching_equals_legacy(
+        host in hostname(),
+        path in "(/[a-z0-9-]{0,10}){0,2}",
+        brand in "[a-z]{2,12}",
+    ) {
+        let u = Url::parse(&format!("https://{host}{path}")).unwrap();
+        prop_assert_eq!(
+            lexical::brand_match(&u, &brand),
+            legacy::brand_match(&u, &brand),
+            "url={} brand={}", u.as_string(), brand
+        );
+        let brands = [brand.as_str(), "paypal", "microsoft", "att"];
+        prop_assert_eq!(
+            lexical::best_brand_match(&u, &brands),
+            legacy::best_brand_match(&u, &brands)
+        );
     }
 }

@@ -5,6 +5,11 @@
 # The record compares, on this host:
 #   * the Table-1-shaped site-similarity sweep — seed Wagner–Fischer kernel
 #     vs the Myers bit-parallel kernel, serial and through freephish-par;
+#   * the classification hot path — wire-speed snapshot scoring (span
+#     tokens -> PageFacts -> flat forests) vs the retained legacy path,
+#     plus per-stage figures (urls_classified_per_sec,
+#     html_tokenize_mb_per_sec, forest_predict_rows_per_sec,
+#     url_features_per_sec);
 #   * one full pipeline tick at FREEPHISH_THREADS=1 vs the host default,
 #     plus the seed's bare poll+crawl+score loop;
 #   * the classifier train phase at one thread vs the host default;
@@ -39,7 +44,8 @@ echo "== loadgen =="
 ./target/release/loadgen
 
 OUT="${FREEPHISH_BENCH_OUT:-BENCH_PIPELINE.json}"
-for key in serve_throughput serve_latency serve_p999 serve_worker_utilization ops_scrape_latency; do
+for key in serve_throughput serve_latency serve_p999 serve_worker_utilization ops_scrape_latency \
+           urls_classified_per_sec html_tokenize_mb_per_sec forest_predict_rows_per_sec url_features_per_sec; do
   if ! grep -q "\"$key\"" "$OUT"; then
     echo "bench.sh: ERROR: \"$key\" missing from $OUT" >&2
     exit 1

@@ -32,6 +32,21 @@ cargo test -q
 echo "== cargo test -q (FREEPHISH_THREADS=1) =="
 FREEPHISH_THREADS=1 cargo test -q
 
+# Hot-path equivalence: the wire-speed rewrites (span tokenizer, flat
+# forests, SWAR/Myers URL lexical) must stay bit-identical to the retained
+# legacy implementations, at the host-default worker count and serially.
+echo "== hot-path equivalence suites (host-default threads) =="
+cargo test -q -p freephish-urlparse --test proptests
+cargo test -q -p freephish-htmlparse --test proptests
+cargo test -q -p freephish-ml --test proptests
+cargo test -q -p freephish-core --lib -- bit_identical
+
+echo "== hot-path equivalence suites (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 cargo test -q -p freephish-urlparse --test proptests
+FREEPHISH_THREADS=1 cargo test -q -p freephish-htmlparse --test proptests
+FREEPHISH_THREADS=1 cargo test -q -p freephish-ml --test proptests
+FREEPHISH_THREADS=1 cargo test -q -p freephish-core --lib -- bit_identical
+
 echo "== ops plane smoke (ops_smoke) =="
 cargo build --release -p freephish-bench --bin ops_smoke
 ./target/release/ops_smoke
