@@ -26,10 +26,17 @@
 
 use bytes::BytesMut;
 use freephish_core::extension::{KnownSetChecker, VerdictServer};
+use freephish_core::groundtruth::{build, GroundTruthConfig};
+use freephish_core::resolver::{
+    MapFetcher, ResolverModels, TieredResolver, TieredResolverConfig, WallClock,
+};
+use freephish_core::verdictstore::EventedStoreChecker;
 use freephish_serve::{
     decode_bin_reply, encode_bin_request, http_get, BinReply, BinRequest, EventedServer, OpsServer,
-    ShardedIndex, HANDSHAKE_OK,
+    ShardedIndex, UrlChecker, HANDSHAKE_OK,
 };
+use freephish_simclock::Rng64;
+use freephish_store::testutil::TempDir;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -249,11 +256,229 @@ fn window_gauge(varz: &serde_json::Value, cmd: &str, q: &str) -> Option<i64> {
         .and_then(|v| v.as_i64())
 }
 
+/// Pull one labeled counter out of a resolver metrics snapshot.
+fn tier_hits(snap: &freephish_obs::MetricsSnapshot, labels: &[(&str, &str)]) -> u64 {
+    snap.counter("resolver_tier_hits_total", labels)
+}
+
+/// The classify-on-miss phase: the evented engine fronted by a
+/// [`TieredResolver`] over a durable store checker, driven with a
+/// workload where `miss_rate` of the traffic is never-seen URLs whose
+/// generated HTML bodies back the tier-2 fetch. Ends with a
+/// kill-mid-load restart: the resolver is stopped *without* draining its
+/// queue, the store directory reopened cold, and every inline verdict
+/// that was journaled must come back as a tier-0 hit with zero
+/// re-classification.
+fn miss_phase(
+    conns: usize,
+    secs: f64,
+    batch: usize,
+    miss_rate: f64,
+    known: &[(String, f64)],
+) -> serde_json::Value {
+    // Miss corpus: mostly-benign never-seen sites with real generated
+    // HTML — the traffic shape the pre-filter tier exists for. A seed
+    // disjoint from the resolver's training corpus keeps this honest.
+    let cfg = TieredResolverConfig::default();
+    let miss_corpus = build(&GroundTruthConfig {
+        n_phish: 64,
+        n_benign: 576,
+        seed: 0xA11_CE5,
+    });
+    let fetcher = Arc::new(MapFetcher::new());
+    let miss_urls: Vec<String> = miss_corpus
+        .iter()
+        .map(|s| {
+            fetcher.insert(&s.site.url, &s.site.html);
+            s.site.url.clone()
+        })
+        .collect();
+    let models = Arc::new(ResolverModels::train(&build(&cfg.corpus), &cfg));
+
+    // Durable tier 0: an evented store checker on a scratch directory.
+    // Known verdicts go straight into the index (they model journal
+    // state, not inline classifications); only the resolver's own
+    // verdicts reach the fsynced sidecar.
+    let store_dir = TempDir::new("loadgen-miss");
+    let checker =
+        Arc::new(EventedStoreChecker::open(store_dir.path()).expect("open scratch store"));
+    checker.index().publish(known.to_vec());
+    let resolver = TieredResolver::with_models(
+        checker.clone(),
+        fetcher.clone(),
+        Arc::new(WallClock::new()),
+        models.clone(),
+        cfg.clone(),
+    );
+
+    // Mixed workload pool, deterministic given the seed.
+    let mut rng = Rng64::new(0x10AD_3141);
+    let mixed: Vec<String> = (0..8192)
+        .map(|_| {
+            if rng.f64() < miss_rate {
+                miss_urls[(rng.f64() * miss_urls.len() as f64) as usize % miss_urls.len()].clone()
+            } else {
+                known[(rng.f64() * known.len() as f64) as usize % known.len()]
+                    .0
+                    .clone()
+            }
+        })
+        .collect();
+
+    let mut evented =
+        EventedServer::start(resolver.clone() as Arc<dyn UrlChecker>).expect("start miss engine");
+    let e_addr = evented.addr();
+    let p = Arc::new(mixed);
+    let t0 = Instant::now();
+    let (miss_rps, miss_lat) = drive(conns, secs, move |stop, tid| {
+        batch_worker(e_addr, p.clone(), stop, tid, batch)
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    evented.shutdown();
+    evented.drain(Duration::from_secs(5));
+
+    // Per-tier accounting over the load window.
+    let snap = resolver.metrics_snapshot();
+    let requests = snap.counter("resolver_requests_total", &[]);
+    let index_hits = tier_hits(&snap, &[("tier", "index")]);
+    let prefilter_decided = tier_hits(&snap, &[("tier", "prefilter")]);
+    let negative_prefilter = tier_hits(&snap, &[("tier", "negative"), ("src", "prefilter")]);
+    let negative_model = tier_hits(&snap, &[("tier", "negative"), ("src", "model")]);
+    let negative_unfetchable = tier_hits(&snap, &[("tier", "negative"), ("src", "unfetchable")]);
+    let negative_rejected = tier_hits(&snap, &[("tier", "negative"), ("src", "rejected")]);
+    let provisional = tier_hits(&snap, &[("tier", "provisional")]);
+    let classified = snap.counter("resolver_classified_total", &[]);
+    let shed = snap.counter("resolver_classify_shed_total", &[]);
+    let miss_traffic = requests.saturating_sub(index_hits).max(1);
+    // Tier 1 is the synchronous resolver fast path: the pre-filter model
+    // plus the negative cache it shares with tier 2 (just as tier-2
+    // phishing verdicts surface as tier-0 index hits, its safe verdicts
+    // surface as tier-1 negative-cache hits). A miss is "served by tier 1"
+    // when it is answered in-line without any classification work —
+    // prefilter decision, negative-cache hit of any provenance, or a
+    // provisional verdict while the URL waits in the classify queue.
+    let fast_path = prefilter_decided
+        + negative_prefilter
+        + negative_model
+        + negative_unfetchable
+        + negative_rejected
+        + provisional;
+    let tier1_share = fast_path as f64 / miss_traffic as f64;
+    let classify_per_sec = classified as f64 / elapsed;
+    println!(
+        "  miss({miss_rate:.2}) CHECKN: {miss_rps:>12.0} urls/s, \
+         {classify_per_sec:.0} classified/s, tier-1 share {:.1}%",
+        tier1_share * 100.0
+    );
+    assert!(
+        tier1_share >= 0.80,
+        "tier-1 fast path must serve >=80% of miss traffic, got {:.1}% \
+         (fast path {fast_path} / misses {miss_traffic})",
+        tier1_share * 100.0
+    );
+
+    // Which misses were journaled inline (phishing in tier 0 but not in
+    // the seeded known set means the resolver classified and added them).
+    let journaled: Vec<String> = miss_urls
+        .iter()
+        .filter(|u| checker.check(u).is_phishing())
+        .cloned()
+        .collect();
+
+    // Kill mid-load: stop the resolver WITHOUT draining its queue — the
+    // crash contract is that every verdict already journaled survives
+    // (the sidecar fsyncs per append) and nothing else does.
+    resolver.shutdown();
+    drop(resolver);
+    drop(checker);
+
+    // Cold restart on the same directory.
+    let checker2 =
+        Arc::new(EventedStoreChecker::open(store_dir.path()).expect("reopen scratch store"));
+    let recovered = checker2.len();
+    assert_eq!(
+        recovered,
+        journaled.len(),
+        "sidecar must recover exactly the journaled inline verdicts"
+    );
+    let resolver2 = TieredResolver::with_models(
+        checker2,
+        Arc::new(MapFetcher::new()),
+        Arc::new(WallClock::new()),
+        models,
+        cfg,
+    );
+    for url in &journaled {
+        assert!(
+            resolver2.check(url).is_phishing(),
+            "journaled verdict for {url} must be a tier-0 hit after restart"
+        );
+    }
+    let snap2 = resolver2.metrics_snapshot();
+    let replay_index_hits = tier_hits(&snap2, &[("tier", "index")]);
+    let reclassified = snap2.counter("resolver_classified_total", &[])
+        + snap2.counter("resolver_classify_enqueued_total", &[]);
+    assert_eq!(
+        replay_index_hits,
+        journaled.len() as u64,
+        "every replayed check must resolve in tier 0"
+    );
+    assert_eq!(reclassified, 0, "restart must not re-classify anything");
+    resolver2.shutdown();
+    println!("  restart: {recovered} journaled verdicts recovered, 0 re-classified");
+
+    serde_json::json!({
+        "miss_rate": miss_rate,
+        "miss_pool": miss_urls.len(),
+        "throughput_urls_per_sec": miss_rps,
+        "latency_per_frame": latency_json(miss_lat),
+        "classified": classified,
+        "classify_per_sec": classify_per_sec,
+        "classify_shed": shed,
+        "tier_hit_rates": {
+            "index": index_hits as f64 / requests.max(1) as f64,
+            "prefilter": prefilter_decided as f64 / requests.max(1) as f64,
+            "negative_prefilter": negative_prefilter as f64 / requests.max(1) as f64,
+            "negative_model": negative_model as f64 / requests.max(1) as f64,
+            "negative_unfetchable": negative_unfetchable as f64 / requests.max(1) as f64,
+            "provisional": provisional as f64 / requests.max(1) as f64,
+            "tier1_share_of_misses": tier1_share,
+        },
+        "restart_recovered_verdicts": recovered,
+        "restart_reclassified": 0,
+    })
+}
+
 fn main() {
     let conns = env_usize("FREEPHISH_LOADGEN_CONNS", 64);
     let batch = env_usize("FREEPHISH_LOADGEN_BATCH", 64).clamp(1, 256);
     let secs = env_usize("FREEPHISH_LOADGEN_SECS", 2) as f64;
     let out = std::env::var("FREEPHISH_BENCH_OUT").unwrap_or_else(|_| "BENCH_PIPELINE.json".into());
+    // --miss-rate F: fraction of never-seen URLs mixed into the
+    // classify-on-miss phase's workload.
+    let mut miss_rate = 0.75f64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--miss-rate" => {
+                i += 1;
+                miss_rate = argv
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| {
+                        eprintln!("usage: loadgen [--miss-rate F]  (F in 0..=1)");
+                        std::process::exit(64);
+                    });
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: loadgen [--miss-rate F]");
+                std::process::exit(64);
+            }
+        }
+        i += 1;
+    }
 
     let (known, pool) = url_pool(4096);
     let pool = Arc::new(pool);
@@ -278,7 +503,7 @@ fn main() {
 
     // Evented engine, line protocol then binary CHECKN, same verdict set.
     let index = ShardedIndex::with_default_shards();
-    index.publish(known);
+    index.publish(known.clone());
     let mut evented = EventedServer::start(Arc::new(index)).expect("start evented engine");
     let e_addr = evented.addr();
     let p = pool.clone();
@@ -301,6 +526,10 @@ fn main() {
     evented.shutdown();
     evented.drain(Duration::from_secs(5));
     println!("  evented   CHECKN: {eventedn_rps:>12.0} urls/s");
+
+    // Classify-on-miss phase: tiered resolver in front, miss-heavy
+    // workload, ending in the kill-mid-load restart proof.
+    let miss_record = miss_phase(conns, secs, batch, miss_rate, &known);
 
     let varz: serde_json::Value =
         serde_json::from_str(&varz_body).expect("final /varz body parses as JSON");
@@ -364,10 +593,20 @@ fn main() {
     obj.insert("serve_p999".into(), serve_p999);
     obj.insert("serve_worker_utilization".into(), utilization);
     obj.insert("ops_scrape_latency".into(), scrape_latency);
+    obj.insert(
+        "serve_miss_classify_per_sec".into(),
+        miss_record["classify_per_sec"].clone(),
+    );
+    obj.insert(
+        "serve_tier_hit_rates".into(),
+        miss_record["tier_hit_rates"].clone(),
+    );
+    obj.insert("serve_miss_classify".into(), miss_record);
     std::fs::write(&out, serde_json::to_string_pretty(&record).unwrap())
         .unwrap_or_else(|e| panic!("could not write {out}: {e}"));
     println!(
         "merged serve_throughput, serve_latency, serve_p999, \
-         serve_worker_utilization and ops_scrape_latency into {out}"
+         serve_worker_utilization, ops_scrape_latency, \
+         serve_miss_classify_per_sec and serve_tier_hit_rates into {out}"
     );
 }

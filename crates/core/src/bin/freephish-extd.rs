@@ -8,6 +8,7 @@
 //! ```text
 //! freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]
 //!                      [--engine threaded|evented] [--ops-port N]
+//!                      [--classify-on-miss]
 //!     Serve verdicts on 127.0.0.1:N (default: an ephemeral port).
 //!     FILE holds one `<url> [score]` per line ('#' comments allowed);
 //!     malformed lines are skipped with a warning. With --store DIR the
@@ -16,21 +17,30 @@
 //!     DIR/extd-adds. --engine picks the serving engine: "evented" (the
 //!     default) runs the freephish-serve poll-loop engine with the binary
 //!     CHECKN protocol, backpressure and load shedding; "threaded" runs
-//!     the classic thread-per-connection line server. With --ops-port N
-//!     the daemon also mounts the ops plane on 127.0.0.1:N: GET /metrics
-//!     (Prometheus text), /varz (JSON), /healthz, /readyz, /events and
-//!     /traces/slow. /readyz reports 503 until the serving index has
-//!     published its first generation and — when --store is given — the
-//!     journal tail is caught up. Ctrl-C / SIGTERM
-//!     drains connections, flushes the store, and exits 0.
+//!     the classic thread-per-connection line server. With
+//!     --classify-on-miss the daemon mounts the tiered resolver in front
+//!     of the lookup: a URL-lexical pre-filter serves confident-safe
+//!     misses inline, the residue is classified off the serve path as
+//!     microbatches, and inline phishing verdicts are journaled through
+//!     the store (with --store, durably — a restart recovers them with
+//!     zero re-classification). Models train on a background thread at
+//!     startup. With --ops-port N the daemon also mounts the ops plane on
+//!     127.0.0.1:N: GET /metrics (Prometheus text, including the
+//!     resolver_* tier series), /varz (JSON), /healthz, /readyz, /events
+//!     and /traces/slow. /readyz reports 503 until the serving index has
+//!     published its first generation, the journal tail is caught up
+//!     (with --store), and the classifier is warm (with
+//!     --classify-on-miss). Ctrl-C / SIGTERM drains connections, flushes
+//!     the store, and exits 0.
 //!
 //! freephish-extd check <addr> <url> [url...]
 //!     Query a running daemon; exit code 2 if any URL is phishing.
 //! ```
 
 use freephish_core::extension::{KnownSetChecker, UrlChecker, VerdictClient, VerdictServer};
-use freephish_core::verdictstore::{EventedStoreChecker, StoreChecker};
-use freephish_serve::{EventedServer, IndexPublisher, OpsConfig, OpsServer, ShardedIndex};
+use freephish_core::resolver::{SyntheticFetcher, TieredResolver, TieredResolverConfig};
+use freephish_core::verdictstore::StoreBacking;
+use freephish_serve::{EventedServer, OpsConfig, OpsServer, ShardedIndex};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -127,7 +137,7 @@ fn load_blocklist(path: &str) -> std::io::Result<Vec<(String, f64)>> {
 fn usage() -> ! {
     eprintln!(
         "usage: freephish-extd serve [--port N] [--blocklist FILE] [--store DIR] \
-         [--engine threaded|evented] [--ops-port N]"
+         [--engine threaded|evented] [--ops-port N] [--classify-on-miss]"
     );
     eprintln!("       freephish-extd check <addr> <url> [url...]");
     std::process::exit(64);
@@ -182,12 +192,9 @@ impl Engine {
     }
 }
 
-/// What `--store` resolves to for the selected engine: the checker plus
-/// the periodic work the serve loop must do to hot-reload it.
-enum StoreBacking {
-    Threaded(Arc<StoreChecker>),
-    Evented(Arc<EventedStoreChecker>, IndexPublisher),
-}
+/// How long shutdown lets the classify queue finish its residue before
+/// stopping the resolver (journaled verdicts are durable regardless).
+const RESOLVER_DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
 
 fn serve(args: &[String]) -> std::io::Result<()> {
     let mut entries = Vec::new();
@@ -195,6 +202,7 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     let mut ops_port: Option<u16> = None;
     let mut store_dir: Option<String> = None;
     let mut evented = true;
+    let mut classify_on_miss = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -226,6 +234,7 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                     _ => usage(),
                 }
             }
+            "--classify-on-miss" => classify_on_miss = true,
             _ => usage(),
         }
         i += 1;
@@ -233,34 +242,38 @@ fn serve(args: &[String]) -> std::io::Result<()> {
 
     // A store-backed checker hot-reloads from the run journal; the static
     // checker serves the blocklist as loaded.
-    let mut backing: Option<StoreBacking> = None;
     let static_len = entries.len();
-    let checker: Arc<dyn UrlChecker> = match (&store_dir, evented) {
-        (Some(dir), false) => {
-            let c = Arc::new(StoreChecker::open(dir)?);
-            c.reload()?;
-            for (url, score) in entries.drain(..) {
-                c.add_durable(&url, score)?;
-            }
-            backing = Some(StoreBacking::Threaded(c.clone()));
+    let mut backing: Option<StoreBacking> = None;
+    let lookup: Arc<dyn UrlChecker> = match &store_dir {
+        Some(dir) => {
+            let b = StoreBacking::open(dir, evented, std::mem::take(&mut entries))?;
+            let c = b.checker();
+            backing = Some(b);
             c
         }
-        (Some(dir), true) => {
-            let c = Arc::new(EventedStoreChecker::open(dir)?);
-            let mut publisher = c.publisher();
-            publisher.poll()?;
-            for (url, score) in entries.drain(..) {
-                c.add_durable(&url, score)?;
-            }
-            backing = Some(StoreBacking::Evented(c.clone(), publisher));
-            c
-        }
-        (None, false) => Arc::new(KnownSetChecker::new(entries)),
-        (None, true) => {
+        None if evented => {
             let index = ShardedIndex::with_default_shards();
             index.publish(entries);
             Arc::new(index)
         }
+        None => Arc::new(KnownSetChecker::new(entries)),
+    };
+
+    // --classify-on-miss mounts the tiered resolver in front of the
+    // lookup. Models train on a background thread (readiness gates on it
+    // below); snapshots come from the deterministic synthetic fetcher
+    // until a real crawler is wired in. Inline phishing verdicts journal
+    // through the lookup's `add` path — durable when it is store-backed.
+    let resolver: Option<Arc<TieredResolver>> = classify_on_miss.then(|| {
+        TieredResolver::bootstrap(
+            lookup.clone(),
+            Arc::new(SyntheticFetcher::new(0x0F_E7C4)),
+            TieredResolverConfig::default(),
+        )
+    });
+    let checker: Arc<dyn UrlChecker> = match &resolver {
+        Some(r) => r.clone(),
+        None => lookup.clone(),
     };
 
     shutdown::install();
@@ -270,29 +283,38 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         Engine::Threaded(VerdictServer::start_on(port, checker.clone())?)
     };
     println!(
-        "freephish-extd listening on {} (engine: {})",
+        "freephish-extd listening on {} (engine: {}{})",
         server.addr(),
-        server.name()
+        server.name(),
+        if classify_on_miss {
+            ", classify-on-miss"
+        } else {
+            ""
+        }
     );
 
     // When --store is given, readiness additionally requires the journal
     // tail to be caught up: true after every successful reload/publish
-    // poll, false the moment one fails. The flag starts true because the
-    // checker constructors above already did one successful full read.
+    // poll, false the moment one fails. The flag starts true because
+    // `StoreBacking::open` already did one successful full read. With
+    // --classify-on-miss it further requires the classifier warm, and the
+    // scrape snapshot merges the resolver's per-tier series.
     let caught_up = Arc::new(AtomicBool::new(true));
     let mut ops_server = match ops_port {
         Some(p) => {
             let mut cfg = server.ops_config();
             if backing.is_some() {
-                let inner = cfg.ready.clone();
                 let flag = caught_up.clone();
-                cfg.ready = Arc::new(move || {
-                    let mut r = inner();
-                    r.conditions
-                        .push(("store_journal_caught_up", flag.load(Ordering::SeqCst)));
-                    r.ready = r.conditions.iter().all(|&(_, ok)| ok);
-                    r
-                });
+                cfg = cfg.with_ready_condition(
+                    "store_journal_caught_up",
+                    Arc::new(move || flag.load(Ordering::SeqCst)),
+                );
+            }
+            if let Some(r) = &resolver {
+                let warm = r.clone();
+                cfg = cfg.with_ready_condition("classifier_warm", Arc::new(move || warm.is_warm()));
+                let snap = r.clone();
+                cfg = cfg.with_snapshot_merge(Arc::new(move || snap.metrics_snapshot()));
             }
             let ops = OpsServer::start(p, cfg)?;
             println!(
@@ -304,14 +326,10 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         None => None,
     };
     match &backing {
-        Some(_) => println!(
+        Some(b) => println!(
             "following store {} ({} known URLs, generation {})",
             store_dir.as_deref().unwrap_or_default(),
-            match &backing {
-                Some(StoreBacking::Threaded(c)) => c.len(),
-                Some(StoreBacking::Evented(c, _)) => c.len(),
-                None => unreachable!(),
-            },
+            b.len(),
             checker.generation()
         ),
         None => println!("known phishing URLs: {static_len}"),
@@ -320,22 +338,14 @@ fn serve(args: &[String]) -> std::io::Result<()> {
 
     while !shutdown::requested() {
         std::thread::sleep(SERVE_POLL);
-        match &mut backing {
-            Some(StoreBacking::Threaded(c)) => match c.reload() {
-                Ok(_) => caught_up.store(true, Ordering::SeqCst),
+        if let Some(b) = &mut backing {
+            match b.poll() {
+                Ok(()) => caught_up.store(true, Ordering::SeqCst),
                 Err(e) => {
                     caught_up.store(false, Ordering::SeqCst);
                     freephish_obs::warn("extd", format!("store reload failed: {e}"));
                 }
-            },
-            Some(StoreBacking::Evented(_, publisher)) => match publisher.poll() {
-                Ok(_) => caught_up.store(true, Ordering::SeqCst),
-                Err(e) => {
-                    caught_up.store(false, Ordering::SeqCst);
-                    freephish_obs::warn("extd", format!("store reload failed: {e}"));
-                }
-            },
-            None => {}
+            }
         }
     }
 
@@ -347,10 +357,17 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     if !server.drain(DRAIN_TIMEOUT) {
         freephish_obs::warn("extd", "drain timed out with connections still active");
     }
-    match &backing {
-        Some(StoreBacking::Threaded(c)) => c.sync()?,
-        Some(StoreBacking::Evented(c, _)) => c.sync()?,
-        None => {}
+    if let Some(r) = &resolver {
+        // Give the classify queue a bounded window to finish; anything
+        // still queued is lost (by design — provisional answers were
+        // already served, and journaled verdicts are already durable).
+        if !r.drain(RESOLVER_DRAIN_TIMEOUT) {
+            freephish_obs::warn("extd", "resolver queue not drained; dropping residue");
+        }
+        r.shutdown();
+    }
+    if let Some(b) = &backing {
+        b.sync()?;
     }
     println!("bye");
     Ok(())

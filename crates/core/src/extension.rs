@@ -491,7 +491,9 @@ pub struct VerdictClient {
     cache_hits: Counter,
     cache_misses: Counter,
     registry: Registry,
-    retries: Arc<Counter>,
+    retries_connect: Arc<Counter>,
+    retries_binary: Arc<Counter>,
+    retries_line: Arc<Counter>,
     rng: Mutex<Rng64>,
 }
 
@@ -510,21 +512,32 @@ impl VerdictClient {
             cache: RwLock::new(HashMap::new()),
             cache_hits: Counter::new(),
             cache_misses: Counter::new(),
-            retries: registry.counter("verdict_client_retries_total", &[]),
+            retries_connect: registry
+                .counter("verdict_client_retries_total", &[("proto", "connect")]),
+            retries_binary: registry
+                .counter("verdict_client_retries_total", &[("proto", "binary")]),
+            retries_line: registry.counter("verdict_client_retries_total", &[("proto", "line")]),
             registry,
             rng: Mutex::new(Rng64::new(seed)),
         }
     }
 
+    /// One jittered backoff interval (5–25 ms, drawn from the client's
+    /// seeded stream — deterministic under [`VerdictClient::with_seed`]).
+    /// Connect failures and BUSY sheds on either wire protocol all wait
+    /// the same way before their single retry.
+    fn backoff(&self) -> Duration {
+        Duration::from_millis(self.rng.lock().range_u64(5, 25))
+    }
+
     /// Connect with a bounded timeout; on failure, retry once after a
-    /// jittered backoff (5–25 ms, drawn from the client's seeded stream).
+    /// jittered backoff.
     fn connect(&self) -> std::io::Result<TcpStream> {
         match TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT) {
             Ok(s) => Ok(s),
             Err(first) => {
-                self.retries.inc();
-                let backoff = Duration::from_millis(self.rng.lock().range_u64(5, 25));
-                std::thread::sleep(backoff);
+                self.retries_connect.inc();
+                std::thread::sleep(self.backoff());
                 TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT).map_err(|_| first)
             }
         }
@@ -601,7 +614,19 @@ impl VerdictClient {
                 )
                 .map_err(io_invalid)?;
                 stream.write_all(&frame)?;
-                match read_bin_reply(&mut stream, &mut buf)? {
+                let reply = match read_bin_reply(&mut stream, &mut buf)? {
+                    BinReply::Busy => {
+                        // Shed under load: same single jittered retry as
+                        // the other paths, re-sending the same frame on
+                        // the same connection.
+                        self.retries_binary.inc();
+                        std::thread::sleep(self.backoff());
+                        stream.write_all(&frame)?;
+                        read_bin_reply(&mut stream, &mut buf)?
+                    }
+                    other => other,
+                };
+                match reply {
                     BinReply::VerdictN(vs) if vs.len() == batch.len() => verdicts.extend(vs),
                     BinReply::Busy => {
                         return Err(std::io::Error::new(
@@ -622,9 +647,37 @@ impl VerdictClient {
                 req.push('\n');
             }
             stream.write_all(req.as_bytes())?;
-            for _ in urls {
+            let mut busy_idx = Vec::new();
+            for (i, _) in urls.iter().enumerate() {
                 let line = read_line_buffered(&mut stream, &mut buf)?;
-                verdicts.push(decode_verdict(&line).map_err(io_invalid)?);
+                if line.trim() == "BUSY" {
+                    busy_idx.push(i);
+                    verdicts.push(Verdict::Safe(0.0)); // placeholder, refilled below
+                } else {
+                    verdicts.push(decode_verdict(&line).map_err(io_invalid)?);
+                }
+            }
+            if !busy_idx.is_empty() {
+                // Re-pipeline only the shed URLs after one jittered wait.
+                self.retries_line.inc();
+                std::thread::sleep(self.backoff());
+                let mut req = String::new();
+                for &i in &busy_idx {
+                    req.push_str("CHECK ");
+                    req.push_str(&urls[i]);
+                    req.push('\n');
+                }
+                stream.write_all(req.as_bytes())?;
+                for &i in &busy_idx {
+                    let line = read_line_buffered(&mut stream, &mut buf)?;
+                    if line.trim() == "BUSY" {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "server busy",
+                        ));
+                    }
+                    verdicts[i] = decode_verdict(&line).map_err(io_invalid)?;
+                }
             }
         }
         Ok(verdicts)
@@ -687,13 +740,16 @@ impl VerdictClient {
         self.cache_misses.get()
     }
 
-    /// Connect attempts that needed the one retry.
+    /// Requests that needed the one retry, across every path: failed
+    /// connects plus BUSY sheds on the binary and line protocols. The
+    /// per-path split is in [`VerdictClient::client_metrics`] under
+    /// `verdict_client_retries_total{proto=connect|binary|line}`.
     pub fn retries(&self) -> u64 {
-        self.retries.get()
+        self.retries_connect.get() + self.retries_binary.get() + self.retries_line.get()
     }
 
     /// Snapshot of the client's own metrics
-    /// (`verdict_client_retries_total`).
+    /// (`verdict_client_retries_total{proto=...}`).
     pub fn client_metrics(&self) -> MetricsSnapshot {
         self.registry.snapshot()
     }
@@ -1012,7 +1068,130 @@ mod tests {
         assert!(client.check("https://x.weebly.com/").is_err());
         assert_eq!(client.retries(), 2);
         let snap = client.client_metrics();
-        assert_eq!(snap.counter("verdict_client_retries_total", &[]), 2);
+        assert_eq!(
+            snap.counter("verdict_client_retries_total", &[("proto", "connect")]),
+            2
+        );
+        // Only the connect path retried; the wire-protocol counters are
+        // untouched.
+        assert_eq!(
+            snap.counter("verdict_client_retries_total", &[("proto", "binary")]),
+            0
+        );
+        assert_eq!(
+            snap.counter("verdict_client_retries_total", &[("proto", "line")]),
+            0
+        );
+    }
+
+    /// A one-connection mock server speaking just enough of a protocol to
+    /// shed the first request with BUSY and serve the retry.
+    fn busy_once_server(binary: bool) -> SocketAddr {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = BytesMut::new();
+            // Handshake line first.
+            let hs = read_line_buffered(&mut stream, &mut buf).unwrap();
+            assert_eq!(hs, HANDSHAKE_LINE);
+            if binary {
+                stream
+                    .write_all(format!("{HANDSHAKE_OK}\n").as_bytes())
+                    .unwrap();
+                // First CHECKN: shed. Second: answer every URL safe.
+                let mut first = true;
+                loop {
+                    let req = loop {
+                        if let Some(req) = freephish_serve::decode_bin_request(&mut buf).unwrap() {
+                            break req;
+                        }
+                        let mut chunk = [0u8; 4096];
+                        let n = stream.read(&mut chunk).unwrap();
+                        if n == 0 {
+                            return;
+                        }
+                        buf.extend_from_slice(&chunk[..n]);
+                    };
+                    let BinRequest::CheckN(urls) = req else {
+                        panic!("expected CHECKN")
+                    };
+                    let mut frame = BytesMut::new();
+                    let reply = if first {
+                        first = false;
+                        BinReply::Busy
+                    } else {
+                        BinReply::VerdictN(vec![Verdict::Safe(0.25); urls.len()])
+                    };
+                    freephish_serve::encode_bin_reply(&mut frame, &reply);
+                    stream.write_all(&frame).unwrap();
+                }
+            } else {
+                // Refuse the handshake, then shed the first CHECK line.
+                stream.write_all(b"ERR unsupported\n").unwrap();
+                let mut first = true;
+                loop {
+                    let line = match read_line_buffered(&mut stream, &mut buf) {
+                        Ok(l) => l,
+                        Err(_) => return,
+                    };
+                    assert!(line.starts_with("CHECK "), "got {line:?}");
+                    if first {
+                        first = false;
+                        stream.write_all(b"BUSY\n").unwrap();
+                    } else {
+                        stream.write_all(b"SAFE 0.2500\n").unwrap();
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn binary_busy_shed_retries_once_and_recovers() {
+        let addr = busy_once_server(true);
+        let client = VerdictClient::with_seed(addr, 11);
+        let urls = vec![
+            "https://a.weebly.com/".to_string(),
+            "https://b.weebly.com/".to_string(),
+        ];
+        let verdicts = client.check_batch(&urls).unwrap();
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(client.retries(), 1);
+        let snap = client.client_metrics();
+        assert_eq!(
+            snap.counter("verdict_client_retries_total", &[("proto", "binary")]),
+            1
+        );
+        assert_eq!(
+            snap.counter("verdict_client_retries_total", &[("proto", "line")]),
+            0
+        );
+    }
+
+    #[test]
+    fn line_busy_shed_retries_once_and_recovers() {
+        let addr = busy_once_server(false);
+        let client = VerdictClient::with_seed(addr, 13);
+        let urls = vec![
+            "https://a.weebly.com/".to_string(),
+            "https://b.weebly.com/".to_string(),
+        ];
+        let verdicts = client.check_batch(&urls).unwrap();
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| !v.is_phishing()));
+        assert_eq!(client.retries(), 1);
+        let snap = client.client_metrics();
+        assert_eq!(
+            snap.counter("verdict_client_retries_total", &[("proto", "line")]),
+            1
+        );
+        assert_eq!(
+            snap.counter("verdict_client_retries_total", &[("proto", "binary")]),
+            0
+        );
     }
 
     fn wait_for_active(server: &VerdictServer) {

@@ -34,9 +34,14 @@ pub mod groundtruth;
 pub mod journal;
 pub mod models;
 pub mod pipeline;
+pub mod resolver;
 pub mod verdictstore;
 pub mod world;
 
 pub use features::{FeatureSet, FeatureVector};
 pub use models::augmented::AugmentedStackModel;
+pub use resolver::{
+    ManualClock, MapFetcher, ResolverClock, ResolverModels, SnapshotFetcher, SyntheticFetcher,
+    TieredResolver, TieredResolverConfig, WallClock,
+};
 pub use world::World;

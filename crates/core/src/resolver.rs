@@ -1,0 +1,1128 @@
+//! Tiered verdict resolution: the classify-on-miss pipeline behind the
+//! serve path.
+//!
+//! The serving engines judge URLs through one [`UrlChecker`]; until now
+//! that checker was a pure lookup, so unknown URLs — the traffic that
+//! actually matters — always fell through as `SAFE 0.0`. A
+//! [`TieredResolver`] wraps any inner checker and resolves misses through
+//! an admission pipeline:
+//!
+//! * **tier 0 — index.** The inner checker (a [`ShardedIndex`]-backed
+//!   store checker, a `KnownSetChecker`, anything). A hit answers
+//!   immediately; batches resolve against one snapshot via `check_many`.
+//! * **tier 1 — URL-lexical pre-filter.** A flat-forest GBDT over the
+//!   eight SWAR-extracted [`url_features`] scores the URL alone in
+//!   microseconds. Scores below a calibrated confident-safe cutoff
+//!   ([`freephish_ml::threshold_at_fnr`]) are served as safe without ever
+//!   touching the page — the cheap first stage that absorbs the bulk of
+//!   miss traffic.
+//! * **tier 2 — full classification.** The residue is enqueued on a
+//!   *bounded* classify queue and scored as microbatches on the
+//!   `freephish-par` pool by a background worker: snapshot fetch,
+//!   [`looks_like_html`] sniff, then [`AugmentedStackModel::score_snapshot`]
+//!   per URL. The caller is answered immediately with the tier-1 score as
+//!   a provisional verdict, so the evented engine's poll workers never
+//!   block on a model; a full queue sheds the enqueue (counted) rather
+//!   than stalling.
+//! * **tier 3 — durability.** Freshly classified phishing verdicts are
+//!   journaled through the inner checker's `add` path (the
+//!   [`SidecarAdds`] fsync-per-append journal for store-backed checkers),
+//!   so they become durable, hot-reloadable tier-0 state: a restart
+//!   recovers every journaled inline verdict with zero re-classification.
+//!
+//! Safe classifications are not journaled — a lookup miss already means
+//! safe — but land in a TTL'd **negative cache** so repeat misses don't
+//! re-classify. Expired negatives re-enter the classify queue; fresh ones
+//! never do. Every stage is counted and timed through `freephish-obs`
+//! (`resolver_*` metrics) and surfaces on the ops plane.
+//!
+//! [`ShardedIndex`]: freephish_serve::ShardedIndex
+//! [`SidecarAdds`]: crate::verdictstore::SidecarAdds
+//! [`looks_like_html`]: freephish_htmlparse::looks_like_html
+//! [`url_features`]: crate::features::url_features
+
+use crate::extension::{UrlChecker, Verdict};
+use crate::features::url_features;
+use crate::groundtruth::{build, GroundTruthConfig, LabeledSite};
+use crate::models::augmented::AugmentedStackModel;
+use freephish_htmlparse::looks_like_html;
+use freephish_ml::{threshold_at_fnr, Dataset, Gbdt, GbdtConfig, StackModelConfig};
+use freephish_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use freephish_simclock::{Rng64, SimDuration, SimTime};
+use freephish_urlparse::{swar, Url};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where tier 2 gets page snapshots from. Production would put a crawler
+/// here; the daemon uses [`SyntheticFetcher`] (a deterministic stand-in
+/// world) and tests/benches use [`MapFetcher`] with exact bodies.
+///
+/// `None` means the snapshot is unavailable (site down, non-HTML, fetch
+/// error); the resolver negative-caches the URL instead of classifying.
+pub trait SnapshotFetcher: Send + Sync {
+    /// The page body for `url`, if one can be obtained.
+    fn fetch(&self, url: &str) -> Option<String>;
+}
+
+/// A fetcher serving exact bodies from an in-memory map — the test and
+/// loadgen backend, where miss URLs are generated together with their
+/// HTML.
+#[derive(Default)]
+pub struct MapFetcher {
+    map: RwLock<HashMap<String, String>>,
+}
+
+impl MapFetcher {
+    /// An empty fetcher.
+    pub fn new() -> MapFetcher {
+        MapFetcher::default()
+    }
+
+    /// Register the body served for `url`.
+    pub fn insert(&self, url: impl Into<String>, html: impl Into<String>) {
+        self.map.write().insert(url.into(), html.into());
+    }
+
+    /// Number of registered bodies.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no bodies are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+impl SnapshotFetcher for MapFetcher {
+    fn fetch(&self, url: &str) -> Option<String> {
+        self.map.read().get(url).cloned()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// A deterministic synthetic snapshot source: every URL hashes to one of
+/// a pre-generated pool of ground-truth sites (phishing and benign), so a
+/// daemon without a real crawler still exercises the full tier-2 path
+/// with reproducible results.
+pub struct SyntheticFetcher {
+    bodies: Vec<String>,
+}
+
+impl SyntheticFetcher {
+    /// Generate a pool of `n_phish + n_benign` bodies from `seed`.
+    pub fn new(seed: u64) -> SyntheticFetcher {
+        let corpus = build(&GroundTruthConfig {
+            n_phish: 24,
+            n_benign: 24,
+            seed,
+        });
+        SyntheticFetcher {
+            bodies: corpus.into_iter().map(|s| s.site.html).collect(),
+        }
+    }
+}
+
+impl SnapshotFetcher for SyntheticFetcher {
+    fn fetch(&self, url: &str) -> Option<String> {
+        let i = (fnv1a(url) % self.bodies.len() as u64) as usize;
+        Some(self.bodies[i].clone())
+    }
+}
+
+/// The resolver's notion of "now", abstracted so TTL behaviour is
+/// testable under `simclock` control.
+pub trait ResolverClock: Send + Sync {
+    /// Current time.
+    fn now(&self) -> SimTime;
+}
+
+/// Wall time: whole seconds elapsed since the clock was created.
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock starting at the simulation epoch now.
+    pub fn new() -> WallClock {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl ResolverClock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_secs())
+    }
+}
+
+/// A hand-advanced clock for TTL tests.
+#[derive(Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at the epoch.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move time forward.
+    pub fn advance(&self, d: SimDuration) {
+        self.now.fetch_add(d.0, Ordering::SeqCst);
+    }
+}
+
+impl ResolverClock for ManualClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.now.load(Ordering::SeqCst))
+    }
+}
+
+/// Tuning for a [`TieredResolver`].
+#[derive(Debug, Clone)]
+pub struct TieredResolverConfig {
+    /// Classification decision threshold: tier-2 scores at or above it are
+    /// phishing (journaled), below it safe (negative-cached). Provisional
+    /// verdicts for queued residue use the same cut on the tier-1 score.
+    pub threshold: f64,
+    /// False-negative budget for the tier-1 confident-safe cutoff
+    /// calibration (fraction of training phish the pre-filter may wave
+    /// through to the negative cache).
+    pub prefilter_max_fnr: f64,
+    /// Bound on the classify queue; admissions beyond it are shed.
+    pub queue_cap: usize,
+    /// URLs per classify microbatch handed to the `par` pool.
+    pub microbatch: usize,
+    /// How long a safe (negative) verdict suppresses re-classification.
+    pub negative_ttl: SimDuration,
+    /// Ground-truth corpus the bootstrap path trains on.
+    pub corpus: GroundTruthConfig,
+    /// Seed for model training.
+    pub train_seed: u64,
+}
+
+impl Default for TieredResolverConfig {
+    fn default() -> Self {
+        TieredResolverConfig {
+            threshold: 0.5,
+            prefilter_max_fnr: 0.02,
+            queue_cap: 4096,
+            microbatch: 64,
+            negative_ttl: SimDuration(3600),
+            corpus: GroundTruthConfig::tiny(),
+            train_seed: 0xF5EE_F00D,
+        }
+    }
+}
+
+/// The trained model pair a resolver serves with: the URL-only pre-filter
+/// with its calibrated cutoff, and the full-page stack model.
+pub struct ResolverModels {
+    prefilter: Gbdt,
+    cutoff: f64,
+    stack: AugmentedStackModel,
+}
+
+impl ResolverModels {
+    /// Train both tiers on `corpus` and calibrate the confident-safe
+    /// cutoff to `cfg.prefilter_max_fnr`.
+    pub fn train(corpus: &[LabeledSite], cfg: &TieredResolverConfig) -> ResolverModels {
+        let mut rng = Rng64::new(cfg.train_seed);
+        let mut data = Dataset::new(
+            [
+                "url_len",
+                "suspicious_symbols",
+                "sensitive_words",
+                "brand_score",
+                "digit_ratio",
+                "host_dots",
+                "host_hyphens",
+                "ip_host",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        for site in corpus {
+            if let Ok(url) = Url::parse(&site.site.url) {
+                data.push(url_features(&url), site.label);
+            }
+        }
+        let prefilter = Gbdt::train(&GbdtConfig::classic(), &data, &mut rng);
+        let scores = prefilter.predict_all(&data);
+        let cutoff = threshold_at_fnr(data.labels(), &scores, cfg.prefilter_max_fnr);
+        let stack = AugmentedStackModel::train(corpus, &StackModelConfig::tiny(), &mut rng);
+        ResolverModels {
+            prefilter,
+            cutoff,
+            stack,
+        }
+    }
+
+    /// Override the calibrated cutoff (tests force tier routing with it:
+    /// `0.0` sends everything to tier 2, `f64::INFINITY` nothing).
+    pub fn with_cutoff(mut self, cutoff: f64) -> ResolverModels {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// The calibrated confident-safe cutoff.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Tier-1 score for a parsed URL.
+    pub fn prefilter_score(&self, url: &Url) -> f64 {
+        self.prefilter.predict_proba(&url_features(url))
+    }
+
+    /// The tier-2 model (offline equivalence tests score through it).
+    pub fn stack(&self) -> &AugmentedStackModel {
+        &self.stack
+    }
+}
+
+/// What produced a negative-cache entry — kept so per-tier accounting can
+/// attribute repeat hits to the tier that originally served them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NegativeSrc {
+    Prefilter,
+    Model,
+    Unfetchable,
+    Rejected,
+}
+
+struct NegativeEntry {
+    score: f64,
+    expires: SimTime,
+    src: NegativeSrc,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<String>,
+    /// Queued or mid-classification; admission dedup key.
+    pending: HashSet<String>,
+    inflight: usize,
+}
+
+struct ResolverMetrics {
+    registry: Registry,
+    requests: Arc<Counter>,
+    hit_index: Arc<Counter>,
+    hit_prefilter: Arc<Counter>,
+    hit_negative_prefilter: Arc<Counter>,
+    hit_negative_model: Arc<Counter>,
+    hit_negative_unfetchable: Arc<Counter>,
+    hit_negative_rejected: Arc<Counter>,
+    hit_provisional: Arc<Counter>,
+    enqueued: Arc<Counter>,
+    pending_hits: Arc<Counter>,
+    shed: Arc<Counter>,
+    cold: Arc<Counter>,
+    rejected: Arc<Counter>,
+    negative_expired: Arc<Counter>,
+    classified: Arc<Counter>,
+    classified_phishing: Arc<Counter>,
+    classified_safe: Arc<Counter>,
+    journaled: Arc<Counter>,
+    journal_errors: Arc<Counter>,
+    fetch_failed: Arc<Counter>,
+    prefilter_us: Arc<Histogram>,
+    classify_batch_us: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    negative_entries: Arc<Gauge>,
+}
+
+impl ResolverMetrics {
+    fn new() -> ResolverMetrics {
+        let registry = Registry::new();
+        let tier = |t: &str| registry.counter("resolver_tier_hits_total", &[("tier", t)]);
+        let neg = |s: &str| {
+            registry.counter(
+                "resolver_tier_hits_total",
+                &[("tier", "negative"), ("src", s)],
+            )
+        };
+        ResolverMetrics {
+            requests: registry.counter("resolver_requests_total", &[]),
+            hit_index: tier("index"),
+            hit_prefilter: tier("prefilter"),
+            hit_negative_prefilter: neg("prefilter"),
+            hit_negative_model: neg("model"),
+            hit_negative_unfetchable: neg("unfetchable"),
+            hit_negative_rejected: neg("rejected"),
+            hit_provisional: tier("provisional"),
+            enqueued: registry.counter("resolver_classify_enqueued_total", &[]),
+            pending_hits: registry.counter("resolver_classify_pending_hits_total", &[]),
+            shed: registry.counter("resolver_classify_shed_total", &[]),
+            cold: registry.counter("resolver_cold_misses_total", &[]),
+            rejected: registry.counter("resolver_rejected_urls_total", &[]),
+            negative_expired: registry.counter("resolver_negative_expired_total", &[]),
+            classified: registry.counter("resolver_classified_total", &[]),
+            classified_phishing: registry.counter("resolver_classified_phishing_total", &[]),
+            classified_safe: registry.counter("resolver_classified_safe_total", &[]),
+            journaled: registry.counter("resolver_journaled_total", &[]),
+            journal_errors: registry.counter("resolver_journal_errors_total", &[]),
+            fetch_failed: registry.counter("resolver_fetch_failed_total", &[]),
+            prefilter_us: registry.histogram("resolver_tier_latency_us", &[("tier", "prefilter")]),
+            classify_batch_us: registry
+                .histogram("resolver_tier_latency_us", &[("tier", "classify_batch")]),
+            queue_depth: registry.gauge("resolver_queue_depth", &[]),
+            negative_entries: registry.gauge("resolver_negative_entries", &[]),
+            registry,
+        }
+    }
+}
+
+/// The tiered resolver. Implements [`UrlChecker`], so it slots directly
+/// into either serving engine in place of the bare index checker; see the
+/// module docs for the tier walk.
+pub struct TieredResolver {
+    inner: Arc<dyn UrlChecker>,
+    fetcher: Arc<dyn SnapshotFetcher>,
+    clock: Arc<dyn ResolverClock>,
+    cfg: TieredResolverConfig,
+    models: RwLock<Option<Arc<ResolverModels>>>,
+    negative: RwLock<HashMap<String, NegativeEntry>>,
+    state: Mutex<QueueState>,
+    work_cv: Condvar,
+    idle_cv: Condvar,
+    warm: AtomicBool,
+    stop: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    metrics: ResolverMetrics,
+}
+
+impl TieredResolver {
+    /// A resolver over pre-trained models: warm immediately. The worker
+    /// thread starts consuming the classify queue at once.
+    pub fn with_models(
+        inner: Arc<dyn UrlChecker>,
+        fetcher: Arc<dyn SnapshotFetcher>,
+        clock: Arc<dyn ResolverClock>,
+        models: Arc<ResolverModels>,
+        cfg: TieredResolverConfig,
+    ) -> Arc<TieredResolver> {
+        let r = Self::build(inner, fetcher, clock, cfg);
+        *r.models.write() = Some(models);
+        r.warm.store(true, Ordering::SeqCst);
+        Self::spawn_worker(&r);
+        r
+    }
+
+    /// A resolver that trains its own models on a background thread (the
+    /// daemon's startup path): serving begins immediately, `/readyz` stays
+    /// 503 on the `classifier_warm` condition until training and a warm-up
+    /// scoring pass finish, and cold misses queue up to be classified the
+    /// moment the models land.
+    pub fn bootstrap(
+        inner: Arc<dyn UrlChecker>,
+        fetcher: Arc<dyn SnapshotFetcher>,
+        cfg: TieredResolverConfig,
+    ) -> Arc<TieredResolver> {
+        let r = Self::build(inner, fetcher, Arc::new(WallClock::new()), cfg);
+        let trainer = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                let corpus = build(&r.cfg.corpus);
+                let models = Arc::new(ResolverModels::train(&corpus, &r.cfg));
+                // Warm-up pass: fault in both models' hot paths before
+                // declaring readiness, so the first real request pays no
+                // first-touch cost.
+                if let Ok(u) = Url::parse(&corpus[0].site.url) {
+                    let _ = models.prefilter_score(&u);
+                    let _ = models.stack.score_snapshot(&u, &corpus[0].site.html);
+                }
+                *r.models.write() = Some(models);
+                r.warm.store(true, Ordering::SeqCst);
+                // Wake the worker: queued cold misses are now classifiable.
+                r.work_cv.notify_all();
+            })
+        };
+        r.workers.lock().unwrap().push(trainer);
+        Self::spawn_worker(&r);
+        r
+    }
+
+    fn build(
+        inner: Arc<dyn UrlChecker>,
+        fetcher: Arc<dyn SnapshotFetcher>,
+        clock: Arc<dyn ResolverClock>,
+        cfg: TieredResolverConfig,
+    ) -> Arc<TieredResolver> {
+        Arc::new(TieredResolver {
+            inner,
+            fetcher,
+            clock,
+            cfg,
+            models: RwLock::new(None),
+            negative: RwLock::new(HashMap::new()),
+            state: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            warm: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            metrics: ResolverMetrics::new(),
+        })
+    }
+
+    fn spawn_worker(r: &Arc<TieredResolver>) {
+        let worker = {
+            let r = r.clone();
+            std::thread::spawn(move || r.worker_loop())
+        };
+        r.workers.lock().unwrap().push(worker);
+    }
+
+    /// True once models are trained and warmed — the `/readyz`
+    /// `classifier_warm` condition.
+    pub fn is_warm(&self) -> bool {
+        self.warm.load(Ordering::SeqCst)
+    }
+
+    /// Block until warm, up to `timeout`. Returns whether it happened.
+    pub fn wait_warm(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.is_warm() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Block until the classify queue is empty and no batch is in flight,
+    /// up to `timeout`. Returns whether it drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap();
+        while !st.queue.is_empty() || st.inflight > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .idle_cv
+                .wait_timeout(st, deadline - now)
+                .expect("resolver state poisoned");
+            st = guard;
+        }
+        true
+    }
+
+    /// Stop the background threads and join them. Idempotent; verdicts
+    /// already journaled are durable regardless (the sidecar fsyncs per
+    /// append), which is what the kill-mid-load recovery test relies on.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.work_cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Snapshot of the resolver's own metrics (`resolver_*`), with the
+    /// queue-depth and negative-cache gauges refreshed.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        {
+            let st = self.state.lock().unwrap();
+            self.metrics.queue_depth.set(st.queue.len() as i64);
+        }
+        self.metrics
+            .negative_entries
+            .set(self.negative.read().len() as i64);
+        self.metrics.registry.snapshot()
+    }
+
+    /// The inner checker (tier 0 / tier 3).
+    pub fn inner(&self) -> Arc<dyn UrlChecker> {
+        self.inner.clone()
+    }
+
+    /// Resolve one miss (tier 0 already answered safe-unknown).
+    fn resolve_miss(&self, url: &str) -> Verdict {
+        let now = self.clock.now();
+
+        // Negative cache: a fresh safe verdict answers without work; an
+        // expired one is evicted and falls through to re-classification.
+        if let Some(entry) = self.negative.read().get(url) {
+            if now < entry.expires {
+                match entry.src {
+                    NegativeSrc::Prefilter => self.metrics.hit_negative_prefilter.inc(),
+                    NegativeSrc::Model => self.metrics.hit_negative_model.inc(),
+                    NegativeSrc::Unfetchable => self.metrics.hit_negative_unfetchable.inc(),
+                    NegativeSrc::Rejected => self.metrics.hit_negative_rejected.inc(),
+                }
+                return Verdict::Safe(entry.score);
+            }
+        }
+        {
+            // Evict under the write lock, re-checking freshness: a publish
+            // may have raced a refresh in.
+            let mut neg = self.negative.write();
+            if let Some(entry) = neg.get(url) {
+                if now < entry.expires {
+                    match entry.src {
+                        NegativeSrc::Prefilter => self.metrics.hit_negative_prefilter.inc(),
+                        NegativeSrc::Model => self.metrics.hit_negative_model.inc(),
+                        NegativeSrc::Unfetchable => self.metrics.hit_negative_unfetchable.inc(),
+                        NegativeSrc::Rejected => self.metrics.hit_negative_rejected.inc(),
+                    }
+                    return Verdict::Safe(entry.score);
+                }
+                neg.remove(url);
+                self.metrics.negative_expired.inc();
+            }
+        }
+
+        // Garbage guard: one SWAR pass, then the full parse. Unparsable
+        // input can never be classified — cache the rejection.
+        if swar::has_space_or_control(url) || Url::parse(url).is_err() {
+            self.metrics.rejected.inc();
+            self.insert_negative(url, 0.0, NegativeSrc::Rejected, now);
+            return Verdict::Safe(0.0);
+        }
+        let parsed = Url::parse(url).expect("checked above");
+
+        let Some(models) = self.models.read().clone() else {
+            // Cold: models still training. Queue the miss so it resolves
+            // once warm; answer the only thing known so far.
+            self.metrics.cold.inc();
+            return self.admit_residue(url, Verdict::Safe(0.0));
+        };
+
+        // Tier 1: URL-lexical pre-filter.
+        let t0 = Instant::now();
+        let p = models.prefilter_score(&parsed);
+        self.metrics
+            .prefilter_us
+            .record(t0.elapsed().as_secs_f64() * 1e6);
+        if p < models.cutoff {
+            self.metrics.hit_prefilter.inc();
+            self.insert_negative(url, p, NegativeSrc::Prefilter, now);
+            return Verdict::Safe(p);
+        }
+
+        // Tier 2 admission: provisional verdict from the tier-1 score,
+        // classification deferred to the worker.
+        let provisional = if p >= self.cfg.threshold {
+            Verdict::Phishing(p)
+        } else {
+            Verdict::Safe(p)
+        };
+        self.admit_residue(url, provisional)
+    }
+
+    /// Put `url` on the classify queue unless it is already pending or
+    /// the queue is full (shed). Always answers `provisional` now.
+    fn admit_residue(&self, url: &str, provisional: Verdict) -> Verdict {
+        self.metrics.hit_provisional.inc();
+        let mut st = self.state.lock().unwrap();
+        if st.pending.contains(url) {
+            self.metrics.pending_hits.inc();
+            return provisional;
+        }
+        if st.queue.len() >= self.cfg.queue_cap {
+            self.metrics.shed.inc();
+            return provisional;
+        }
+        st.pending.insert(url.to_string());
+        st.queue.push_back(url.to_string());
+        self.metrics.enqueued.inc();
+        drop(st);
+        self.work_cv.notify_one();
+        provisional
+    }
+
+    fn insert_negative(&self, url: &str, score: f64, src: NegativeSrc, now: SimTime) {
+        self.negative.write().insert(
+            url.to_string(),
+            NegativeEntry {
+                score,
+                expires: now + self.cfg.negative_ttl,
+                src,
+            },
+        );
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let batch: Vec<String> = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if !st.queue.is_empty() && self.models.read().is_some() {
+                        break;
+                    }
+                    st = self
+                        .work_cv
+                        .wait_timeout(st, Duration::from_millis(100))
+                        .expect("resolver state poisoned")
+                        .0;
+                }
+                let n = self.cfg.microbatch.min(st.queue.len());
+                let batch: Vec<String> = st.queue.drain(..n).collect();
+                st.inflight += batch.len();
+                batch
+            };
+            let models = self
+                .models
+                .read()
+                .clone()
+                .expect("worker only runs with models");
+            self.classify_batch(&batch, &models);
+            let mut st = self.state.lock().unwrap();
+            st.inflight -= batch.len();
+            for url in &batch {
+                st.pending.remove(url);
+            }
+            drop(st);
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Tier 2 + tier 3 for one microbatch: fetch, sniff, score on the
+    /// `par` pool, then journal phishing / negative-cache safe.
+    fn classify_batch(&self, batch: &[String], models: &ResolverModels) {
+        let t0 = Instant::now();
+        let now = self.clock.now();
+        let mut jobs: Vec<(usize, Url, String)> = Vec::with_capacity(batch.len());
+        for (i, url) in batch.iter().enumerate() {
+            let Some(html) = self.fetcher.fetch(url) else {
+                self.metrics.fetch_failed.inc();
+                self.insert_negative(url, 0.0, NegativeSrc::Unfetchable, now);
+                continue;
+            };
+            if !looks_like_html(&html) {
+                self.metrics.fetch_failed.inc();
+                self.insert_negative(url, 0.0, NegativeSrc::Unfetchable, now);
+                continue;
+            }
+            match Url::parse(url) {
+                Ok(parsed) => jobs.push((i, parsed, html)),
+                Err(_) => {
+                    // Admission filters unparsable URLs; a direct `add`
+                    // race could still surface one here.
+                    self.metrics.rejected.inc();
+                    self.insert_negative(url, 0.0, NegativeSrc::Rejected, now);
+                }
+            }
+        }
+        // Each item is pure and independent, so the scores are
+        // bit-identical to serial `score_snapshot` calls at any
+        // FREEPHISH_THREADS — the cross-engine equivalence tests pin this.
+        let scores = freephish_par::par_map(&jobs, |(_, url, html)| {
+            models.stack.score_snapshot(url, html)
+        });
+        for ((i, _, _), score) in jobs.iter().zip(&scores) {
+            let url = &batch[*i];
+            self.metrics.classified.inc();
+            if *score >= self.cfg.threshold {
+                self.metrics.classified_phishing.inc();
+                match self.inner.add(url, *score) {
+                    Ok(_) => self.metrics.journaled.inc(),
+                    Err(e) => {
+                        self.metrics.journal_errors.inc();
+                        freephish_obs::warn(
+                            "resolver",
+                            format!("journal of inline verdict failed for {url}: {e}"),
+                        );
+                    }
+                }
+            } else {
+                self.metrics.classified_safe.inc();
+                self.insert_negative(url, *score, NegativeSrc::Model, now);
+            }
+        }
+        self.metrics
+            .classify_batch_us
+            .record(t0.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
+impl Drop for TieredResolver {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.work_cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl UrlChecker for TieredResolver {
+    fn check(&self, url: &str) -> Verdict {
+        self.metrics.requests.inc();
+        let v = self.inner.check(url);
+        if v.is_phishing() {
+            self.metrics.hit_index.inc();
+            return v;
+        }
+        self.resolve_miss(url)
+    }
+
+    fn check_many(&self, urls: &[String]) -> Vec<Verdict> {
+        // Tier 0 resolves the whole batch against one index snapshot;
+        // only the misses walk the lower tiers.
+        self.metrics.requests.add(urls.len() as u64);
+        let mut out = self.inner.check_many(urls);
+        for (url, v) in urls.iter().zip(out.iter_mut()) {
+            if v.is_phishing() {
+                self.metrics.hit_index.inc();
+            } else {
+                *v = self.resolve_miss(url);
+            }
+        }
+        out
+    }
+
+    fn add(&self, url: &str, score: f64) -> Result<u64, String> {
+        // Wire ADDs pass straight to the durable tier; drop any cached
+        // negative so the next check sees the new verdict.
+        let generation = self.inner.add(url, score)?;
+        self.negative.write().remove(url);
+        Ok(generation)
+    }
+
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extension::KnownSetChecker;
+
+    fn corpus() -> Vec<LabeledSite> {
+        build(&GroundTruthConfig {
+            n_phish: 120,
+            n_benign: 120,
+            seed: 07_08_2026,
+        })
+    }
+
+    fn models(cfg: &TieredResolverConfig) -> Arc<ResolverModels> {
+        Arc::new(ResolverModels::train(&corpus(), cfg))
+    }
+
+    fn resolver_with(
+        cutoff: Option<f64>,
+        fetcher: Arc<dyn SnapshotFetcher>,
+        clock: Arc<dyn ResolverClock>,
+        cfg: TieredResolverConfig,
+    ) -> Arc<TieredResolver> {
+        let mut m = ResolverModels::train(&corpus(), &cfg);
+        if let Some(c) = cutoff {
+            m = m.with_cutoff(c);
+        }
+        TieredResolver::with_models(
+            Arc::new(KnownSetChecker::new(Vec::new())),
+            fetcher,
+            clock,
+            Arc::new(m),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn tier0_hits_bypass_the_lower_tiers() {
+        let inner = Arc::new(KnownSetChecker::new(vec![(
+            "https://evil.weebly.com/".to_string(),
+            0.93,
+        )]));
+        let cfg = TieredResolverConfig::default();
+        let r = TieredResolver::with_models(
+            inner,
+            Arc::new(MapFetcher::new()),
+            Arc::new(ManualClock::new()),
+            models(&cfg),
+            cfg,
+        );
+        let v = r.check("https://evil.weebly.com/");
+        assert!(v.is_phishing());
+        let snap = r.metrics_snapshot();
+        assert_eq!(
+            snap.counter("resolver_tier_hits_total", &[("tier", "index")]),
+            1
+        );
+        assert_eq!(snap.counter("resolver_classify_enqueued_total", &[]), 0);
+        r.shutdown();
+    }
+
+    #[test]
+    fn prefilter_serves_confident_safe_without_classification() {
+        let cfg = TieredResolverConfig::default();
+        // Cutoff above every score: everything is confidently safe.
+        let r = resolver_with(
+            Some(f64::INFINITY),
+            Arc::new(MapFetcher::new()),
+            Arc::new(ManualClock::new()),
+            cfg,
+        );
+        let v = r.check("https://gardening-tips.wixsite.com/home");
+        assert!(!v.is_phishing());
+        assert!(r.drain(Duration::from_secs(5)));
+        let snap = r.metrics_snapshot();
+        assert_eq!(
+            snap.counter("resolver_tier_hits_total", &[("tier", "prefilter")]),
+            1
+        );
+        assert_eq!(snap.counter("resolver_classified_total", &[]), 0);
+        // The second check is served by the negative cache, attributed to
+        // the pre-filter that produced it.
+        r.check("https://gardening-tips.wixsite.com/home");
+        let snap = r.metrics_snapshot();
+        assert_eq!(
+            snap.counter(
+                "resolver_tier_hits_total",
+                &[("tier", "negative"), ("src", "prefilter")]
+            ),
+            1
+        );
+        r.shutdown();
+    }
+
+    #[test]
+    fn residue_is_classified_journaled_and_hits_tier0_after() {
+        let sites = corpus();
+        let phish = sites.iter().find(|s| s.label == 1).unwrap();
+        let fetcher = Arc::new(MapFetcher::new());
+        fetcher.insert(&phish.site.url, &phish.site.html);
+        let cfg = TieredResolverConfig::default();
+        // Cutoff 0: nothing is confidently safe, everything residues.
+        let r = resolver_with(
+            Some(0.0),
+            fetcher,
+            Arc::new(ManualClock::new()),
+            cfg.clone(),
+        );
+        let first = r.check(&phish.site.url);
+        // Provisional verdict carries the tier-1 score.
+        let _ = first;
+        assert!(r.drain(Duration::from_secs(10)));
+        let settled = r.check(&phish.site.url);
+        assert!(settled.is_phishing(), "phishing page must settle phishing");
+        // Bit-identical to the offline model.
+        let m = ResolverModels::train(&corpus(), &cfg);
+        let url = Url::parse(&phish.site.url).unwrap();
+        let offline = m.stack().score_snapshot(&url, &phish.site.html);
+        assert_eq!(settled.score().to_bits(), offline.to_bits());
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_classified_total", &[]), 1);
+        assert_eq!(snap.counter("resolver_journaled_total", &[]), 1);
+        // The settled check was a tier-0 hit, not a re-classification.
+        assert_eq!(
+            snap.counter("resolver_tier_hits_total", &[("tier", "index")]),
+            1
+        );
+        r.shutdown();
+    }
+
+    #[test]
+    fn fresh_negatives_never_reenter_the_queue_expired_ones_do() {
+        let sites = corpus();
+        let benign = sites.iter().find(|s| s.label == 0).unwrap();
+        let fetcher = Arc::new(MapFetcher::new());
+        fetcher.insert(&benign.site.url, &benign.site.html);
+        let clock = Arc::new(ManualClock::new());
+        let cfg = TieredResolverConfig {
+            negative_ttl: SimDuration(600),
+            ..TieredResolverConfig::default()
+        };
+        let r = resolver_with(Some(0.0), fetcher, clock.clone(), cfg);
+        r.check(&benign.site.url);
+        assert!(r.drain(Duration::from_secs(10)));
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_classified_total", &[]), 1);
+        assert_eq!(snap.counter("resolver_classified_safe_total", &[]), 1);
+
+        // Fresh: repeated checks are negative-cache hits, never enqueued.
+        for _ in 0..5 {
+            let v = r.check(&benign.site.url);
+            assert!(!v.is_phishing());
+        }
+        assert!(r.drain(Duration::from_secs(5)));
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_classified_total", &[]), 1);
+        assert_eq!(
+            snap.counter(
+                "resolver_tier_hits_total",
+                &[("tier", "negative"), ("src", "model")]
+            ),
+            5
+        );
+
+        // Expired: the next check re-enters the classify queue.
+        clock.advance(SimDuration(600));
+        r.check(&benign.site.url);
+        assert!(r.drain(Duration::from_secs(10)));
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_negative_expired_total", &[]), 1);
+        assert_eq!(snap.counter("resolver_classified_total", &[]), 2);
+        r.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let cfg = TieredResolverConfig {
+            queue_cap: 2,
+            ..TieredResolverConfig::default()
+        };
+        // No fetcher entries: classification will negative-cache as
+        // unfetchable, but that is irrelevant here — we only watch the
+        // admission. Use a cold resolver (no models): the worker cannot
+        // consume, so the queue genuinely fills.
+        let inner: Arc<dyn UrlChecker> = Arc::new(KnownSetChecker::new(Vec::new()));
+        let r = TieredResolver::build(
+            inner,
+            Arc::new(MapFetcher::new()),
+            Arc::new(ManualClock::new()),
+            cfg,
+        );
+        for i in 0..5 {
+            r.check(&format!("https://miss{i}.weebly.com/"));
+        }
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_classify_enqueued_total", &[]), 2);
+        assert_eq!(snap.counter("resolver_classify_shed_total", &[]), 3);
+        r.shutdown();
+    }
+
+    #[test]
+    fn duplicate_misses_deduplicate_while_pending() {
+        let cfg = TieredResolverConfig::default();
+        let inner: Arc<dyn UrlChecker> = Arc::new(KnownSetChecker::new(Vec::new()));
+        // Cold resolver: the queue holds whatever is admitted.
+        let r = TieredResolver::build(
+            inner,
+            Arc::new(MapFetcher::new()),
+            Arc::new(ManualClock::new()),
+            cfg,
+        );
+        for _ in 0..4 {
+            r.check("https://same.weebly.com/");
+        }
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_classify_enqueued_total", &[]), 1);
+        assert_eq!(snap.counter("resolver_classify_pending_hits_total", &[]), 3);
+        r.shutdown();
+    }
+
+    #[test]
+    fn garbage_urls_are_rejected_and_cached() {
+        let cfg = TieredResolverConfig::default();
+        let r = resolver_with(
+            None,
+            Arc::new(MapFetcher::new()),
+            Arc::new(ManualClock::new()),
+            cfg,
+        );
+        let v = r.check("not a url at all");
+        assert!(!v.is_phishing());
+        let v = r.check("not a url at all");
+        assert!(!v.is_phishing());
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_rejected_urls_total", &[]), 1);
+        assert_eq!(
+            snap.counter(
+                "resolver_tier_hits_total",
+                &[("tier", "negative"), ("src", "rejected")]
+            ),
+            1
+        );
+        assert_eq!(snap.counter("resolver_classify_enqueued_total", &[]), 0);
+        r.shutdown();
+    }
+
+    #[test]
+    fn unfetchable_pages_are_negative_cached_not_scored() {
+        let cfg = TieredResolverConfig::default();
+        let fetcher = Arc::new(MapFetcher::new());
+        fetcher.insert("https://blob.weebly.com/", "{\"json\": true}");
+        let r = resolver_with(Some(0.0), fetcher, Arc::new(ManualClock::new()), cfg);
+        r.check("https://nosuchpage.weebly.com/");
+        r.check("https://blob.weebly.com/");
+        assert!(r.drain(Duration::from_secs(10)));
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.counter("resolver_fetch_failed_total", &[]), 2);
+        assert_eq!(snap.counter("resolver_classified_total", &[]), 0);
+        r.shutdown();
+    }
+
+    #[test]
+    fn wire_add_invalidates_the_negative_cache() {
+        let cfg = TieredResolverConfig::default();
+        let r = resolver_with(
+            Some(f64::INFINITY),
+            Arc::new(MapFetcher::new()),
+            Arc::new(ManualClock::new()),
+            cfg,
+        );
+        let url = "https://reported.wixsite.com/login";
+        assert!(!r.check(url).is_phishing());
+        // An analyst reports it over the wire.
+        r.add(url, 0.97).unwrap();
+        assert!(r.check(url).is_phishing());
+        r.shutdown();
+    }
+
+    #[test]
+    fn bootstrap_becomes_warm_and_flushes_cold_misses() {
+        let sites = corpus();
+        let phish = sites.iter().find(|s| s.label == 1).unwrap();
+        let fetcher = Arc::new(MapFetcher::new());
+        fetcher.insert(&phish.site.url, &phish.site.html);
+        let cfg = TieredResolverConfig {
+            corpus: GroundTruthConfig {
+                n_phish: 60,
+                n_benign: 60,
+                seed: 0xB007,
+            },
+            ..TieredResolverConfig::default()
+        };
+        let inner: Arc<dyn UrlChecker> = Arc::new(KnownSetChecker::new(Vec::new()));
+        let r = TieredResolver::bootstrap(inner, fetcher, cfg);
+        // A miss arriving before warm-up is queued, not dropped.
+        r.check(&phish.site.url);
+        assert!(
+            r.wait_warm(Duration::from_secs(120)),
+            "trainer never warmed"
+        );
+        assert!(r.drain(Duration::from_secs(30)));
+        let snap = r.metrics_snapshot();
+        // The cold miss was classified once the models landed (unless the
+        // trainer won the race, in which case it went through tier 1/2
+        // normally — either way it was not lost).
+        assert!(
+            snap.counter("resolver_classified_total", &[])
+                + snap.counter("resolver_tier_hits_total", &[("tier", "prefilter")])
+                >= 1
+        );
+        r.shutdown();
+    }
+}

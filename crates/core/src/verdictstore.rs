@@ -316,6 +316,85 @@ impl UrlChecker for StoreChecker {
     }
 }
 
+/// What a `--store DIR` resolves to for a chosen serving engine: the
+/// checker plus the periodic work a serve loop must do to hot-reload it.
+/// The daemon (and any embedder) drives it with one `open` → repeated
+/// [`StoreBacking::poll`] → final [`StoreBacking::sync`] — the engine
+/// split stays an implementation detail in this module.
+pub enum StoreBacking {
+    /// Map-backed checker for the threaded engine; poll = journal reload.
+    Threaded(Arc<StoreChecker>),
+    /// Index-backed checker for the evented engine; poll = publisher poll.
+    Evented(Arc<EventedStoreChecker>, IndexPublisher),
+}
+
+impl StoreBacking {
+    /// Open `dir` for the selected engine, perform one full catch-up read
+    /// (so the checker starts current), and durably journal any
+    /// `seed_entries` (a `--blocklist` file) through the sidecar.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        evented: bool,
+        seed_entries: Vec<(String, f64)>,
+    ) -> io::Result<StoreBacking> {
+        if evented {
+            let c = Arc::new(EventedStoreChecker::open(dir)?);
+            let mut publisher = c.publisher();
+            publisher.poll()?;
+            for (url, score) in seed_entries {
+                c.add_durable(&url, score)?;
+            }
+            Ok(StoreBacking::Evented(c, publisher))
+        } else {
+            let c = Arc::new(StoreChecker::open(dir)?);
+            c.reload()?;
+            for (url, score) in seed_entries {
+                c.add_durable(&url, score)?;
+            }
+            Ok(StoreBacking::Threaded(c))
+        }
+    }
+
+    /// The checker to mount on the serving engine.
+    pub fn checker(&self) -> Arc<dyn UrlChecker> {
+        match self {
+            StoreBacking::Threaded(c) => c.clone(),
+            StoreBacking::Evented(c, _) => c.clone(),
+        }
+    }
+
+    /// Known phishing URLs currently loaded.
+    pub fn len(&self) -> usize {
+        match self {
+            StoreBacking::Threaded(c) => c.len(),
+            StoreBacking::Evented(c, _) => c.len(),
+        }
+    }
+
+    /// True when no verdicts are loaded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ingest whatever the pipeline has appended since the last poll.
+    /// The caller's readiness flag should track the result: `Ok` means
+    /// the journal tail is caught up.
+    pub fn poll(&mut self) -> io::Result<()> {
+        match self {
+            StoreBacking::Threaded(c) => c.reload().map(|_| ()),
+            StoreBacking::Evented(_, publisher) => publisher.poll().map(|_| ()),
+        }
+    }
+
+    /// Flush the sidecar ADD journal.
+    pub fn sync(&self) -> io::Result<()> {
+        match self {
+            StoreBacking::Threaded(c) => c.sync(),
+            StoreBacking::Evented(c, _) => c.sync(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,23 @@ pub fn parse(html: &str) -> Document {
     dom::Document::parse(html)
 }
 
+/// Cheap sniff: does this body plausibly hold markup worth feature
+/// extraction? The classify-on-miss fetch path uses this to negative-cache
+/// non-HTML responses (JSON blobs, plain text, empty bodies) instead of
+/// running the tokenizer and model over them.
+///
+/// Deliberately permissive — [`parse`] is infallible, so a false positive
+/// only costs one wasted classification. A leading UTF-8 BOM and
+/// whitespace are skipped; the body must then open a tag (`<`) and close
+/// one (`>`) somewhere after it.
+pub fn looks_like_html(body: &str) -> bool {
+    let rest = body.trim_start_matches('\u{feff}').trim_start();
+    match rest.strip_prefix('<') {
+        Some(tail) => tail.contains('>'),
+        None => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +73,17 @@ mod tests {
         assert_eq!(doc.elements_by_tag("p").len(), 1);
         assert!(doc.visible_text().contains("hello"));
         assert!(doc.visible_text().contains("world"));
+    }
+
+    #[test]
+    fn looks_like_html_accepts_markup_and_rejects_blobs() {
+        assert!(looks_like_html("<!doctype html><html></html>"));
+        assert!(looks_like_html("  \n\t<div>x</div>"));
+        assert!(looks_like_html("\u{feff}<html>"));
+        assert!(!looks_like_html(""));
+        assert!(!looks_like_html("   "));
+        assert!(!looks_like_html("{\"error\": \"not found\"}"));
+        assert!(!looks_like_html("plain text page"));
+        assert!(!looks_like_html("<unterminated"));
     }
 }

@@ -46,5 +46,5 @@ pub use forest::{ForestConfig, RandomForest};
 pub use gbdt::{Gbdt, GbdtConfig};
 pub use knn::Knn;
 pub use logistic::LogisticRegression;
-pub use metrics::{BinaryMetrics, ConfusionMatrix};
+pub use metrics::{threshold_at_fnr, BinaryMetrics, ConfusionMatrix};
 pub use stacking::{StackModel, StackModelConfig};

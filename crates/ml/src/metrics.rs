@@ -139,6 +139,37 @@ pub fn auc(labels: &[u8], scores: &[f64]) -> f64 {
     (pos_rank_sum - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
 }
 
+/// Calibrate a confident-negative cutoff: the largest threshold `t` such
+/// that declaring every score `< t` negative misses at most a `max_fnr`
+/// fraction of the positives in this sample.
+///
+/// This is how a cheap pre-filter tier is tuned: scores below the returned
+/// cutoff are served as "safe" without escalation, and the cutoff is pushed
+/// as high as the tolerated false-negative budget allows so the filter
+/// absorbs the maximum share of traffic. Returns 0.0 when the sample holds
+/// no positives (nothing to protect — every score may pass).
+pub fn threshold_at_fnr(labels: &[u8], scores: &[f64], max_fnr: f64) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    let mut pos: Vec<f64> = labels
+        .iter()
+        .zip(scores)
+        .filter(|(&l, _)| l == 1)
+        .map(|(_, &s)| s)
+        .collect();
+    if pos.is_empty() {
+        return 0.0;
+    }
+    pos.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // With cutoff t = pos[k], the positives lost are those strictly below
+    // t: at most k of them. The largest admissible k keeps k/n ≤ max_fnr.
+    let allowed = (max_fnr.clamp(0.0, 1.0) * pos.len() as f64).floor() as usize;
+    if allowed >= pos.len() {
+        // Every positive may be sacrificed: any cutoff passes.
+        return f64::INFINITY;
+    }
+    pos[allowed]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +243,34 @@ mod tests {
         let s1 = [0.9, 0.3, 0.8, 0.4, 0.7];
         let s2: Vec<f64> = s1.iter().map(|x| x * 100.0 - 3.0).collect();
         assert!((auc(&labels, &s1) - auc(&labels, &s2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_at_fnr_respects_the_budget() {
+        let labels = [1, 1, 1, 1, 0, 0, 0, 0];
+        let scores = [0.9, 0.8, 0.7, 0.05, 0.4, 0.3, 0.2, 0.1];
+        // Zero budget: the cutoff must sit at the lowest positive score,
+        // so no positive scores strictly below it.
+        let t0 = threshold_at_fnr(&labels, &scores, 0.0);
+        assert_eq!(t0, 0.05);
+        let m = ConfusionMatrix::from_scores(&labels, &scores, t0);
+        assert_eq!(m.fn_, 0);
+        // A 25% budget may sacrifice exactly the one outlier positive,
+        // lifting the cutoff to the next positive and absorbing every
+        // negative below it.
+        let t1 = threshold_at_fnr(&labels, &scores, 0.25);
+        assert_eq!(t1, 0.7);
+        let m = ConfusionMatrix::from_scores(&labels, &scores, t1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 4);
+    }
+
+    #[test]
+    fn threshold_at_fnr_degenerate_inputs() {
+        // No positives: everything may pass.
+        assert_eq!(threshold_at_fnr(&[0, 0], &[0.9, 0.1], 0.01), 0.0);
+        // Full budget: unbounded cutoff.
+        assert_eq!(threshold_at_fnr(&[1, 1], &[0.9, 0.1], 1.0), f64::INFINITY);
     }
 
     #[test]

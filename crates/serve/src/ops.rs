@@ -65,6 +65,15 @@ impl Readiness {
         }
     }
 
+    /// Append a named sub-condition and re-derive `ready` (all conditions
+    /// must hold). This is how wrappers compose engine readiness with
+    /// their own startup dependencies without re-stating the engine's.
+    pub fn with_condition(mut self, name: &'static str, ok: bool) -> Readiness {
+        self.conditions.push((name, ok));
+        self.ready = self.conditions.iter().all(|(_, ok)| *ok);
+        self
+    }
+
     fn to_json(&self) -> Value {
         let mut conds = serde_json::Map::new();
         for (name, ok) in &self.conditions {
@@ -96,6 +105,40 @@ impl OpsConfig {
             ready: Arc::new(Readiness::ready),
             varz_extra: None,
             traces: None,
+        }
+    }
+
+    /// Derive a config whose `/readyz` additionally requires
+    /// `condition()`: the engine's own conditions are preserved and the
+    /// named one appended, so `/readyz` stays 503 until every layer —
+    /// engine and wrapper alike — is up.
+    pub fn with_ready_condition(
+        self,
+        name: &'static str,
+        condition: Arc<dyn Fn() -> bool + Send + Sync>,
+    ) -> OpsConfig {
+        let inner = self.ready.clone();
+        OpsConfig {
+            ready: Arc::new(move || inner().with_condition(name, condition())),
+            ..self
+        }
+    }
+
+    /// Derive a config whose snapshot additionally merges `extra()` —
+    /// how an engine surfaces a sidecar component's registry (e.g. a
+    /// resolver pipeline's `resolver_*` series) through the same scrape.
+    pub fn with_snapshot_merge(
+        self,
+        extra: Arc<dyn Fn() -> MetricsSnapshot + Send + Sync>,
+    ) -> OpsConfig {
+        let inner = self.snapshot.clone();
+        OpsConfig {
+            snapshot: Arc::new(move || {
+                let mut snap = inner();
+                snap.merge(&extra());
+                snap
+            }),
+            ..self
         }
     }
 }
@@ -445,6 +488,40 @@ mod tests {
         assert_eq!(status, 200);
         let v: Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["ready"], true);
+    }
+
+    #[test]
+    fn composed_condition_gates_readyz_and_merged_snapshot_serves_extras() {
+        let warm = Arc::new(AtomicBool::new(false));
+        let hook = warm.clone();
+        let extra_reg = Registry::new();
+        extra_reg.counter("resolver_requests_total", &[]).add(3);
+        let extra_snap = extra_reg.snapshot();
+        let cfg = OpsConfig {
+            snapshot: Arc::new(MetricsSnapshot::empty),
+            ready: Arc::new(|| Readiness::from_conditions(vec![("index_published", true)])),
+            varz_extra: None,
+            traces: None,
+        }
+        .with_ready_condition(
+            "classifier_warm",
+            Arc::new(move || hook.load(Ordering::SeqCst)),
+        )
+        .with_snapshot_merge(Arc::new(move || extra_snap.clone()));
+        let ops = OpsServer::start(0, cfg).unwrap();
+        // Engine ready, wrapper condition not: composed /readyz is 503
+        // and names both conditions.
+        let (status, body) = http_get(ops.addr(), "/readyz").unwrap();
+        assert_eq!(status, 503);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["conditions"]["index_published"], true);
+        assert_eq!(v["conditions"]["classifier_warm"], false);
+        warm.store(true, Ordering::SeqCst);
+        let (status, _) = http_get(ops.addr(), "/readyz").unwrap();
+        assert_eq!(status, 200);
+        // The merged sidecar series comes out of the same scrape.
+        let (_, body) = http_get(ops.addr(), "/metrics").unwrap();
+        assert!(body.contains("resolver_requests_total 3"), "{body}");
     }
 
     #[test]

@@ -134,6 +134,70 @@ fn readiness_flips_once_under_concurrent_load() {
     assert!(engine.drain(Duration::from_secs(5)));
 }
 
+#[test]
+fn readiness_with_composed_condition_still_flips_exactly_once() {
+    // The daemon's classify-on-miss shape: engine readiness (index
+    // published) composed with a wrapper condition (classifier warm).
+    // The two become true at different times; /readyz must go 503→200
+    // exactly once, only after BOTH hold.
+    let index = Arc::new(ShardedIndex::with_default_shards());
+    let warm = Arc::new(AtomicBool::new(false));
+    let mut engine = EventedServer::start(index.clone()).expect("start engine");
+    let hook = warm.clone();
+    let cfg = engine.ops_config().with_ready_condition(
+        "classifier_warm",
+        Arc::new(move || hook.load(Ordering::SeqCst)),
+    );
+    let mut ops = OpsServer::start(0, cfg).expect("start ops");
+    let ops_addr = ops.addr();
+
+    let mut observed = Vec::new();
+    let mut published = false;
+    let mut warmed = false;
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs(10);
+    loop {
+        let (code, body) = http_get(ops_addr, "/readyz").expect("GET /readyz");
+        observed.push(code == 200);
+        if published && !warmed {
+            // Engine is ready but the classifier is not: the composed
+            // condition must hold /readyz at 503 and say why.
+            assert_eq!(code, 503, "classifier_warm=false must gate readiness");
+            assert!(
+                body.contains("\"classifier_warm\": false")
+                    || body.contains("\"classifier_warm\":false")
+            );
+        }
+        if !published && t0.elapsed() > Duration::from_millis(50) {
+            index.publish(vec![("https://evil.weebly.com/login".to_string(), 0.97)]);
+            published = true;
+        }
+        if published && !warmed && t0.elapsed() > Duration::from_millis(150) {
+            warm.store(true, Ordering::SeqCst);
+            warmed = true;
+        }
+        if *observed.last().unwrap() && observed.len() >= 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "never became ready: {observed:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let flips = observed.windows(2).filter(|w| w[0] != w[1]).count();
+    assert_eq!(
+        flips, 1,
+        "composed readiness must flip exactly once: {observed:?}"
+    );
+    assert!(!observed[0], "must start not-ready");
+    assert!(*observed.last().unwrap(), "must end ready");
+
+    ops.shutdown();
+    engine.shutdown();
+    assert!(engine.drain(Duration::from_secs(5)));
+}
+
 /// Wraps the production index, stalling any lookup that involves the
 /// magic URL — a deterministic slow outlier for slow capture.
 struct SlowOnMagic {

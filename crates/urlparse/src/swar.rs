@@ -111,6 +111,22 @@ pub fn digit_ratio(s: &str) -> f64 {
     digit_count(s) as f64 / char_count(s) as f64
 }
 
+/// Exact per-byte mask of ASCII space and control bytes (byte < 0x21,
+/// high bit clear).
+#[inline]
+fn space_control_mask(x: u64) -> u64 {
+    HI & !((x & !HI).wrapping_add((0x80 - 0x21) * LO)) & !x
+}
+
+/// True when `s` contains an ASCII control byte or space — bytes no URL
+/// arriving over the wire protocols can legally carry. Serving-path
+/// admission uses this as a one-pass rejection before paying for a full
+/// parse on garbage input.
+pub fn has_space_or_control(s: &str) -> bool {
+    let (mut ws, rem) = words(s.as_bytes());
+    ws.any(|w| space_control_mask(w) != 0) || rem.iter().any(|&b| b < 0x21)
+}
+
 /// Bag-of-bytes fingerprint: bit `b & 63` is set for every byte `b` of `s`.
 ///
 /// Byte values 64 apart collide onto the same bit, so a set bit only means
@@ -199,6 +215,22 @@ mod tests {
             for &b in s.as_bytes() {
                 assert!(bag & (1u64 << (b & 63)) != 0, "s={s:?} b={b:#x}");
             }
+        }
+    }
+
+    #[test]
+    fn has_space_or_control_matches_scalar() {
+        for s in SAMPLES {
+            let scalar = s.bytes().any(|b| b < 0x21);
+            assert_eq!(has_space_or_control(s), scalar, "s={s:?}");
+        }
+        // High-bit bytes are not control bytes.
+        assert!(!has_space_or_control("\u{80}\u{ff}\u{7f}"));
+        // A lone space or tab in any lane position trips the mask.
+        for i in 0..12 {
+            let mut s = "x".repeat(12);
+            s.replace_range(i..i + 1, " ");
+            assert!(has_space_or_control(&s), "space at {i}");
         }
     }
 

@@ -21,7 +21,10 @@
 #     merged in under the serve_throughput and serve_latency keys; during
 #     the CHECKN phase the ops plane is mounted and scraped mid-run,
 #     adding the serve_p999, serve_worker_utilization and
-#     ops_scrape_latency keys.
+#     ops_scrape_latency keys; a miss phase (--miss-rate) then drives the
+#     tiered resolver with never-seen URLs and records the
+#     serve_miss_classify_per_sec and serve_tier_hit_rates keys plus a
+#     kill-mid-load restart proof under serve_miss_classify.
 #
 # Knobs: FREEPHISH_BENCH_REPS (best-of reps, default 3),
 #        FREEPHISH_BENCH_OUT (output path, default BENCH_PIPELINE.json),
@@ -45,6 +48,7 @@ echo "== loadgen =="
 
 OUT="${FREEPHISH_BENCH_OUT:-BENCH_PIPELINE.json}"
 for key in serve_throughput serve_latency serve_p999 serve_worker_utilization ops_scrape_latency \
+           serve_miss_classify_per_sec serve_tier_hit_rates \
            urls_classified_per_sec html_tokenize_mb_per_sec forest_predict_rows_per_sec url_features_per_sec; do
   if ! grep -q "\"$key\"" "$OUT"; then
     echo "bench.sh: ERROR: \"$key\" missing from $OUT" >&2

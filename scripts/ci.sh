@@ -47,6 +47,16 @@ FREEPHISH_THREADS=1 cargo test -q -p freephish-htmlparse --test proptests
 FREEPHISH_THREADS=1 cargo test -q -p freephish-ml --test proptests
 FREEPHISH_THREADS=1 cargo test -q -p freephish-core --lib -- bit_identical
 
+# Tiered-resolver equivalence: verdicts settled through the classify-on-miss
+# pipeline (and served over either engine's wire protocol) must be
+# bit-identical to the offline model, serially and at the host-default
+# worker count.
+echo "== tiered equivalence (host-default threads) =="
+cargo test -q -p freephish-core --test tiered_equivalence
+
+echo "== tiered equivalence (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 cargo test -q -p freephish-core --test tiered_equivalence
+
 echo "== ops plane smoke (ops_smoke) =="
 cargo build --release -p freephish-bench --bin ops_smoke
 ./target/release/ops_smoke
