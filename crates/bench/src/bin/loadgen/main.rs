@@ -24,6 +24,8 @@
 //! (default `BENCH_PIPELINE.json`) so `bench.sh` composes this with
 //! perfbench.
 
+mod cluster;
+
 use bytes::BytesMut;
 use freephish_core::extension::{KnownSetChecker, VerdictServer};
 use freephish_core::groundtruth::{build, GroundTruthConfig};
@@ -457,10 +459,14 @@ fn main() {
     // --miss-rate F: fraction of never-seen URLs mixed into the
     // classify-on-miss phase's workload.
     let mut miss_rate = 0.75f64;
+    // --cluster: skip the single-node phases and run the multi-process
+    // cluster phase (scaling sweep + failover proof) instead.
+    let mut cluster_only = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--cluster" => cluster_only = true,
             "--miss-rate" => {
                 i += 1;
                 miss_rate = argv
@@ -473,11 +479,32 @@ fn main() {
                     });
             }
             other => {
-                eprintln!("unknown flag {other}; usage: loadgen [--miss-rate F]");
+                eprintln!("unknown flag {other}; usage: loadgen [--miss-rate F] [--cluster]");
                 std::process::exit(64);
             }
         }
         i += 1;
+    }
+
+    if cluster_only {
+        println!("loadgen: cluster phase ({secs}s per sweep point, CHECKN batch {batch})");
+        let keys = cluster::cluster_phase(secs, batch);
+        let mut record: serde_json::Value = std::fs::read_to_string(&out)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_else(|| serde_json::json!({"schema_version": 1}));
+        let obj = record
+            .as_object_mut()
+            .expect("bench record must be a JSON object");
+        let mut merged: Vec<String> = Vec::new();
+        for (k, v) in keys.as_object().expect("cluster keys").iter() {
+            obj.insert(k.clone(), v.clone());
+            merged.push(k.clone());
+        }
+        std::fs::write(&out, serde_json::to_string_pretty(&record).unwrap())
+            .unwrap_or_else(|e| panic!("could not write {out}: {e}"));
+        println!("merged {} into {out}", merged.join(", "));
+        return;
     }
 
     let (known, pool) = url_pool(4096);

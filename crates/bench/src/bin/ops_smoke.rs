@@ -40,7 +40,7 @@ fn main() {
         .map(|i| format!("https://site{i}.wixsite.com/home"))
         .chain(["https://evil.weebly.com/login".to_string()])
         .collect();
-    let verdicts = client.check_batch(&urls).expect("CHECKN batch");
+    let verdicts = client.check_batch_strict(&urls).expect("CHECKN batch");
     assert!(verdicts.last().unwrap().is_phishing());
 
     assert_eq!(get_ok(addr, "/healthz").trim(), "ok");

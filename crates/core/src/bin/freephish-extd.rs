@@ -8,7 +8,8 @@
 //! ```text
 //! freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]
 //!                      [--engine threaded|evented] [--ops-port N]
-//!                      [--classify-on-miss]
+//!                      [--classify-on-miss] [--rate-cap N]
+//!                      [--replication-port N] [--replicate-from ADDR]
 //!     Serve verdicts on 127.0.0.1:N (default: an ephemeral port).
 //!     FILE holds one `<url> [score]` per line ('#' comments allowed);
 //!     malformed lines are skipped with a warning. With --store DIR the
@@ -33,14 +34,45 @@
 //!     --classify-on-miss). Ctrl-C / SIGTERM drains connections, flushes
 //!     the store, and exits 0.
 //!
+//!     Cluster flags: --rate-cap N sheds check traffic past N URLs/sec
+//!     with BUSY (a per-replica QoS quota; evented engine only).
+//!     --replication-port N makes this daemon the cluster primary
+//!     (DESIGN.md §14): it owns --store DIR as its WAL — wire ADDs (and
+//!     inline classify-on-miss verdicts) are journaled straight into it,
+//!     durable before OK — and ships that WAL to follower replicas on
+//!     127.0.0.1:N, so followers receive every verdict the primary
+//!     admits. Do not point it at a directory another process is
+//!     writing. --replicate-from ADDR turns this daemon into a
+//!     read-only follower: it mirrors the primary's WAL into --store
+//!     DIR (which the replication session owns — no local writers),
+//!     feeds the serving index from the replica, refuses ADDs, and
+//!     reports ready only once caught up to the primary's tip.
+//!
+//! freephish-extd route [--port N] --backends ADDR,ADDR,...
+//!                      [--backend-ops ADDR|-,...] [--ops-port N]
+//!     Consistent-hash router front-end over evented backends: speaks
+//!     the same line + BINARY verdict wire, scatters CHECKN batches by
+//!     ring owner, gathers in order, fails over along the ring when a
+//!     backend is down or shedding. --backend-ops lists each backend's
+//!     ops address ("-" for none) for /readyz health probes; without
+//!     one a bare TCP connect is probed. Read-only: ADDs are refused.
+//!
 //! freephish-extd check <addr> <url> [url...]
-//!     Query a running daemon; exit code 2 if any URL is phishing.
+//!     Query a running daemon; exit code 2 if any URL is phishing,
+//!     3 if any URL's shard failed (other URLs still print verdicts).
 //! ```
 
+use freephish_cluster::{
+    Replica, ReplicaConfig, ReplicationSource, Router, RouterConfig, RouterServer, SourceConfig,
+};
 use freephish_core::extension::{KnownSetChecker, UrlChecker, VerdictClient, VerdictServer};
+use freephish_core::journal::{encode_event, obs_store_observer, AddEvent, RunEvent};
 use freephish_core::resolver::{SyntheticFetcher, TieredResolver, TieredResolverConfig};
-use freephish_core::verdictstore::StoreBacking;
-use freephish_serve::{EventedServer, OpsConfig, OpsServer, ShardedIndex};
+use freephish_core::verdictstore::{journal_payload_decoder, StoreBacking};
+use freephish_serve::{
+    EventedServer, IndexPublisher, OpsConfig, OpsServer, ServeConfig, ShardedIndex, Verdict,
+};
+use freephish_store::{Store, StoreOptions};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -137,7 +169,12 @@ fn load_blocklist(path: &str) -> std::io::Result<Vec<(String, f64)>> {
 fn usage() -> ! {
     eprintln!(
         "usage: freephish-extd serve [--port N] [--blocklist FILE] [--store DIR] \
-         [--engine threaded|evented] [--ops-port N] [--classify-on-miss]"
+         [--engine threaded|evented] [--ops-port N] [--classify-on-miss] [--rate-cap N] \
+         [--replication-port N] [--replicate-from ADDR]"
+    );
+    eprintln!(
+        "       freephish-extd route [--port N] --backends ADDR,ADDR,... \
+         [--backend-ops ADDR|-,...] [--ops-port N]"
     );
     eprintln!("       freephish-extd check <addr> <url> [url...]");
     std::process::exit(64);
@@ -203,9 +240,27 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     let mut store_dir: Option<String> = None;
     let mut evented = true;
     let mut classify_on_miss = false;
+    let mut rate_cap: u64 = 0;
+    let mut replication_port: Option<u16> = None;
+    let mut replicate_from: Option<SocketAddr> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--rate-cap" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                rate_cap = raw.parse().unwrap_or_else(|_| usage());
+            }
+            "--replication-port" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                replication_port = Some(raw.parse().unwrap_or_else(|_| usage()));
+            }
+            "--replicate-from" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                replicate_from = Some(raw.parse().unwrap_or_else(|_| usage()));
+            }
             "--ops-port" => {
                 i += 1;
                 let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
@@ -240,23 +295,78 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         i += 1;
     }
 
+    if rate_cap > 0 && !evented {
+        eprintln!("--rate-cap requires the evented engine");
+        usage();
+    }
+    if let Some(primary) = replicate_from {
+        // Follower mode is a different wiring altogether: the store dir
+        // belongs to the replication session, not to a local journal
+        // writer, so none of the primary-side options make sense.
+        if !evented || classify_on_miss || !entries.is_empty() || replication_port.is_some() {
+            eprintln!(
+                "--replicate-from is incompatible with --engine threaded, \
+                 --classify-on-miss, --blocklist and --replication-port"
+            );
+            usage();
+        }
+        let Some(dir) = store_dir else {
+            eprintln!("--replicate-from needs --store DIR for the replica directory");
+            usage();
+        };
+        return serve_follower(primary, &dir, port, ops_port, rate_cap);
+    }
+
     // A store-backed checker hot-reloads from the run journal; the static
-    // checker serves the blocklist as loaded.
+    // checker serves the blocklist as loaded. A cluster primary
+    // (--replication-port) instead owns the store directory as its WAL:
+    // ADDs journal straight into the shipped history.
     let static_len = entries.len();
     let mut backing: Option<StoreBacking> = None;
-    let lookup: Arc<dyn UrlChecker> = match &store_dir {
-        Some(dir) => {
-            let b = StoreBacking::open(dir, evented, std::mem::take(&mut entries))?;
-            let c = b.checker();
-            backing = Some(b);
-            c
+    let mut primary_publisher: Option<IndexPublisher> = None;
+    let mut primary_store: Option<Arc<parking_lot::Mutex<Store>>> = None;
+    let lookup: Arc<dyn UrlChecker> = if replication_port.is_some() {
+        if !evented {
+            eprintln!("--replication-port requires the evented engine");
+            usage();
         }
-        None if evented => {
-            let index = ShardedIndex::with_default_shards();
-            index.publish(entries);
-            Arc::new(index)
+        let Some(dir) = &store_dir else {
+            eprintln!("--replication-port needs --store DIR (the WAL to own and ship)");
+            usage();
+        };
+        let (store, _) =
+            Store::open_with(dir, StoreOptions::default(), Some(obs_store_observer()))?;
+        let store = Arc::new(parking_lot::Mutex::new(store));
+        let index = Arc::new(ShardedIndex::with_default_shards());
+        let mut publisher = IndexPublisher::new(dir, index.clone(), journal_payload_decoder());
+        publisher.poll()?;
+        let primary = Arc::new(PrimaryChecker {
+            index,
+            store: store.clone(),
+        });
+        for (url, score) in std::mem::take(&mut entries) {
+            primary
+                .add(&url, score)
+                .map_err(|e| std::io::Error::other(format!("journaling blocklist entry: {e}")))?;
         }
-        None => Arc::new(KnownSetChecker::new(entries)),
+        primary_publisher = Some(publisher);
+        primary_store = Some(store);
+        primary
+    } else {
+        match &store_dir {
+            Some(dir) => {
+                let b = StoreBacking::open(dir, evented, std::mem::take(&mut entries))?;
+                let c = b.checker();
+                backing = Some(b);
+                c
+            }
+            None if evented => {
+                let index = ShardedIndex::with_default_shards();
+                index.publish(entries);
+                Arc::new(index)
+            }
+            None => Arc::new(KnownSetChecker::new(entries)),
+        }
     };
 
     // --classify-on-miss mounts the tiered resolver in front of the
@@ -276,9 +386,38 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         None => lookup.clone(),
     };
 
+    // --replication-port serves the store directory's WAL to follower
+    // replicas. This daemon is the directory's only writer (the
+    // PrimaryChecker above), so the journal keeps its single writer.
+    let mut replication = match replication_port {
+        Some(p) => {
+            let Some(dir) = &store_dir else {
+                eprintln!("--replication-port needs --store DIR (the WAL to ship)");
+                usage();
+            };
+            let source = ReplicationSource::start_with(
+                dir,
+                SourceConfig {
+                    port: p,
+                    ..SourceConfig::default()
+                },
+            )?;
+            println!("replication source on {} (shipping {dir})", source.addr());
+            Some(source)
+        }
+        None => None,
+    };
+
     shutdown::install();
     let mut server = if evented {
-        Engine::Evented(EventedServer::start_on(port, checker.clone())?)
+        Engine::Evented(EventedServer::start_with(
+            ServeConfig {
+                port,
+                rate_cap_urls_per_sec: rate_cap,
+                ..ServeConfig::default()
+            },
+            checker.clone(),
+        )?)
     } else {
         Engine::Threaded(VerdictServer::start_on(port, checker.clone())?)
     };
@@ -303,7 +442,7 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     let mut ops_server = match ops_port {
         Some(p) => {
             let mut cfg = server.ops_config();
-            if backing.is_some() {
+            if backing.is_some() || primary_publisher.is_some() {
                 let flag = caught_up.clone();
                 cfg = cfg.with_ready_condition(
                     "store_journal_caught_up",
@@ -315,6 +454,9 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                 cfg = cfg.with_ready_condition("classifier_warm", Arc::new(move || warm.is_warm()));
                 let snap = r.clone();
                 cfg = cfg.with_snapshot_merge(Arc::new(move || snap.metrics_snapshot()));
+            }
+            if let Some(src) = &replication {
+                cfg = cfg.with_snapshot_merge(src.snapshot_fn());
             }
             let ops = OpsServer::start(p, cfg)?;
             println!(
@@ -332,6 +474,11 @@ fn serve(args: &[String]) -> std::io::Result<()> {
             b.len(),
             checker.generation()
         ),
+        None if primary_store.is_some() => println!(
+            "primary WAL {} (generation {})",
+            store_dir.as_deref().unwrap_or_default(),
+            checker.generation()
+        ),
         None => println!("known phishing URLs: {static_len}"),
     }
     println!("press Ctrl-C to stop");
@@ -347,11 +494,23 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                 }
             }
         }
+        if let Some(p) = &mut primary_publisher {
+            match p.poll() {
+                Ok(_) => caught_up.store(true, Ordering::SeqCst),
+                Err(e) => {
+                    caught_up.store(false, Ordering::SeqCst);
+                    freephish_obs::warn("extd", format!("primary WAL reload failed: {e}"));
+                }
+            }
+        }
     }
 
     println!("shutting down: draining connections");
     if let Some(ops) = ops_server.as_mut() {
         ops.shutdown();
+    }
+    if let Some(src) = replication.as_mut() {
+        src.shutdown();
     }
     server.shutdown();
     if !server.drain(DRAIN_TIMEOUT) {
@@ -369,6 +528,252 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     if let Some(b) = &backing {
         b.sync()?;
     }
+    if let Some(store) = &primary_store {
+        store.lock().sync()?;
+    }
+    println!("bye");
+    Ok(())
+}
+
+/// A cluster primary's serving checker: this daemon owns the store
+/// directory as its WAL — the history the replication source ships — so
+/// an ADD appends a `RunEvent::Add` record to it, durable (fsync) before
+/// the OK goes back, then publishes into the index for immediate
+/// read-your-writes visibility. Followers receive the same record
+/// through replication.
+struct PrimaryChecker {
+    index: Arc<ShardedIndex>,
+    store: Arc<parking_lot::Mutex<Store>>,
+}
+
+impl UrlChecker for PrimaryChecker {
+    fn check(&self, url: &str) -> Verdict {
+        self.index.check(url)
+    }
+
+    fn check_many(&self, urls: &[String]) -> Vec<Verdict> {
+        self.index.check_many(urls)
+    }
+
+    fn add(&self, url: &str, score: f64) -> Result<u64, String> {
+        let ev = RunEvent::Add(AddEvent {
+            url: url.to_string(),
+            score,
+        });
+        let mut store = self.store.lock();
+        store
+            .append(&encode_event(&ev))
+            .map_err(|e| format!("store write failed: {e}"))?;
+        store
+            .sync()
+            .map_err(|e| format!("store sync failed: {e}"))?;
+        drop(store);
+        Ok(self.index.publish([(url.to_string(), score)]))
+    }
+
+    fn generation(&self) -> u64 {
+        self.index.generation()
+    }
+}
+
+/// A follower's serving checker: reads come from the locally replicated
+/// index, writes are refused — the primary's journal is the only place
+/// verdicts are born, and replication is how they arrive here.
+struct FollowerChecker {
+    index: Arc<ShardedIndex>,
+}
+
+impl UrlChecker for FollowerChecker {
+    fn check(&self, url: &str) -> Verdict {
+        self.index.check(url)
+    }
+
+    fn check_many(&self, urls: &[String]) -> Vec<Verdict> {
+        self.index.check_many(urls)
+    }
+
+    fn add(&self, _url: &str, _score: f64) -> Result<u64, String> {
+        Err("read-only follower replica; send ADDs to the primary".to_string())
+    }
+
+    fn generation(&self) -> u64 {
+        self.index.generation()
+    }
+}
+
+/// Follower mode: mirror the primary's WAL into `dir`, feed the serving
+/// index from the replica, and serve read-only verdicts.
+fn serve_follower(
+    primary: SocketAddr,
+    dir: &str,
+    port: u16,
+    ops_port: Option<u16>,
+    rate_cap: u64,
+) -> std::io::Result<()> {
+    let replica = Arc::new(Replica::start(primary, dir, ReplicaConfig::default())?);
+    let index = Arc::new(ShardedIndex::with_default_shards());
+    let mut publisher = IndexPublisher::new(dir, index.clone(), journal_payload_decoder());
+    let checker: Arc<dyn UrlChecker> = Arc::new(FollowerChecker {
+        index: index.clone(),
+    });
+
+    shutdown::install();
+    let mut server = EventedServer::start_with(
+        ServeConfig {
+            port,
+            rate_cap_urls_per_sec: rate_cap,
+            ..ServeConfig::default()
+        },
+        checker,
+    )?;
+    println!(
+        "freephish-extd follower listening on {} (replicating {primary} into {dir})",
+        server.addr()
+    );
+
+    // Readiness needs both layers: the replica at the primary's tip AND
+    // the local publisher having ingested the replicated journal.
+    let journal_ok = Arc::new(AtomicBool::new(false));
+    let mut ops_server = match ops_port {
+        Some(p) => {
+            let caught = replica.clone();
+            let ingested = journal_ok.clone();
+            let cfg = server
+                .ops_config()
+                .with_ready_condition(
+                    "replication_caught_up",
+                    Arc::new(move || caught.caught_up()),
+                )
+                .with_ready_condition(
+                    "replica_journal_ingested",
+                    Arc::new(move || ingested.load(Ordering::SeqCst)),
+                )
+                .with_snapshot_merge({
+                    let r = replica.clone();
+                    Arc::new(move || r.metrics_snapshot())
+                });
+            let ops = OpsServer::start(p, cfg)?;
+            println!("ops plane on http://{}", ops.addr());
+            Some(ops)
+        }
+        None => None,
+    };
+    println!("press Ctrl-C to stop");
+
+    while !shutdown::requested() {
+        std::thread::sleep(SERVE_POLL);
+        match publisher.poll() {
+            Ok(_) => journal_ok.store(true, Ordering::SeqCst),
+            Err(e) => {
+                journal_ok.store(false, Ordering::SeqCst);
+                freephish_obs::warn("extd", format!("replica journal poll failed: {e}"));
+            }
+        }
+    }
+
+    println!("shutting down: draining connections");
+    if let Some(ops) = ops_server.as_mut() {
+        ops.shutdown();
+    }
+    replica.shutdown();
+    server.shutdown();
+    if !server.drain(DRAIN_TIMEOUT) {
+        freephish_obs::warn("extd", "drain timed out with connections still active");
+    }
+    println!("bye");
+    Ok(())
+}
+
+/// Parse a comma-separated address list; each entry must be `host:port`,
+/// except that `allow_blank` lets `-` mean "no address for this slot".
+fn parse_addr_list(raw: &str, allow_blank: bool) -> Vec<Option<SocketAddr>> {
+    raw.split(',')
+        .map(|s| {
+            let s = s.trim();
+            if allow_blank && s == "-" {
+                return None;
+            }
+            Some(s.parse().unwrap_or_else(|_| usage()))
+        })
+        .collect()
+}
+
+fn route(args: &[String]) -> std::io::Result<()> {
+    let mut port: u16 = 0;
+    let mut ops_port: Option<u16> = None;
+    let mut backends: Vec<SocketAddr> = Vec::new();
+    let mut backend_ops: Vec<Option<SocketAddr>> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                port = raw.parse().unwrap_or_else(|_| usage());
+            }
+            "--ops-port" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                ops_port = Some(raw.parse().unwrap_or_else(|_| usage()));
+            }
+            "--backends" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                backends = parse_addr_list(raw, false)
+                    .into_iter()
+                    .map(|a| a.expect("blank not allowed"))
+                    .collect();
+            }
+            "--backend-ops" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                backend_ops = parse_addr_list(raw, true);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if backends.is_empty() {
+        eprintln!("route needs --backends with at least one address");
+        usage();
+    }
+    if !backend_ops.is_empty() && backend_ops.len() != backends.len() {
+        eprintln!("--backend-ops must list one address (or -) per backend");
+        usage();
+    }
+
+    let n = backends.len();
+    let router = Router::new(
+        backends,
+        RouterConfig {
+            ops_addrs: backend_ops,
+            ..RouterConfig::default()
+        },
+    );
+    shutdown::install();
+    let mut server = RouterServer::start(port, router)?;
+    println!(
+        "freephish-extd router listening on {} ({n} backends)",
+        server.addr()
+    );
+    let mut ops_server = match ops_port {
+        Some(p) => {
+            let ops = OpsServer::start(p, server.ops_config())?;
+            println!("ops plane on http://{}", ops.addr());
+            Some(ops)
+        }
+        None => None,
+    };
+    println!("press Ctrl-C to stop");
+
+    while !shutdown::requested() {
+        std::thread::sleep(SERVE_POLL);
+    }
+    println!("shutting down");
+    if let Some(ops) = ops_server.as_mut() {
+        ops.shutdown();
+    }
+    server.shutdown();
     println!("bye");
     Ok(())
 }
@@ -384,18 +789,29 @@ fn check(args: &[String]) -> std::io::Result<()> {
     let client = VerdictClient::new(addr);
     let urls: Vec<String> = urls.to_vec();
     // One connection, batched when the server speaks the binary protocol.
+    // Failures are per URL: a shed shard prints errors for its URLs while
+    // the rest of the batch still gets verdicts.
     let verdicts = client.check_batch(&urls)?;
     let mut any_phish = false;
+    let mut any_err = false;
     for (url, v) in urls.iter().zip(&verdicts) {
-        if v.is_phishing() {
-            println!("PHISHING  {url}");
-            any_phish = true;
-        } else {
-            println!("safe      {url}");
+        match v {
+            Ok(v) if v.is_phishing() => {
+                println!("PHISHING  {url}");
+                any_phish = true;
+            }
+            Ok(_) => println!("safe      {url}"),
+            Err(msg) => {
+                println!("error     {url}  ({msg})");
+                any_err = true;
+            }
         }
     }
     if any_phish {
         std::process::exit(2);
+    }
+    if any_err {
+        std::process::exit(3);
     }
     Ok(())
 }
@@ -404,6 +820,7 @@ fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
         Some((cmd, rest)) if cmd == "serve" => serve(rest),
+        Some((cmd, rest)) if cmd == "route" => route(rest),
         Some((cmd, rest)) if cmd == "check" => check(rest),
         _ => usage(),
     }

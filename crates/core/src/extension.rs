@@ -565,8 +565,15 @@ impl VerdictClient {
     /// through binary `CHECKN` frames (up to [`MAX_BATCH`] URLs each) when
     /// the server accepts the `BINARY` handshake, and as pipelined `CHECK`
     /// lines on the same connection when it refuses (the threaded engine).
-    pub fn check_batch(&self, urls: &[String]) -> std::io::Result<Vec<Verdict>> {
-        let mut out: Vec<Option<Verdict>> = vec![None; urls.len()];
+    ///
+    /// Failure is per URL, not per batch: when the server sheds one
+    /// `CHECKN` chunk with `BUSY` even after the jittered retry, only
+    /// that chunk's slots come back as `Err` — the other chunks' verdicts
+    /// are still delivered (and cached). The outer `io::Result` is
+    /// reserved for connection-level failures (connect, transport,
+    /// protocol desync), where no partial answer exists.
+    pub fn check_batch(&self, urls: &[String]) -> std::io::Result<Vec<Result<Verdict, String>>> {
+        let mut out: Vec<Option<Result<Verdict, String>>> = vec![None; urls.len()];
         let mut miss_idx = Vec::new();
         {
             let cache = self.cache.read();
@@ -574,7 +581,7 @@ impl VerdictClient {
                 match cache.get(url) {
                     Some(v) => {
                         self.cache_hits.inc();
-                        out[i] = Some(*v);
+                        out[i] = Some(Ok(*v));
                     }
                     None => {
                         self.cache_misses.inc();
@@ -587,9 +594,11 @@ impl VerdictClient {
             let misses: Vec<String> = miss_idx.iter().map(|&i| urls[i].clone()).collect();
             let verdicts = self.fetch_batch(&misses)?;
             let mut cache = self.cache.write();
-            for (&i, v) in miss_idx.iter().zip(&verdicts) {
-                cache.insert(urls[i].clone(), *v);
-                out[i] = Some(*v);
+            for (&i, v) in miss_idx.iter().zip(verdicts) {
+                if let Ok(v) = &v {
+                    cache.insert(urls[i].clone(), *v);
+                }
+                out[i] = Some(v);
             }
         }
         Ok(out
@@ -598,13 +607,27 @@ impl VerdictClient {
             .collect())
     }
 
+    /// [`VerdictClient::check_batch`], failing the whole call if any URL
+    /// failed — for callers that need all-or-nothing semantics.
+    pub fn check_batch_strict(&self, urls: &[String]) -> std::io::Result<Vec<Verdict>> {
+        self.check_batch(urls)?
+            .into_iter()
+            .map(|r| r.map_err(|msg| std::io::Error::new(std::io::ErrorKind::WouldBlock, msg)))
+            .collect()
+    }
+
     /// One connection, all of `urls`: binary when offered, lines otherwise.
-    fn fetch_batch(&self, urls: &[String]) -> std::io::Result<Vec<Verdict>> {
+    ///
+    /// Chunk-level failures (a `CHECKN` shard still shed after the retry,
+    /// or answered with an explicit error) blast only that chunk's slots
+    /// to `Err` and move on to the next chunk; the outer `io::Result`
+    /// fires only when the connection itself is unusable.
+    fn fetch_batch(&self, urls: &[String]) -> std::io::Result<Vec<Result<Verdict, String>>> {
         let mut stream = self.connect()?;
         let mut buf = BytesMut::new();
         stream.write_all(format!("{HANDSHAKE_LINE}\n").as_bytes())?;
         let handshake = read_line_buffered(&mut stream, &mut buf)?;
-        let mut verdicts = Vec::with_capacity(urls.len());
+        let mut verdicts: Vec<Result<Verdict, String>> = Vec::with_capacity(urls.len());
         if handshake == HANDSHAKE_OK {
             for batch in urls.chunks(MAX_BATCH) {
                 let mut frame = BytesMut::new();
@@ -627,14 +650,18 @@ impl VerdictClient {
                     other => other,
                 };
                 match reply {
-                    BinReply::VerdictN(vs) if vs.len() == batch.len() => verdicts.extend(vs),
-                    BinReply::Busy => {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::WouldBlock,
-                            "server busy",
-                        ))
+                    BinReply::VerdictN(vs) if vs.len() == batch.len() => {
+                        verdicts.extend(vs.into_iter().map(Ok))
                     }
-                    BinReply::Error(msg) => return Err(io_invalid(msg)),
+                    BinReply::Busy => {
+                        // This shard stayed shed through the retry; fail
+                        // its URLs alone and keep going — the connection
+                        // is still in sync for the next chunk.
+                        verdicts.extend(batch.iter().map(|_| Err("server busy".to_string())));
+                    }
+                    BinReply::Error(msg) => {
+                        verdicts.extend(batch.iter().map(|_| Err(msg.clone())));
+                    }
                     other => return Err(io_invalid(format!("unexpected reply: {other:?}"))),
                 }
             }
@@ -652,9 +679,9 @@ impl VerdictClient {
                 let line = read_line_buffered(&mut stream, &mut buf)?;
                 if line.trim() == "BUSY" {
                     busy_idx.push(i);
-                    verdicts.push(Verdict::Safe(0.0)); // placeholder, refilled below
+                    verdicts.push(Err("server busy".to_string())); // refilled below
                 } else {
-                    verdicts.push(decode_verdict(&line).map_err(io_invalid)?);
+                    verdicts.push(Ok(decode_verdict(&line).map_err(io_invalid)?));
                 }
             }
             if !busy_idx.is_empty() {
@@ -671,12 +698,10 @@ impl VerdictClient {
                 for &i in &busy_idx {
                     let line = read_line_buffered(&mut stream, &mut buf)?;
                     if line.trim() == "BUSY" {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::WouldBlock,
-                            "server busy",
-                        ));
+                        // Still shed: this URL keeps its Err slot.
+                        continue;
                     }
-                    verdicts[i] = decode_verdict(&line).map_err(io_invalid)?;
+                    verdicts[i] = Ok(decode_verdict(&line).map_err(io_invalid)?);
                 }
             }
         }
@@ -1046,8 +1071,8 @@ mod tests {
             "https://fine.weebly.com/".to_string(),
         ];
         let verdicts = client.check_batch(&urls).unwrap();
-        assert!(verdicts[0].is_phishing());
-        assert!(!verdicts[1].is_phishing());
+        assert!(verdicts[0].as_ref().unwrap().is_phishing());
+        assert!(!verdicts[1].as_ref().unwrap().is_phishing());
         // Verdicts were cached: a repeat is answered locally.
         let hits_before = client.cache_hits();
         let again = client.check_batch(&urls).unwrap();
@@ -1159,6 +1184,7 @@ mod tests {
         ];
         let verdicts = client.check_batch(&urls).unwrap();
         assert_eq!(verdicts.len(), 2);
+        assert!(verdicts.iter().all(|v| v.is_ok()));
         assert_eq!(client.retries(), 1);
         let snap = client.client_metrics();
         assert_eq!(
@@ -1181,7 +1207,7 @@ mod tests {
         ];
         let verdicts = client.check_batch(&urls).unwrap();
         assert_eq!(verdicts.len(), 2);
-        assert!(verdicts.iter().all(|v| !v.is_phishing()));
+        assert!(verdicts.iter().all(|v| !v.as_ref().unwrap().is_phishing()));
         assert_eq!(client.retries(), 1);
         let snap = client.client_metrics();
         assert_eq!(
@@ -1192,6 +1218,77 @@ mod tests {
             snap.counter("verdict_client_retries_total", &[("proto", "binary")]),
             0
         );
+    }
+
+    /// A binary-protocol mock that sheds the first `CHECKN` chunk through
+    /// both the initial send and the retry, then answers every later
+    /// chunk. Exercises the per-shard partial-failure path.
+    fn busy_first_chunk_server() -> SocketAddr {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = BytesMut::new();
+            let hs = read_line_buffered(&mut stream, &mut buf).unwrap();
+            assert_eq!(hs, HANDSHAKE_LINE);
+            stream
+                .write_all(format!("{HANDSHAKE_OK}\n").as_bytes())
+                .unwrap();
+            let mut sheds_left = 2; // initial send + the client's one retry
+            loop {
+                let req = loop {
+                    if let Some(req) = freephish_serve::decode_bin_request(&mut buf).unwrap() {
+                        break req;
+                    }
+                    let mut chunk = [0u8; 4096];
+                    let n = stream.read(&mut chunk).unwrap();
+                    if n == 0 {
+                        return;
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                };
+                let BinRequest::CheckN(urls) = req else {
+                    panic!("expected CHECKN")
+                };
+                let mut frame = BytesMut::new();
+                let reply = if sheds_left > 0 {
+                    sheds_left -= 1;
+                    BinReply::Busy
+                } else {
+                    BinReply::VerdictN(vec![Verdict::Safe(0.25); urls.len()])
+                };
+                freephish_serve::encode_bin_reply(&mut frame, &reply);
+                stream.write_all(&frame).unwrap();
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn shed_chunk_fails_its_urls_without_sinking_the_batch() {
+        let addr = busy_first_chunk_server();
+        let client = VerdictClient::with_seed(addr, 17);
+        // Two CHECKN chunks: the first (MAX_BATCH URLs) stays shed through
+        // the retry, the second is answered.
+        let urls: Vec<String> = (0..MAX_BATCH + 40)
+            .map(|i| format!("https://site{i}.weebly.com/"))
+            .collect();
+        let verdicts = client.check_batch(&urls).unwrap();
+        assert_eq!(verdicts.len(), urls.len());
+        for v in &verdicts[..MAX_BATCH] {
+            assert_eq!(v.as_ref().unwrap_err(), "server busy");
+        }
+        for v in &verdicts[MAX_BATCH..] {
+            assert!(!v.as_ref().unwrap().is_phishing());
+        }
+        // Only delivered verdicts were cached; the shed URLs will be
+        // refetched next time instead of serving a stale placeholder.
+        assert_eq!(client.cache_len(), 40);
+        // The strict wrapper surfaces the same partial failure as an error.
+        let strict = VerdictClient::with_seed(busy_first_chunk_server(), 19);
+        let err = strict.check_batch_strict(&urls[..1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
     }
 
     fn wait_for_active(server: &VerdictServer) {

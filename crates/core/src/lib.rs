@@ -41,7 +41,7 @@ pub mod world;
 pub use features::{FeatureSet, FeatureVector};
 pub use models::augmented::AugmentedStackModel;
 pub use resolver::{
-    ManualClock, MapFetcher, ResolverClock, ResolverModels, SnapshotFetcher, SyntheticFetcher,
-    TieredResolver, TieredResolverConfig, WallClock,
+    HttpFetcher, ManualClock, MapFetcher, ResolverClock, ResolverModels, SnapshotFetcher,
+    SyntheticFetcher, TieredResolver, TieredResolverConfig, WallClock,
 };
 pub use world::World;

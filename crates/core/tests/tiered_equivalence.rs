@@ -113,7 +113,7 @@ fn evented_binary_protocol_carries_offline_bits_unchanged() {
         EventedServer::start(resolver.clone() as Arc<dyn UrlChecker>).expect("start evented");
     let client = VerdictClient::new(engine.addr());
     let urls: Vec<String> = expected.iter().map(|(u, _)| u.clone()).collect();
-    let verdicts = client.check_batch(&urls).expect("binary CHECKN");
+    let verdicts = client.check_batch_strict(&urls).expect("binary CHECKN");
     for ((url, offline), verdict) in expected.iter().zip(&verdicts) {
         assert_eq!(verdict.is_phishing(), *offline >= threshold, "{url}");
         assert_eq!(
@@ -137,7 +137,7 @@ fn threaded_line_protocol_agrees_at_its_quantization() {
     let urls: Vec<String> = expected.iter().map(|(u, _)| u.clone()).collect();
     // The threaded engine refuses the binary handshake; the client falls
     // back to pipelined lines, whose scores are printed at 4 decimals.
-    let verdicts = client.check_batch(&urls).expect("line CHECK batch");
+    let verdicts = client.check_batch_strict(&urls).expect("line CHECK batch");
     for ((url, offline), verdict) in expected.iter().zip(&verdicts) {
         assert_eq!(verdict.is_phishing(), *offline >= threshold, "{url}");
         let quantized: f64 = format!("{offline:.4}").parse().unwrap();

@@ -24,11 +24,19 @@
 #     ops_scrape_latency keys; a miss phase (--miss-rate) then drives the
 #     tiered resolver with never-seen URLs and records the
 #     serve_miss_classify_per_sec and serve_tier_hit_rates keys plus a
-#     kill-mid-load restart proof under serve_miss_classify.
+#     kill-mid-load restart proof under serve_miss_classify;
+#   * the distributed cluster — loadgen --cluster spawns freephish-extd
+#     follower processes replicating from an in-process primary WAL and
+#     scatters CHECKN through the consistent-hash router: a rate-capped
+#     1/2/4/8-node scaling sweep (cluster_scaling), a replication-lag
+#     scrape off a follower's /varz (cluster_replication_lag), and a
+#     kill-a-follower/resume-from-cursor/zero-lost-verdicts proof
+#     (cluster_failover).
 #
 # Knobs: FREEPHISH_BENCH_REPS (best-of reps, default 3),
 #        FREEPHISH_BENCH_OUT (output path, default BENCH_PIPELINE.json),
-#        FREEPHISH_LOADGEN_CONNS / _SECS / _BATCH (loadgen shape).
+#        FREEPHISH_LOADGEN_CONNS / _SECS / _BATCH (loadgen shape),
+#        FREEPHISH_CLUSTER_RATE / _CONNS (cluster phase shape).
 # Run from the repository root: ./scripts/bench.sh
 set -euo pipefail
 
@@ -46,9 +54,18 @@ cargo build --release -p freephish-bench --bin loadgen
 echo "== loadgen =="
 ./target/release/loadgen
 
+# The cluster phase spawns follower daemons from the freephish-extd
+# binary next to loadgen in target/release.
+echo "== cargo build --release -p freephish-core --bin freephish-extd =="
+cargo build --release -p freephish-core --bin freephish-extd
+
+echo "== loadgen --cluster =="
+./target/release/loadgen --cluster
+
 OUT="${FREEPHISH_BENCH_OUT:-BENCH_PIPELINE.json}"
 for key in serve_throughput serve_latency serve_p999 serve_worker_utilization ops_scrape_latency \
            serve_miss_classify_per_sec serve_tier_hit_rates \
+           cluster_scaling cluster_replication_lag cluster_failover \
            urls_classified_per_sec html_tokenize_mb_per_sec forest_predict_rows_per_sec url_features_per_sec; do
   if ! grep -q "\"$key\"" "$OUT"; then
     echo "bench.sh: ERROR: \"$key\" missing from $OUT" >&2

@@ -26,6 +26,12 @@ cargo test -q -p freephish-serve
 echo "== cargo test -q -p freephish-serve (FREEPHISH_THREADS=1) =="
 FREEPHISH_THREADS=1 cargo test -q -p freephish-serve
 
+echo "== cargo test -q -p freephish-cluster (host-default threads) =="
+cargo test -q -p freephish-cluster
+
+echo "== cargo test -q -p freephish-cluster (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 cargo test -q -p freephish-cluster
+
 echo "== cargo test -q (host-default threads) =="
 cargo test -q
 

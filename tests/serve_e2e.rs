@@ -57,8 +57,8 @@ fn both_engines_serve_identical_verdicts_under_concurrent_mixed_load() {
                 .map(|i| entries[(c * 5 + i) % entries.len()].0.clone())
                 .chain((0..4).map(|i| format!("https://batch{c}-{i}.weebly.com/")))
                 .collect();
-            let tb = tc.check_batch(&batch).unwrap();
-            let eb = ec.check_batch(&batch).unwrap();
+            let tb = tc.check_batch_strict(&batch).unwrap();
+            let eb = ec.check_batch_strict(&batch).unwrap();
             assert_eq!(tb.len(), batch.len());
             for ((url, tv), ev) in batch.iter().zip(&tb).zip(&eb) {
                 assert_eq!(
