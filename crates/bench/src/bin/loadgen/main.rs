@@ -25,6 +25,7 @@
 //! perfbench.
 
 mod cluster;
+mod soak;
 
 use bytes::BytesMut;
 use freephish_core::extension::{KnownSetChecker, VerdictServer};
@@ -451,6 +452,26 @@ fn miss_phase(
     })
 }
 
+/// Merge a JSON object of keys into the bench record at `out` without
+/// clobbering keys owned by other phases.
+fn merge_keys(out: &str, keys: &serde_json::Value) {
+    let mut record: serde_json::Value = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_else(|| serde_json::json!({"schema_version": 1}));
+    let obj = record
+        .as_object_mut()
+        .expect("bench record must be a JSON object");
+    let mut merged: Vec<String> = Vec::new();
+    for (k, v) in keys.as_object().expect("phase keys").iter() {
+        obj.insert(k.clone(), v.clone());
+        merged.push(k.clone());
+    }
+    std::fs::write(out, serde_json::to_string_pretty(&record).unwrap())
+        .unwrap_or_else(|e| panic!("could not write {out}: {e}"));
+    println!("merged {} into {out}", merged.join(", "));
+}
+
 fn main() {
     let conns = env_usize("FREEPHISH_LOADGEN_CONNS", 64);
     let batch = env_usize("FREEPHISH_LOADGEN_BATCH", 64).clamp(1, 256);
@@ -462,11 +483,16 @@ fn main() {
     // --cluster: skip the single-node phases and run the multi-process
     // cluster phase (scaling sweep + failover proof) instead.
     let mut cluster_only = false;
+    // --soak: skip the single-node phases and run the scale/soak phase
+    // (streaming world build, 10M-entry bake, mmap load gate, sustained
+    // mixed traffic with RSS/p99.9 gates) instead.
+    let mut soak_only = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--cluster" => cluster_only = true,
+            "--soak" => soak_only = true,
             "--miss-rate" => {
                 i += 1;
                 miss_rate = argv
@@ -479,7 +505,9 @@ fn main() {
                     });
             }
             other => {
-                eprintln!("unknown flag {other}; usage: loadgen [--miss-rate F] [--cluster]");
+                eprintln!(
+                    "unknown flag {other}; usage: loadgen [--miss-rate F] [--cluster] [--soak]"
+                );
                 std::process::exit(64);
             }
         }
@@ -489,21 +517,13 @@ fn main() {
     if cluster_only {
         println!("loadgen: cluster phase ({secs}s per sweep point, CHECKN batch {batch})");
         let keys = cluster::cluster_phase(secs, batch);
-        let mut record: serde_json::Value = std::fs::read_to_string(&out)
-            .ok()
-            .and_then(|s| serde_json::from_str(&s).ok())
-            .unwrap_or_else(|| serde_json::json!({"schema_version": 1}));
-        let obj = record
-            .as_object_mut()
-            .expect("bench record must be a JSON object");
-        let mut merged: Vec<String> = Vec::new();
-        for (k, v) in keys.as_object().expect("cluster keys").iter() {
-            obj.insert(k.clone(), v.clone());
-            merged.push(k.clone());
-        }
-        std::fs::write(&out, serde_json::to_string_pretty(&record).unwrap())
-            .unwrap_or_else(|e| panic!("could not write {out}: {e}"));
-        println!("merged {} into {out}", merged.join(", "));
+        merge_keys(&out, &keys);
+        return;
+    }
+
+    if soak_only {
+        let keys = soak::soak_phase(batch);
+        merge_keys(&out, &keys);
         return;
     }
 

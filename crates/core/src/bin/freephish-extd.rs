@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! freephish-extd serve [--port N] [--blocklist FILE] [--store DIR]
+//!                      [--index-file FILE] [--rebake-secs N]
 //!                      [--engine threaded|evented] [--ops-port N]
 //!                      [--classify-on-miss] [--rate-cap N]
 //!                      [--replication-port N] [--replicate-from ADDR]
@@ -34,8 +35,18 @@
 //!     --classify-on-miss). Ctrl-C / SIGTERM drains connections, flushes
 //!     the store, and exits 0.
 //!
+//!     Scale flags (both need --store): --index-file FILE mmaps a baked
+//!     verdict index (DESIGN.md §15) as the serving baseline — a node
+//!     carrying millions of entries restarts in milliseconds, replaying
+//!     only the journal suffix past the bake's cursor; live entries
+//!     shadow baked ones bit-identically. --rebake-secs N (evented
+//!     engine) re-bakes the journal into FILE (default:
+//!     DIR/verdicts.mapidx) every N seconds on the serve loop — temp
+//!     file + atomic rename, then an in-process baseline swap.
+//!
 //!     Cluster flags: --rate-cap N sheds check traffic past N URLs/sec
-//!     with BUSY (a per-replica QoS quota; evented engine only).
+//!     with BUSY (a per-replica QoS quota; evented engine only). N must
+//!     be positive — the cap is off when the flag is absent.
 //!     --replication-port N makes this daemon the cluster primary
 //!     (DESIGN.md §14): it owns --store DIR as its WAL — wire ADDs (and
 //!     inline classify-on-miss verdicts) are journaled straight into it,
@@ -169,6 +180,7 @@ fn load_blocklist(path: &str) -> std::io::Result<Vec<(String, f64)>> {
 fn usage() -> ! {
     eprintln!(
         "usage: freephish-extd serve [--port N] [--blocklist FILE] [--store DIR] \
+         [--index-file FILE] [--rebake-secs N] \
          [--engine threaded|evented] [--ops-port N] [--classify-on-miss] [--rate-cap N] \
          [--replication-port N] [--replicate-from ADDR]"
     );
@@ -241,6 +253,8 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     let mut evented = true;
     let mut classify_on_miss = false;
     let mut rate_cap: u64 = 0;
+    let mut index_file: Option<String> = None;
+    let mut rebake_secs: u64 = 0;
     let mut replication_port: Option<u16> = None;
     let mut replicate_from: Option<SocketAddr> = None;
     let mut i = 0;
@@ -249,7 +263,31 @@ fn serve(args: &[String]) -> std::io::Result<()> {
             "--rate-cap" => {
                 i += 1;
                 let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
-                rate_cap = raw.parse().unwrap_or_else(|_| usage());
+                // A cap of zero (or below) would shed every request; the
+                // way to disable the cap is to omit the flag.
+                match raw.parse::<i64>() {
+                    Ok(n) if n > 0 => rate_cap = n as u64,
+                    _ => {
+                        eprintln!(
+                            "--rate-cap must be a positive integer (URLs/sec), got {raw:?}; \
+                             omit the flag to disable the cap"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--index-file" => {
+                i += 1;
+                index_file = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--rebake-secs" => {
+                i += 1;
+                let raw = args.get(i).map(String::as_str).unwrap_or_else(|| usage());
+                rebake_secs = raw.parse().unwrap_or_else(|_| usage());
+                if rebake_secs == 0 {
+                    eprintln!("--rebake-secs must be positive");
+                    usage();
+                }
             }
             "--replication-port" => {
                 i += 1;
@@ -299,6 +337,29 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         eprintln!("--rate-cap requires the evented engine");
         usage();
     }
+    if (index_file.is_some() || rebake_secs > 0) && store_dir.is_none() {
+        eprintln!("--index-file and --rebake-secs need --store DIR (the journal to bake)");
+        usage();
+    }
+    if rebake_secs > 0 && !evented {
+        eprintln!("--rebake-secs requires the evented engine (in-process baseline swap)");
+        usage();
+    }
+    if (index_file.is_some() || rebake_secs > 0)
+        && (replication_port.is_some() || replicate_from.is_some())
+    {
+        eprintln!("--index-file/--rebake-secs are incompatible with the replication modes");
+        usage();
+    }
+    // Where re-bakes land: the explicit --index-file, or a default next
+    // to the journal.
+    let bake_path: Option<std::path::PathBuf> = match (&index_file, &store_dir) {
+        (Some(f), _) => Some(f.into()),
+        (None, Some(dir)) if rebake_secs > 0 => {
+            Some(std::path::Path::new(dir).join("verdicts.mapidx"))
+        }
+        _ => None,
+    };
     if let Some(primary) = replicate_from {
         // Follower mode is a different wiring altogether: the store dir
         // belongs to the replication session, not to a local journal
@@ -355,7 +416,21 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     } else {
         match &store_dir {
             Some(dir) => {
-                let b = StoreBacking::open(dir, evented, std::mem::take(&mut entries))?;
+                // The baseline is optional at startup: before the first
+                // bake exists the daemon simply replays the journal, and
+                // the first --rebake-secs cycle creates the file.
+                let base = match bake_path.as_deref() {
+                    Some(p) if p.exists() => Some(p),
+                    Some(p) if index_file.is_some() => {
+                        freephish_obs::warn(
+                            "extd",
+                            format!("index file {} not found; serving from journal replay until the first bake", p.display()),
+                        );
+                        None
+                    }
+                    _ => None,
+                };
+                let b = StoreBacking::open_with(dir, evented, std::mem::take(&mut entries), base)?;
                 let c = b.checker();
                 backing = Some(b);
                 c
@@ -483,6 +558,7 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     }
     println!("press Ctrl-C to stop");
 
+    let mut last_rebake = std::time::Instant::now();
     while !shutdown::requested() {
         std::thread::sleep(SERVE_POLL);
         if let Some(b) = &mut backing {
@@ -491,6 +567,22 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                 Err(e) => {
                     caught_up.store(false, Ordering::SeqCst);
                     freephish_obs::warn("extd", format!("store reload failed: {e}"));
+                }
+            }
+            if rebake_secs > 0 && last_rebake.elapsed().as_secs() >= rebake_secs {
+                last_rebake = std::time::Instant::now();
+                let out = bake_path.as_deref().expect("rebake implies a bake path");
+                match b.rebake(out) {
+                    Ok(summary) => freephish_obs::info(
+                        "extd",
+                        format!(
+                            "re-baked {} entries ({} bytes) into {}",
+                            summary.entries,
+                            summary.file_bytes,
+                            out.display()
+                        ),
+                    ),
+                    Err(e) => freephish_obs::warn("extd", format!("re-bake failed: {e}")),
                 }
             }
         }

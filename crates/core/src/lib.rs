@@ -35,6 +35,7 @@ pub mod journal;
 pub mod models;
 pub mod pipeline;
 pub mod resolver;
+pub mod scaleworld;
 pub mod verdictstore;
 pub mod world;
 
@@ -44,4 +45,5 @@ pub use resolver::{
     HttpFetcher, ManualClock, MapFetcher, ResolverClock, ResolverModels, SnapshotFetcher,
     SyntheticFetcher, TieredResolver, TieredResolverConfig, WallClock,
 };
+pub use scaleworld::{ScaleWorld, ScaleWorldConfig};
 pub use world::World;

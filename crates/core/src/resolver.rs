@@ -946,7 +946,7 @@ mod tests {
         build(&GroundTruthConfig {
             n_phish: 120,
             n_benign: 120,
-            seed: 07_08_2026,
+            seed: 7_082_026,
         })
     }
 

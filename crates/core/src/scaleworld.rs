@@ -1,0 +1,231 @@
+//! Million-site worlds: streaming, bounded-memory world generation for
+//! soak testing the serve path at paper scale and beyond.
+//!
+//! The measurement worlds built by [`crate::world`] materialise every
+//! site up front, which is right for six-month ecosystem simulations of a
+//! few thousand sites but breaks down when the question becomes "does the
+//! verdict service hold its SLOs with ten million known URLs?". This
+//! module answers that with a different representation: a
+//! [`ScaleWorld`] never stores sites at all. Each site is a pure function
+//! of `(seed, index)` (via [`freephish_fwbsim::ScaleSampler`]), so
+//! iterating a 10M-site world allocates one URL at a time and resident
+//! memory stays flat no matter the world size — the property the soak
+//! harness's RSS gate checks.
+//!
+//! Two consumers:
+//!
+//! * the soak harness streams [`ScaleWorld::iter`] /
+//!   [`ScaleWorld::chunks`] to drive mixed `CHECK`/`CHECKN`/`ADD` traffic
+//!   with realistic heavy-tailed URL shapes;
+//! * [`ScaleWorld::bake_index`] streams the world's verdicts straight
+//!   into a [`freephish_mapidx`] snapshot file through the external-merge
+//!   writer, producing the 10M-entry index whose mmap load time the
+//!   `mapidx_load_ms` gate bounds.
+
+use std::io;
+use std::path::Path;
+
+use freephish_fwbsim::{scale, ScaleSampler, ScaleSite, ScaleStats};
+use freephish_mapidx::{BakeSummary, IndexWriter};
+
+/// Shape of a scale world. `Default` gives the soak harness's baseline:
+/// one million sites with the paper's Table 4 / Figure 5 distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleWorldConfig {
+    /// Number of sites in the world.
+    pub sites: u64,
+    /// Root seed; worlds with equal configs are identical.
+    pub seed: u64,
+    /// Zipf exponent for brand targeting (Figure 5 head-heaviness).
+    pub brand_zipf_s: f64,
+    /// Fraction of sites that are phishing pages.
+    pub phish_fraction: f64,
+}
+
+impl Default for ScaleWorldConfig {
+    fn default() -> Self {
+        ScaleWorldConfig {
+            sites: 1_000_000,
+            seed: 0x00F2_EE7A_7E25,
+            brand_zipf_s: scale::DEFAULT_BRAND_ZIPF_S,
+            phish_fraction: scale::DEFAULT_PHISH_FRACTION,
+        }
+    }
+}
+
+/// A virtual world of `cfg.sites` FWB-hosted sites. Holds only the
+/// sampler (a few hundred bytes); every site is regenerated on demand.
+#[derive(Debug, Clone)]
+pub struct ScaleWorld {
+    cfg: ScaleWorldConfig,
+    sampler: ScaleSampler,
+}
+
+impl ScaleWorld {
+    /// Build the world's sampler. O(1) in `cfg.sites`.
+    pub fn new(cfg: ScaleWorldConfig) -> ScaleWorld {
+        ScaleWorld {
+            cfg,
+            sampler: ScaleSampler::with_shape(cfg.seed, cfg.brand_zipf_s, cfg.phish_fraction),
+        }
+    }
+
+    /// The configuration this world was built from.
+    pub fn config(&self) -> ScaleWorldConfig {
+        self.cfg
+    }
+
+    /// Number of sites in the world.
+    pub fn len(&self) -> u64 {
+        self.cfg.sites
+    }
+
+    /// Whether the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.sites == 0
+    }
+
+    /// Site `index` (mod world size, so load generators can wrap freely).
+    pub fn site_at(&self, index: u64) -> ScaleSite {
+        debug_assert!(self.cfg.sites > 0, "site_at on an empty world");
+        self.sampler.site_at(index % self.cfg.sites.max(1))
+    }
+
+    /// The verdict-store entry for site `index`: `(url, score)`.
+    pub fn verdict_at(&self, index: u64) -> (String, f64) {
+        let site = self.site_at(index);
+        (site.url, site.score)
+    }
+
+    /// Stream every site in index order. Constant memory: one
+    /// [`ScaleSite`] alive at a time.
+    pub fn iter(&self) -> impl Iterator<Item = ScaleSite> + '_ {
+        (0..self.cfg.sites).map(move |i| self.sampler.site_at(i))
+    }
+
+    /// Stream the world in bounded chunks (for batch APIs like `CHECKN`).
+    /// Peak memory is one chunk, not the world.
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = Vec<ScaleSite>> + '_ {
+        assert!(chunk > 0, "chunk size must be positive");
+        let chunk = chunk as u64;
+        let n = self.cfg.sites.div_ceil(chunk);
+        (0..n).map(move |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(self.cfg.sites);
+            (lo..hi).map(|i| self.sampler.site_at(i)).collect()
+        })
+    }
+
+    /// Survey the world's distribution by visiting every `stride`-th site.
+    /// Memory is the fixed counter set in [`ScaleStats`]; time is
+    /// `sites / stride` site generations.
+    pub fn survey(&self, stride: u64) -> ScaleStats {
+        let stride = stride.max(1);
+        let mut stats = ScaleStats::new();
+        let mut i = 0;
+        while i < self.cfg.sites {
+            stats.record(&self.sampler.site_at(i));
+            i += stride;
+        }
+        stats
+    }
+
+    /// Stream `entries` verdicts (wrapping over the world if `entries >
+    /// sites`) into a mapidx snapshot file at `out_path`. This is the
+    /// scale path for building multi-million-entry baked baselines
+    /// without a journal: the external-merge writer spills sorted runs,
+    /// so peak memory is the writer's run budget, not the entry count.
+    pub fn bake_index(&self, entries: u64, out_path: &Path) -> io::Result<BakeSummary> {
+        let spill = out_path.with_extension("spill");
+        let mut writer = IndexWriter::create(&spill)?;
+        for i in 0..entries {
+            let (url, score) = self.verdict_at(i);
+            writer.add(&url, score)?;
+        }
+        let summary = writer.finish(out_path)?;
+        let _ = std::fs::remove_dir_all(&spill);
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freephish_mapidx::SnapshotIndex;
+
+    fn small(sites: u64) -> ScaleWorld {
+        ScaleWorld::new(ScaleWorldConfig {
+            sites,
+            ..ScaleWorldConfig::default()
+        })
+    }
+
+    #[test]
+    fn iter_matches_random_access() {
+        let w = small(500);
+        for (i, site) in w.iter().enumerate() {
+            assert_eq!(site, w.site_at(i as u64));
+        }
+    }
+
+    #[test]
+    fn chunks_cover_the_world_exactly_once() {
+        let w = small(1_003);
+        let mut seen = 0u64;
+        for (c, chunk) in w.chunks(100).enumerate() {
+            assert!(chunk.len() <= 100);
+            for (j, site) in chunk.iter().enumerate() {
+                assert_eq!(site.index, c as u64 * 100 + j as u64);
+            }
+            seen += chunk.len() as u64;
+        }
+        assert_eq!(seen, w.len());
+    }
+
+    #[test]
+    fn indices_wrap_modulo_world_size() {
+        let w = small(64);
+        assert_eq!(w.site_at(3), w.site_at(67));
+        assert_eq!(w.verdict_at(10), w.verdict_at(74));
+    }
+
+    #[test]
+    fn survey_counts_every_strided_site() {
+        let w = small(10_000);
+        let stats = w.survey(10);
+        assert_eq!(stats.total(), 1_000);
+        assert!(stats.phishing > 0 && stats.benign > 0);
+        assert!(stats.brand_head_share(10) > 0.2);
+    }
+
+    #[test]
+    fn baked_index_serves_the_worlds_verdicts_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("fp-scalebake-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("world.mapidx");
+        let w = small(2_000);
+        let summary = w.bake_index(2_000, &out).unwrap();
+        assert!(summary.entries <= 2_000, "dedup can only shrink");
+        let idx = SnapshotIndex::open(&out).unwrap();
+        for i in (0..2_000).step_by(37) {
+            let (url, score) = w.verdict_at(i);
+            let got = idx.get(&url).expect("baked entry present");
+            assert_eq!(
+                got.to_bits(),
+                score.to_bits(),
+                "bit-identical score for {url}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worlds_are_reproducible_across_instances() {
+        let a = small(100);
+        let b = small(100);
+        assert_eq!(
+            a.iter().map(|s| s.url).collect::<Vec<_>>(),
+            b.iter().map(|s| s.url).collect::<Vec<_>>()
+        );
+    }
+}

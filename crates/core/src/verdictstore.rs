@@ -19,12 +19,21 @@
 //! Snapshot redelivery (the tail follower re-reads history after the
 //! pipeline compacts its WAL) is harmless here: applying a verdict twice
 //! is an idempotent map insert.
+//!
+//! At million-entry scale both checkers accept a *baked baseline*
+//! (`freephish-mapidx`, see [`bake_index`]): an immutable mmap-loadable
+//! image of the main journal's net state, loaded in milliseconds. Live
+//! state shadows the baseline bit-identically — the journal is later in
+//! time than any bake of its prefix — and the tail follower resumes from
+//! the cursor stamped in the bake's header, so restart cost stops
+//! scaling with journal history (DESIGN.md §15).
 
 use crate::extension::{UrlChecker, Verdict};
 use crate::journal::{decode_event, encode_event, obs_store_observer, AddEvent, RunEvent};
-use freephish_serve::{IndexPublisher, PayloadDecoder, ShardedIndex};
+use freephish_mapidx::{bake_journal, BakeSummary, SnapshotIndex};
+use freephish_serve::{IndexPublisher, OverlayIndex, PayloadDecoder, ShardedIndex};
 use freephish_store::segment::scan_buffer;
-use freephish_store::{Store, StoreOptions, TailFollower};
+use freephish_store::{Store, StoreOptions, TailCursor, TailFollower};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io;
@@ -116,11 +125,39 @@ pub fn journal_payload_decoder() -> PayloadDecoder {
     })
 }
 
+/// Bake the *main* run journal at `store_dir` into an immutable
+/// mmap-loadable index file at `out_path` (temp file + atomic rename),
+/// recording the drained journal cursor in the header so a restarting
+/// node resumes its tail follower there instead of replaying.
+///
+/// Sidecar `ADD`s (`<dir>/extd-adds`) are deliberately *not* baked: the
+/// sidecar is replayed into the live delta on every open, and its
+/// entries shadow the baseline bit-identically, so the bake stays a pure
+/// function of the single-writer main journal.
+pub fn bake_index(
+    store_dir: impl AsRef<Path>,
+    out_path: impl AsRef<Path>,
+) -> io::Result<BakeSummary> {
+    bake_journal(store_dir, out_path, journal_payload_decoder())
+}
+
+/// Load a baked index, mapping loader errors into `io::Error` for the
+/// daemon's `io::Result` plumbing.
+fn open_snapshot_index(path: &Path) -> io::Result<SnapshotIndex> {
+    SnapshotIndex::open(path).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
 /// A [`UrlChecker`] backed by a run-journal store directory, hot-reloading
 /// as the pipeline appends verdicts, plus a durable sidecar for manual
 /// additions.
 pub struct StoreChecker {
     known: RwLock<HashMap<String, f64>>,
+    base: Option<Arc<SnapshotIndex>>,
     generation: AtomicU64,
     main: Mutex<TailFollower>,
     adds: Mutex<SidecarAdds>,
@@ -132,14 +169,37 @@ impl StoreChecker {
     /// [`StoreChecker::reload`] to ingest the main journal (and again
     /// periodically to hot-reload).
     pub fn open(dir: impl AsRef<Path>) -> io::Result<StoreChecker> {
+        StoreChecker::open_with_base(dir, None)
+    }
+
+    /// Like [`StoreChecker::open`], but with an optional baked-index
+    /// baseline: lookups missing the in-memory map fall through to the
+    /// mmap, and the main-journal follower resumes from the bake's
+    /// cursor instead of replaying the whole WAL.
+    pub fn open_with_base(
+        dir: impl AsRef<Path>,
+        index_file: Option<&Path>,
+    ) -> io::Result<StoreChecker> {
         let dir = dir.as_ref().to_path_buf();
         let (adds, recovered) = SidecarAdds::open(&dir)?;
         let known: HashMap<String, f64> = recovered.into_iter().collect();
-        let generation = known.len() as u64;
+        let mut base = None;
+        let mut main = TailFollower::new(&dir);
+        if let Some(path) = index_file {
+            let idx = open_snapshot_index(path)?;
+            if let Some(cursor) = idx.cursor() {
+                main = TailFollower::resume(&dir, cursor);
+            }
+            base = Some(Arc::new(idx));
+        }
+        // A loaded baseline counts as one generation so readiness flips
+        // even before the first journal record arrives.
+        let generation = known.len() as u64 + base.is_some() as u64;
         Ok(StoreChecker {
             known: RwLock::new(known),
+            base,
             generation: AtomicU64::new(generation),
-            main: Mutex::new(TailFollower::new(&dir)),
+            main: Mutex::new(main),
             adds: Mutex::new(adds),
         })
     }
@@ -198,14 +258,15 @@ impl StoreChecker {
         self.adds.lock().sync()
     }
 
-    /// Number of known-phishing URLs.
+    /// Number of known-phishing URLs. With a baseline loaded this is an
+    /// upper bound: live entries that shadow baked ones count twice.
     pub fn len(&self) -> usize {
-        self.known.read().len()
+        self.known.read().len() + self.base.as_ref().map_or(0, |b| b.len() as usize)
     }
 
     /// True when nothing is known yet.
     pub fn is_empty(&self) -> bool {
-        self.known.read().is_empty()
+        self.len() == 0
     }
 
     /// The sidecar store directory.
@@ -223,7 +284,8 @@ impl StoreChecker {
 /// by [`EventedStoreChecker::publisher`]; poll it from the serve loop.
 pub struct EventedStoreChecker {
     dir: PathBuf,
-    index: Arc<ShardedIndex>,
+    overlay: Arc<OverlayIndex>,
+    base_cursor: Option<TailCursor>,
     adds: Mutex<SidecarAdds>,
 }
 
@@ -233,34 +295,79 @@ impl EventedStoreChecker {
     /// immediately; pair with [`EventedStoreChecker::publisher`] to ingest
     /// (and hot-reload) the main journal.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<EventedStoreChecker> {
+        EventedStoreChecker::open_with_base(dir, None)
+    }
+
+    /// Like [`EventedStoreChecker::open`], but with an optional baked
+    /// baseline: reads go through the two-level [`OverlayIndex`] (live
+    /// delta over the mmap), and [`EventedStoreChecker::publisher`]
+    /// resumes the journal tail from the bake's cursor, so a restart
+    /// replays only the suffix.
+    pub fn open_with_base(
+        dir: impl AsRef<Path>,
+        index_file: Option<&Path>,
+    ) -> io::Result<EventedStoreChecker> {
         let dir = dir.as_ref().to_path_buf();
         let (adds, recovered) = SidecarAdds::open(&dir)?;
-        let index = Arc::new(ShardedIndex::with_default_shards());
+        let delta = Arc::new(ShardedIndex::with_default_shards());
         if !recovered.is_empty() {
-            index.publish(recovered);
+            delta.publish(recovered);
         }
+        let mut base_cursor = None;
+        let overlay = match index_file {
+            Some(path) => {
+                let idx = open_snapshot_index(path)?;
+                base_cursor = idx.cursor();
+                Arc::new(OverlayIndex::with_base(idx, delta))
+            }
+            None => Arc::new(OverlayIndex::new(delta)),
+        };
         Ok(EventedStoreChecker {
             dir,
-            index,
+            overlay,
+            base_cursor,
             adds: Mutex::new(adds),
         })
     }
 
     /// An [`IndexPublisher`] tailing the main run journal into this
-    /// checker's index.
+    /// checker's delta — resumed at the baseline's cursor when one was
+    /// loaded.
     pub fn publisher(&self) -> IndexPublisher {
-        IndexPublisher::new(&self.dir, self.index.clone(), journal_payload_decoder())
+        let follower = match self.base_cursor {
+            Some(cursor) => TailFollower::resume(&self.dir, cursor),
+            None => TailFollower::new(&self.dir),
+        };
+        IndexPublisher::with_follower(follower, self.overlay.delta(), journal_payload_decoder())
     }
 
-    /// The shared index (what the serve layer reads from).
+    /// The live delta index (what the publisher feeds).
     pub fn index(&self) -> Arc<ShardedIndex> {
-        self.index.clone()
+        self.overlay.delta()
+    }
+
+    /// The two-level read path the serve layer mounts.
+    pub fn overlay(&self) -> Arc<OverlayIndex> {
+        self.overlay.clone()
+    }
+
+    /// The run-journal directory this checker follows.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Swap in a freshly baked baseline (re-bake completion). The delta
+    /// is deliberately left intact — its entries shadow the new baseline
+    /// bit-identically; it shrinks on the next restart, which resumes
+    /// from the new bake's cursor.
+    pub fn set_base(&self, base: SnapshotIndex) {
+        self.overlay.set_base(base);
     }
 
     /// Durably journal a manual addition in the sidecar and publish it.
     pub fn add_durable(&self, url: &str, score: f64) -> io::Result<u64> {
         self.adds.lock().append(url, score)?;
-        Ok(self.index.publish([(url.to_string(), score)]))
+        self.overlay.add(url, score).map_err(io::Error::other)
     }
 
     /// Flush + fsync the sidecar (shutdown path).
@@ -268,24 +375,25 @@ impl EventedStoreChecker {
         self.adds.lock().sync()
     }
 
-    /// Number of known-phishing URLs.
+    /// Number of known-phishing URLs. With a baseline loaded this is an
+    /// upper bound: delta entries that shadow baked ones count twice.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.overlay.delta().len() + self.overlay.base_len() as usize
     }
 
     /// True when nothing is known yet.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len() == 0
     }
 }
 
 impl UrlChecker for EventedStoreChecker {
     fn check(&self, url: &str) -> Verdict {
-        self.index.check(url)
+        self.overlay.check(url)
     }
 
     fn check_many(&self, urls: &[String]) -> Vec<Verdict> {
-        self.index.check_many(urls)
+        self.overlay.check_many(urls)
     }
 
     fn add(&self, url: &str, score: f64) -> Result<u64, String> {
@@ -294,14 +402,19 @@ impl UrlChecker for EventedStoreChecker {
     }
 
     fn generation(&self) -> u64 {
-        self.index.generation()
+        self.overlay.generation()
     }
 }
 
 impl UrlChecker for StoreChecker {
     fn check(&self, url: &str) -> Verdict {
-        match self.known.read().get(url) {
-            Some(&score) => Verdict::Phishing(score),
+        // The live map first — journal entries are later in time than any
+        // bake of the journal's prefix, so they shadow the baseline.
+        if let Some(&score) = self.known.read().get(url) {
+            return Verdict::Phishing(score);
+        }
+        match self.base.as_ref().and_then(|b| b.get(url)) {
+            Some(score) => Verdict::Phishing(score),
             None => Verdict::Safe(0.0),
         }
     }
@@ -337,8 +450,21 @@ impl StoreBacking {
         evented: bool,
         seed_entries: Vec<(String, f64)>,
     ) -> io::Result<StoreBacking> {
+        StoreBacking::open_with(dir, evented, seed_entries, None)
+    }
+
+    /// [`StoreBacking::open`] with an optional baked-index baseline
+    /// (`--index-file`): the checker mounts the mmap under its live
+    /// state and the catch-up read covers only the journal suffix past
+    /// the bake's cursor.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        evented: bool,
+        seed_entries: Vec<(String, f64)>,
+        index_file: Option<&Path>,
+    ) -> io::Result<StoreBacking> {
         if evented {
-            let c = Arc::new(EventedStoreChecker::open(dir)?);
+            let c = Arc::new(EventedStoreChecker::open_with_base(dir, index_file)?);
             let mut publisher = c.publisher();
             publisher.poll()?;
             for (url, score) in seed_entries {
@@ -346,12 +472,29 @@ impl StoreBacking {
             }
             Ok(StoreBacking::Evented(c, publisher))
         } else {
-            let c = Arc::new(StoreChecker::open(dir)?);
+            let c = Arc::new(StoreChecker::open_with_base(dir, index_file)?);
             c.reload()?;
             for (url, score) in seed_entries {
                 c.add_durable(&url, score)?;
             }
             Ok(StoreBacking::Threaded(c))
+        }
+    }
+
+    /// Re-bake the main journal into `out_path` and swap the fresh
+    /// baseline into the serving overlay without a restart (evented
+    /// engine only). Returns the bake summary.
+    pub fn rebake(&self, out_path: &Path) -> io::Result<BakeSummary> {
+        match self {
+            StoreBacking::Evented(c, _) => {
+                let summary = bake_index(c.dir(), out_path)?;
+                c.set_base(open_snapshot_index(out_path)?);
+                Ok(summary)
+            }
+            StoreBacking::Threaded(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "re-bake requires the evented engine",
+            )),
         }
     }
 

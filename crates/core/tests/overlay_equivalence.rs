@@ -1,0 +1,264 @@
+//! Overlay read-path equivalence: the two-level mmap-baseline + live
+//! delta stack must be observationally *bit-identical* to plain journal
+//! replay, on both serving engines, through overwrites, manual adds,
+//! restarts and in-process re-bakes.
+//!
+//! The contract under test: a baked index is nothing but a cache of a
+//! journal prefix, so for every URL — baked-only, overwritten after the
+//! bake, appended after the bake, manually added, or never seen — a
+//! checker mounted on `bake + suffix replay` returns exactly the verdict
+//! a checker that replayed the whole journal returns, down to the f64
+//! bits.
+
+use freephish_core::journal::{CheckpointEvent, RunJournal, RunMeta, VerdictEvent};
+use freephish_core::verdictstore::{bake_index, EventedStoreChecker, StoreBacking, StoreChecker};
+use freephish_fwbsim::history::Platform;
+use freephish_serve::UrlChecker;
+use freephish_store::testutil::TempDir;
+use freephish_webgen::FwbKind;
+use std::path::Path;
+
+fn meta() -> RunMeta {
+    RunMeta {
+        seed: 17,
+        days: 1,
+        scale: 0.01,
+        benign_fraction: 0.0,
+        threshold: 0.5,
+        end_secs: 86_400,
+    }
+}
+
+fn verdict(n: u64, score: f64) -> VerdictEvent {
+    VerdictEvent {
+        url: format!("https://v{n}.weebly.com/"),
+        fwb: FwbKind::Weebly,
+        platform: Platform::Twitter,
+        post: n,
+        observed_at_secs: n * 60,
+        score,
+    }
+}
+
+fn checkpoint(journal: &mut RunJournal, tick: u64) {
+    journal
+        .checkpoint(CheckpointEvent {
+            tick_secs: tick * 60,
+            scanned: tick,
+            observed: tick,
+            detections_total: tick,
+        })
+        .unwrap();
+}
+
+/// Observational fingerprint of one lookup: block decision + exact bits.
+fn observe(c: &dyn UrlChecker, url: &str) -> (bool, u64) {
+    match c.check(url) {
+        freephish_serve::Verdict::Phishing(s) => (true, s.to_bits()),
+        freephish_serve::Verdict::Safe(s) => (false, s.to_bits()),
+    }
+}
+
+/// Every URL class the overlay must agree on with pure replay.
+fn probe_urls() -> Vec<String> {
+    let mut urls: Vec<String> = (0..60)
+        .map(|n| format!("https://v{n}.weebly.com/"))
+        .collect();
+    urls.push("https://never-journaled.wixsite.com/home".to_string());
+    urls.push(String::new());
+    urls
+}
+
+fn assert_equivalent(overlaid: &dyn UrlChecker, replayed: &dyn UrlChecker, ctx: &str) {
+    for url in probe_urls() {
+        assert_eq!(
+            observe(overlaid, &url),
+            observe(replayed, &url),
+            "{ctx}: overlay and replay diverged on {url:?}"
+        );
+    }
+}
+
+/// Write the pre-bake journal: 40 verdicts with distinct score bits.
+fn seed_journal(dir: &Path) -> RunJournal {
+    let mut journal = RunJournal::create(dir, &meta()).unwrap();
+    for n in 0..40 {
+        journal
+            .append_verdict(verdict(n, 0.5 + n as f64 * 1e-9))
+            .unwrap();
+    }
+    checkpoint(&mut journal, 1);
+    journal
+}
+
+/// Post-bake suffix: 10 fresh URLs plus overwrites of 10 baked ones with
+/// different (bit-distinguishable) scores.
+fn append_suffix(journal: &mut RunJournal) {
+    for n in 40..50 {
+        journal
+            .append_verdict(verdict(n, 0.6 + n as f64 * 1e-9))
+            .unwrap();
+    }
+    for n in (0..20).step_by(2) {
+        journal
+            .append_verdict(verdict(n, 0.75 + n as f64 * 1e-9))
+            .unwrap();
+    }
+    checkpoint(journal, 2);
+}
+
+#[test]
+fn threaded_overlay_matches_pure_replay() {
+    let dir = TempDir::new("overlay-eq-threaded");
+    let mut journal = seed_journal(dir.path());
+    let bake = dir.path().join("baked.mapidx");
+    bake_index(dir.path(), &bake).unwrap();
+    append_suffix(&mut journal);
+
+    let overlaid = StoreChecker::open_with_base(dir.path(), Some(&bake)).unwrap();
+    overlaid.reload().unwrap();
+    let replayed = StoreChecker::open(dir.path()).unwrap();
+    replayed.reload().unwrap();
+
+    // The overlaid checker replayed only the suffix…
+    assert!(
+        overlaid.len() >= replayed.len(),
+        "overlay len is an upper bound (baked entries + live map)"
+    );
+    // …but observationally it is the full history.
+    assert_equivalent(&overlaid, &replayed, "threaded, post-suffix");
+
+    // An overwritten URL serves the *suffix* score, not the baked one.
+    let (hit, bits) = observe(&overlaid, "https://v2.weebly.com/");
+    assert!(hit);
+    assert_eq!(bits, (0.75 + 2.0 * 1e-9f64).to_bits());
+}
+
+#[test]
+fn evented_overlay_matches_pure_replay() {
+    let dir = TempDir::new("overlay-eq-evented");
+    let mut journal = seed_journal(dir.path());
+    let bake = dir.path().join("baked.mapidx");
+    bake_index(dir.path(), &bake).unwrap();
+    append_suffix(&mut journal);
+
+    let overlaid = EventedStoreChecker::open_with_base(dir.path(), Some(&bake)).unwrap();
+    let mut publisher = overlaid.publisher();
+    publisher.poll().unwrap();
+    let replayed = EventedStoreChecker::open(dir.path()).unwrap();
+    let mut replay_pub = replayed.publisher();
+    replay_pub.poll().unwrap();
+
+    // The resumed publisher ingested only the post-cursor suffix into
+    // the delta; the baked prefix is served from the mmap.
+    assert_eq!(overlaid.overlay().base_len(), 40);
+    assert!((overlaid.overlay().delta().len() as u64) < 40 + 20);
+    assert_equivalent(&overlaid, &replayed, "evented, post-suffix");
+
+    // Batch reads agree with batch reads, in order.
+    let urls = probe_urls();
+    let a: Vec<_> = overlaid.check_many(&urls);
+    let b: Vec<_> = replayed.check_many(&urls);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(
+            format!("{x:?}"),
+            format!("{y:?}"),
+            "check_many diverged at {}",
+            urls[i]
+        );
+    }
+}
+
+#[test]
+fn manual_adds_shadow_the_base_and_survive_reopen_on_both_engines() {
+    for evented in [false, true] {
+        let dir = TempDir::new("overlay-eq-adds");
+        let _journal = seed_journal(dir.path());
+        let bake = dir.path().join("baked.mapidx");
+        bake_index(dir.path(), &bake).unwrap();
+
+        let shadowed = "https://v3.weebly.com/";
+        let open = |dir: &Path| -> Box<dyn UrlChecker> {
+            if evented {
+                let c = EventedStoreChecker::open_with_base(dir, Some(&bake)).unwrap();
+                let mut publisher = c.publisher();
+                publisher.poll().unwrap();
+                Box::new(c)
+            } else {
+                let c = StoreChecker::open_with_base(dir, Some(&bake)).unwrap();
+                c.reload().unwrap();
+                Box::new(c)
+            }
+        };
+
+        {
+            let checker = open(dir.path());
+            let (hit, bits) = observe(checker.as_ref(), shadowed);
+            assert!(hit, "baked entry served (evented={evented})");
+            assert_eq!(bits, (0.5 + 3.0 * 1e-9f64).to_bits());
+            // A durable manual ADD shadows the baked score immediately.
+            checker.add(shadowed, 0.97).unwrap();
+            assert_eq!(
+                observe(checker.as_ref(), shadowed),
+                (true, 0.97f64.to_bits())
+            );
+        }
+
+        // …and again after a cold reopen: the sidecar replays into the
+        // delta, which wins over the mmap baseline.
+        let checker = open(dir.path());
+        assert_eq!(
+            observe(checker.as_ref(), shadowed),
+            (true, 0.97f64.to_bits()),
+            "sidecar ADD must shadow the base across restart (evented={evented})"
+        );
+    }
+}
+
+#[test]
+fn journaled_adds_keep_shadowing_across_an_in_process_rebake() {
+    let dir = TempDir::new("overlay-eq-rebake");
+    let mut journal = seed_journal(dir.path());
+    let bake = dir.path().join("gen1.mapidx");
+    bake_index(dir.path(), &bake).unwrap();
+    append_suffix(&mut journal);
+
+    let mut backing = StoreBacking::open_with(dir.path(), true, Vec::new(), Some(&bake)).unwrap();
+    backing.poll().unwrap();
+    let checker = backing.checker();
+    let overwritten = "https://v4.weebly.com/";
+    let want = (true, (0.75 + 4.0 * 1e-9f64).to_bits());
+    assert_eq!(observe(checker.as_ref(), overwritten), want);
+    let gen_before = checker.generation();
+
+    // Re-bake in process: gen2 covers the whole journal including the
+    // overwrites; the swap must not change a single observable verdict.
+    let gen2 = dir.path().join("gen2.mapidx");
+    let summary = backing.rebake(&gen2).unwrap();
+    assert_eq!(summary.entries, 50, "gen2 bakes the deduped full history");
+    assert!(
+        checker.generation() > gen_before,
+        "base swap must advance the generation for cache invalidation"
+    );
+    let replayed = StoreChecker::open(dir.path()).unwrap();
+    replayed.reload().unwrap();
+    assert_equivalent(checker.as_ref(), &replayed, "evented, post-rebake");
+    assert_eq!(observe(checker.as_ref(), overwritten), want);
+
+    // Writes after the re-bake keep landing and keep shadowing.
+    journal.append_verdict(verdict(4, 0.999_999_25)).unwrap();
+    checkpoint(&mut journal, 3);
+    backing.poll().unwrap();
+    assert_eq!(
+        observe(backing.checker().as_ref(), overwritten),
+        (true, 0.999_999_25f64.to_bits()),
+        "post-rebake journal writes must shadow the new base"
+    );
+
+    // The threaded engine refuses in-process re-bakes loudly.
+    let threaded = StoreBacking::open(dir.path(), false, Vec::new()).unwrap();
+    let err = threaded
+        .rebake(&dir.path().join("nope.mapidx"))
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+}

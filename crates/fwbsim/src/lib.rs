@@ -20,17 +20,22 @@
 //! * [`selfhosted`] — the matched self-hosted phishing population with its
 //!   own (faster, more thorough) takedown behaviour;
 //! * [`history`] — the two-year historical campaign generator behind
-//!   Figure 1.
+//!   Figure 1;
+//! * [`scale`] — the streaming million-site world sampler: random-access
+//!   `(seed, index) → site` generation with Table 4 FWB weights and
+//!   Figure 5 brand Zipf, for soak tests that must keep RSS bounded.
 
 pub mod ctlog;
 pub mod history;
 pub mod hosting;
+pub mod scale;
 pub mod selfhosted;
 pub mod ssl;
 pub mod whois;
 
 pub use ctlog::CtLog;
 pub use hosting::{FwbHost, HostedSite, ReportOutcome, SiteId, SiteState, TakedownProfile};
+pub use scale::{ScaleSampler, ScaleSite, ScaleStats};
 pub use selfhosted::{SelfHostedPopulation, SelfHostedSite};
 pub use ssl::SslCertificate;
 pub use whois::WhoisDb;

@@ -1,0 +1,174 @@
+//! The mmap loader and lookup path.
+//!
+//! Two opens with different trust models:
+//!
+//! * [`SnapshotIndex::open`] — the serve path. Maps the file lazily,
+//!   validates the header (magic, version, CRC) and checks the declared
+//!   geometry against the real file length; cost is independent of file
+//!   size, which is what makes a 10M-entry restart a millisecond affair.
+//! * [`SnapshotIndex::open_verified`] — the distrustful path (tools,
+//!   post-crash inspection, property tests). Prefaults the mapping and
+//!   additionally runs the full [`BodySum`] pass, refusing any flipped
+//!   record or heap byte with a typed [`IndexError::BodyChecksum`].
+//!   Also available after a fast open as [`SnapshotIndex::verify`].
+//!
+//! Either way, nothing in this module panics on untrusted bytes: every
+//! lookup is bounds-checked, so even corruption the fast open cannot see
+//! (or a hypothetical checksum collision) yields a wrong-but-safe answer,
+//! never an out-of-range read.
+
+use crate::format::{
+    bucket_of, key_hash, BodySum, Header, IndexError, BUCKET_ENTRY_LEN, HEADER_LEN, RECORD_LEN,
+};
+use crate::mmap::Mmap;
+use freephish_store::tail::TailCursor;
+use std::fs::File;
+use std::path::Path;
+
+/// An immutable verdict index served from a memory-mapped bake file.
+pub struct SnapshotIndex {
+    map: Mmap,
+    header: Header,
+    heap_off: usize,
+    buckets_off: usize,
+}
+
+impl SnapshotIndex {
+    /// Map and validate `path` for serving: header parse, CRC and
+    /// geometry checks only. O(1) in file size — pages fault in as
+    /// lookups touch them.
+    pub fn open(path: impl AsRef<Path>) -> Result<SnapshotIndex, IndexError> {
+        SnapshotIndex::open_inner(path.as_ref(), false)
+    }
+
+    /// Map `path` prefaulted and additionally verify the body checksum
+    /// over every record, heap and bucket byte. One memory-bandwidth
+    /// pass; use when the file's integrity is in question.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<SnapshotIndex, IndexError> {
+        let idx = SnapshotIndex::open_inner(path.as_ref(), true)?;
+        idx.verify()?;
+        Ok(idx)
+    }
+
+    fn open_inner(path: &Path, populate: bool) -> Result<SnapshotIndex, IndexError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN as u64 {
+            return Err(IndexError::TooSmall { len: file_len });
+        }
+        let map = if populate {
+            Mmap::map_readonly_populated(&file, file_len as usize)?
+        } else {
+            Mmap::map_readonly(&file, file_len as usize)?
+        };
+        let bytes = map.as_slice();
+        let header = Header::decode(bytes)?;
+        let expected = header.expected_len();
+        if expected != file_len || header.total_len != file_len {
+            return Err(IndexError::LengthMismatch {
+                expected: expected.min(header.total_len),
+                found: file_len,
+            });
+        }
+        let heap_off = HEADER_LEN + header.entry_count as usize * RECORD_LEN;
+        let buckets_off = heap_off + header.keyheap_len as usize;
+        Ok(SnapshotIndex {
+            map,
+            header,
+            heap_off,
+            buckets_off,
+        })
+    }
+
+    /// Re-run the body checksum over the live mapping. The write-once +
+    /// atomic-rename file contract means a pass here proves the bytes the
+    /// bake wrote are the bytes being served.
+    pub fn verify(&self) -> Result<(), IndexError> {
+        let mut sum = BodySum::new();
+        sum.update(&self.map.as_slice()[HEADER_LEN..]);
+        let found = sum.finish();
+        if found != self.header.body_sum {
+            return Err(IndexError::BodyChecksum {
+                expected: self.header.body_sum,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Look up one URL; `Some(score)` with the exact baked f64 bits.
+    pub fn get(&self, url: &str) -> Option<f64> {
+        let key = url.as_bytes();
+        let hash = key_hash(key);
+        let bucket = bucket_of(hash, self.header.bucket_count) as usize;
+        let lo = self.bucket_offset(bucket)?;
+        let hi = self.bucket_offset(bucket + 1)?;
+        if lo > hi || hi > self.header.entry_count as usize {
+            return None;
+        }
+        let bytes = self.map.as_slice();
+        let heap = bytes.get(self.heap_off..self.buckets_off)?;
+        for i in lo..hi {
+            let off = HEADER_LEN + i * RECORD_LEN;
+            let rec = bytes.get(off..off + RECORD_LEN)?;
+            let rec_hash = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            if rec_hash < hash {
+                continue;
+            }
+            if rec_hash > hash {
+                break; // records are hash-sorted within the bucket
+            }
+            let key_off = u32::from_le_bytes(rec[8..12].try_into().unwrap()) as usize;
+            let key_len = u32::from_le_bytes(rec[12..16].try_into().unwrap()) as usize;
+            if heap.get(key_off..key_off + key_len) == Some(key) {
+                return Some(f64::from_bits(u64::from_le_bytes(
+                    rec[16..24].try_into().unwrap(),
+                )));
+            }
+        }
+        None
+    }
+
+    fn bucket_offset(&self, i: usize) -> Option<usize> {
+        let off = self.buckets_off + i * BUCKET_ENTRY_LEN;
+        let raw = self.map.as_slice().get(off..off + BUCKET_ENTRY_LEN)?;
+        Some(u32::from_le_bytes(raw.try_into().unwrap()) as usize)
+    }
+
+    /// Number of baked entries.
+    pub fn len(&self) -> u64 {
+        self.header.entry_count
+    }
+
+    /// True when the bake contained no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.header.entry_count == 0
+    }
+
+    /// Whole-file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.header.total_len
+    }
+
+    /// The journal position the bake drained to. A restarting node
+    /// resumes its tail follower here instead of replaying the WAL.
+    pub fn cursor(&self) -> Option<TailCursor> {
+        self.header.cursor
+    }
+
+    /// Iterate every baked `(url, score)` pair, in hash order. Keys that
+    /// are not valid UTF-8 (impossible for our writer) are skipped.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        let bytes = self.map.as_slice();
+        let heap = &bytes[self.heap_off..self.buckets_off];
+        (0..self.header.entry_count as usize).filter_map(move |i| {
+            let off = HEADER_LEN + i * RECORD_LEN;
+            let rec = bytes.get(off..off + RECORD_LEN)?;
+            let key_off = u32::from_le_bytes(rec[8..12].try_into().unwrap()) as usize;
+            let key_len = u32::from_le_bytes(rec[12..16].try_into().unwrap()) as usize;
+            let key = std::str::from_utf8(heap.get(key_off..key_off + key_len)?).ok()?;
+            let score = f64::from_bits(u64::from_le_bytes(rec[16..24].try_into().unwrap()));
+            Some((key, score))
+        })
+    }
+}

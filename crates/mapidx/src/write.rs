@@ -1,0 +1,408 @@
+//! The external-merge writer: bake millions of `(url, score)` entries
+//! into the immutable index format without ever materializing the full
+//! map in memory.
+//!
+//! Entries accumulate in a bounded in-memory run; when the run exceeds
+//! its byte budget it is sorted by `(hash, key, seq)` and spilled to a
+//! temporary run file. [`IndexWriter::finish`] k-way-merges the spilled
+//! runs plus the in-memory remainder with a binary heap, deduplicates by
+//! keeping the **highest sequence number** per key (journal semantics:
+//! the latest append wins), and streams records + key heap to temporary
+//! section files while counting bucket occupancy. The final file is then
+//! composed (header, records, heap, prefix-summed bucket table) with the
+//! body checksum folded in during the copy, fsynced, and published with
+//! an atomic rename — a reader either sees the old index or the complete
+//! new one, never a torn bake.
+//!
+//! Peak memory is `max_run_bytes` for the run plus 4 bytes per bucket for
+//! the occupancy counts — versus the hundreds of bytes per entry a
+//! `HashMap<String, f64>` costs.
+
+use crate::format::{bucket_of, key_hash, BodySum, Header, HEADER_LEN};
+use freephish_store::segment::scan_buffer;
+use freephish_store::tail::TailCursor;
+use freephish_store::TailFollower;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Default in-memory run budget before a spill (approximate bytes).
+pub const DEFAULT_RUN_BYTES: usize = 64 * 1024 * 1024;
+
+/// What one bake produced.
+#[derive(Debug, Clone)]
+pub struct BakeSummary {
+    /// Deduplicated entries in the final index.
+    pub entries: u64,
+    /// Final file size in bytes.
+    pub file_bytes: u64,
+    /// Runs spilled to disk during the build (0 = fit in memory).
+    pub spill_runs: usize,
+    /// The journal position the bake drained to, if baked from a journal.
+    pub cursor: Option<TailCursor>,
+}
+
+struct Entry {
+    hash: u64,
+    seq: u64,
+    score: f64,
+    key: String,
+}
+
+impl Entry {
+    fn approx_bytes(&self) -> usize {
+        self.key.len() + 40
+    }
+}
+
+/// One source feeding the k-way merge, yielding entries in
+/// `(hash, key, seq)` order.
+enum RunSource {
+    Mem(std::vec::IntoIter<Entry>),
+    File { rdr: BufReader<File>, left: u64 },
+}
+
+impl RunSource {
+    fn next(&mut self) -> io::Result<Option<Entry>> {
+        match self {
+            RunSource::Mem(it) => Ok(it.next()),
+            RunSource::File { rdr, left } => {
+                if *left == 0 {
+                    return Ok(None);
+                }
+                *left -= 1;
+                let mut fixed = [0u8; 28];
+                rdr.read_exact(&mut fixed)?;
+                let hash = u64::from_le_bytes(fixed[0..8].try_into().unwrap());
+                let seq = u64::from_le_bytes(fixed[8..16].try_into().unwrap());
+                let score = f64::from_bits(u64::from_le_bytes(fixed[16..24].try_into().unwrap()));
+                let key_len = u32::from_le_bytes(fixed[24..28].try_into().unwrap()) as usize;
+                let mut key = vec![0u8; key_len];
+                rdr.read_exact(&mut key)?;
+                let key = String::from_utf8(key).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 spill key")
+                })?;
+                Ok(Some(Entry {
+                    hash,
+                    seq,
+                    score,
+                    key,
+                }))
+            }
+        }
+    }
+}
+
+/// Min-heap item: ordered so the smallest `(hash, key, seq)` pops first.
+struct HeapItem {
+    entry: Entry,
+    src: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest first.
+        let a = (&self.entry.hash, &self.entry.key, self.entry.seq, self.src);
+        let b = (
+            &other.entry.hash,
+            &other.entry.key,
+            other.entry.seq,
+            other.src,
+        );
+        b.cmp(&a)
+    }
+}
+
+/// Streaming builder for one index file.
+pub struct IndexWriter {
+    spill_dir: PathBuf,
+    run: Vec<Entry>,
+    run_bytes: usize,
+    max_run_bytes: usize,
+    runs: Vec<PathBuf>,
+    run_counts: Vec<u64>,
+    seq: u64,
+    total_added: u64,
+    cursor: Option<TailCursor>,
+}
+
+impl IndexWriter {
+    /// Create a writer spilling oversized runs into `spill_dir` (created
+    /// if missing; temporary files are removed by [`IndexWriter::finish`]).
+    pub fn create(spill_dir: impl AsRef<Path>) -> io::Result<IndexWriter> {
+        IndexWriter::with_run_bytes(spill_dir, DEFAULT_RUN_BYTES)
+    }
+
+    /// Create with an explicit in-memory run budget (tests use tiny
+    /// budgets to force multi-run merges).
+    pub fn with_run_bytes(
+        spill_dir: impl AsRef<Path>,
+        max_run_bytes: usize,
+    ) -> io::Result<IndexWriter> {
+        let spill_dir = spill_dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&spill_dir)?;
+        Ok(IndexWriter {
+            spill_dir,
+            run: Vec::new(),
+            run_bytes: 0,
+            max_run_bytes: max_run_bytes.max(1),
+            runs: Vec::new(),
+            run_counts: Vec::new(),
+            seq: 0,
+            total_added: 0,
+            cursor: None,
+        })
+    }
+
+    /// Record the journal position this bake covers; stored in the header
+    /// so a restarting consumer can resume its tail follower there.
+    pub fn set_cursor(&mut self, cursor: Option<TailCursor>) {
+        self.cursor = cursor;
+    }
+
+    /// Add one entry. Later adds of the same URL shadow earlier ones,
+    /// exactly like journal replay.
+    pub fn add(&mut self, url: &str, score: f64) -> io::Result<()> {
+        let entry = Entry {
+            hash: key_hash(url.as_bytes()),
+            seq: self.seq,
+            score,
+            key: url.to_string(),
+        };
+        self.seq += 1;
+        self.total_added += 1;
+        self.run_bytes += entry.approx_bytes();
+        self.run.push(entry);
+        if self.run_bytes >= self.max_run_bytes {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn sort_run(run: &mut [Entry]) {
+        run.sort_unstable_by(|a, b| (a.hash, &a.key, a.seq).cmp(&(b.hash, &b.key, b.seq)));
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        Self::sort_run(&mut self.run);
+        let path = self
+            .spill_dir
+            .join(format!("run-{:05}.tmp", self.runs.len()));
+        let mut w = BufWriter::new(File::create(&path)?);
+        for e in &self.run {
+            w.write_all(&e.hash.to_le_bytes())?;
+            w.write_all(&e.seq.to_le_bytes())?;
+            w.write_all(&e.score.to_bits().to_le_bytes())?;
+            w.write_all(&(e.key.len() as u32).to_le_bytes())?;
+            w.write_all(e.key.as_bytes())?;
+        }
+        w.flush()?;
+        self.runs.push(path);
+        self.run_counts.push(self.run.len() as u64);
+        self.run.clear();
+        self.run_bytes = 0;
+        Ok(())
+    }
+
+    /// Merge, deduplicate, and atomically publish the index at `out_path`.
+    pub fn finish(mut self, out_path: impl AsRef<Path>) -> io::Result<BakeSummary> {
+        let out_path = out_path.as_ref();
+        Self::sort_run(&mut self.run);
+        // Bucket count from the pre-dedup total: an upper bound, so the
+        // table can only be sparser than load factor 1. Never zero.
+        let bucket_count = self.total_added.next_power_of_two().clamp(1, 1 << 31);
+
+        let mut sources: Vec<RunSource> = Vec::with_capacity(self.runs.len() + 1);
+        for (path, &count) in self.runs.iter().zip(&self.run_counts) {
+            sources.push(RunSource::File {
+                rdr: BufReader::with_capacity(1 << 20, File::open(path)?),
+                left: count,
+            });
+        }
+        sources.push(RunSource::Mem(std::mem::take(&mut self.run).into_iter()));
+
+        let mut heap = BinaryHeap::new();
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some(entry) = src.next()? {
+                heap.push(HeapItem { entry, src: i });
+            }
+        }
+
+        let rec_path = self.spill_dir.join("records.tmp");
+        let heap_path = self.spill_dir.join("keyheap.tmp");
+        let mut rec_w = BufWriter::with_capacity(1 << 20, File::create(&rec_path)?);
+        let mut heap_w = BufWriter::with_capacity(1 << 20, File::create(&heap_path)?);
+        let mut counts: Vec<u32> = vec![0; bucket_count as usize];
+        let mut entries: u64 = 0;
+        let mut heap_len: u64 = 0;
+
+        while let Some(top) = heap.pop() {
+            let HeapItem { entry, src } = top;
+            if let Some(next) = sources[src].next()? {
+                heap.push(HeapItem { entry: next, src });
+            }
+            let mut winner = entry;
+            // Drain every other copy of this key; highest seq wins.
+            while let Some(peek) = heap.peek() {
+                if peek.entry.hash != winner.hash || peek.entry.key != winner.key {
+                    break;
+                }
+                let dup = heap.pop().unwrap();
+                if let Some(next) = sources[dup.src].next()? {
+                    heap.push(HeapItem {
+                        entry: next,
+                        src: dup.src,
+                    });
+                }
+                if dup.entry.seq > winner.seq {
+                    winner = dup.entry;
+                }
+            }
+            if heap_len + winner.key.len() as u64 > u32::MAX as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key heap exceeds 4 GiB (u32 offsets)",
+                ));
+            }
+            rec_w.write_all(&winner.hash.to_le_bytes())?;
+            rec_w.write_all(&(heap_len as u32).to_le_bytes())?;
+            rec_w.write_all(&(winner.key.len() as u32).to_le_bytes())?;
+            rec_w.write_all(&winner.score.to_bits().to_le_bytes())?;
+            heap_w.write_all(winner.key.as_bytes())?;
+            heap_len += winner.key.len() as u64;
+            counts[bucket_of(winner.hash, bucket_count) as usize] += 1;
+            entries += 1;
+        }
+        rec_w.flush()?;
+        heap_w.flush()?;
+        drop(rec_w);
+        drop(heap_w);
+        if entries >= u32::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "entry count exceeds u32 offsets",
+            ));
+        }
+
+        // Compose the final file: placeholder header, records, heap,
+        // prefix-summed bucket table; checksum folded in during the copy.
+        let tmp_path = out_path.with_extension("mapidx.tmp");
+        let mut out = BufWriter::with_capacity(1 << 20, File::create(&tmp_path)?);
+        out.write_all(&[0u8; HEADER_LEN])?;
+        let mut sum = BodySum::new();
+        for path in [&rec_path, &heap_path] {
+            let mut rdr = BufReader::with_capacity(1 << 20, File::open(path)?);
+            let mut chunk = vec![0u8; 1 << 20];
+            loop {
+                let n = rdr.read(&mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                sum.update(&chunk[..n]);
+                out.write_all(&chunk[..n])?;
+            }
+        }
+        let mut running: u32 = 0;
+        let mut bucket_bytes = Vec::with_capacity((counts.len() + 1) * 4);
+        bucket_bytes.extend_from_slice(&running.to_le_bytes());
+        for c in &counts {
+            running += c;
+            bucket_bytes.extend_from_slice(&running.to_le_bytes());
+        }
+        sum.update(&bucket_bytes);
+        out.write_all(&bucket_bytes)?;
+        out.flush()?;
+        let mut file = out.into_inner().map_err(|e| e.into_error())?;
+
+        let header = Header {
+            entry_count: entries,
+            bucket_count,
+            keyheap_len: heap_len,
+            cursor: self.cursor,
+            body_sum: sum.finish(),
+            total_len: file.stream_position()?,
+        };
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header.encode())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp_path, out_path)?;
+        if let Some(parent) = out_path.parent() {
+            if let Ok(d) = File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        let _ = std::fs::remove_file(&rec_path);
+        let _ = std::fs::remove_file(&heap_path);
+        let spill_runs = self.runs.len();
+        for path in &self.runs {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(BakeSummary {
+            entries,
+            file_bytes: header.total_len,
+            spill_runs,
+            cursor: self.cursor,
+        })
+    }
+}
+
+/// Bake the full durable state of a store journal into `out_path`,
+/// streaming through `decode` (the same payload-decoder contract the
+/// serve layer's `IndexPublisher` uses) and recording the drained journal
+/// cursor in the header. Spill files live under `<out_path>.spill` and
+/// are removed on success.
+pub fn bake_journal<F>(
+    store_dir: impl AsRef<Path>,
+    out_path: impl AsRef<Path>,
+    mut decode: F,
+) -> io::Result<BakeSummary>
+where
+    F: FnMut(&[u8]) -> io::Result<Option<(String, f64)>>,
+{
+    let out_path = out_path.as_ref();
+    let spill_dir = out_path.with_extension("spill");
+    let mut writer = IndexWriter::create(&spill_dir)?;
+    let mut follower = TailFollower::new(store_dir.as_ref());
+    loop {
+        let batch = follower.poll()?;
+        if batch.is_empty() {
+            break;
+        }
+        if let Some(snapshot) = &batch.snapshot {
+            let (frames, torn) = scan_buffer(snapshot);
+            if torn.is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "journal snapshot framing is corrupt",
+                ));
+            }
+            for frame in frames {
+                if let Some((url, score)) = decode(&frame)? {
+                    writer.add(&url, score)?;
+                }
+            }
+        }
+        for payload in &batch.records {
+            if let Some((url, score)) = decode(payload)? {
+                writer.add(&url, score)?;
+            }
+        }
+    }
+    writer.set_cursor(follower.cursor());
+    let summary = writer.finish(out_path)?;
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    Ok(summary)
+}

@@ -18,6 +18,9 @@
 //! * [`event`] — a bounded structured-event ring buffer with severity
 //!   levels, filtered by the `FREEPHISH_LOG` environment variable
 //!   (default `warn`, so instrumented code is silent in tests).
+//! * [`procfs`] — process-level readings from `/proc`
+//!   ([`process_rss_bytes`]), stamped into scrape snapshots so RSS-based
+//!   SLO gates and dashboards share one number.
 //! * [`window`] — [`WindowedHistogram`], rolling fixed-width windows of
 //!   histograms for SLO-grade quantiles over the recent past.
 //! * [`trace`] (module) — per-request [`TraceId`] span traces with a
@@ -35,6 +38,7 @@ pub mod event;
 pub mod export;
 pub mod histogram;
 pub mod metric;
+pub mod procfs;
 pub mod registry;
 pub mod timer;
 pub mod trace;
@@ -44,6 +48,7 @@ pub use event::{global as global_events, Event, EventLog, Level};
 pub use export::{to_json, to_prometheus};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
+pub use procfs::{process_rss_bytes, rss_gauge_into};
 pub use registry::{escape_label_value, MetricKey, MetricsSnapshot, Registry};
 pub use timer::{Span, Stopwatch};
 pub use trace::{Trace, TraceConfig, TraceId, TraceStore};

@@ -99,6 +99,15 @@ impl ShardedIndex {
         }
     }
 
+    /// The exact stored score for `url`, or `None` when absent — unlike
+    /// [`UrlChecker::check`], which folds a miss into `Safe(0.0)`. The
+    /// overlay read path needs the distinction to fall through to its
+    /// mmap baseline.
+    pub fn score(&self, url: &str) -> Option<f64> {
+        let shard = self.shards[shard_of(url, self.mask)].read().clone();
+        shard.get(url).copied()
+    }
+
     /// Total entries across shards (point-in-time).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
@@ -151,6 +160,12 @@ impl IndexSnapshot {
         }
     }
 
+    /// The exact stored score for `url`, or `None` when absent (see
+    /// [`ShardedIndex::score`]).
+    pub fn score(&self, url: &str) -> Option<f64> {
+        self.shards[shard_of(url, self.mask)].get(url).copied()
+    }
+
     /// The generation this snapshot was taken at.
     pub fn generation(&self) -> u64 {
         self.generation
@@ -175,6 +190,21 @@ impl IndexPublisher {
     pub fn new(dir: impl AsRef<Path>, index: Arc<ShardedIndex>, decode: PayloadDecoder) -> Self {
         IndexPublisher {
             follower: TailFollower::new(dir),
+            index,
+            decode,
+        }
+    }
+
+    /// Feed `index` from an existing follower — typically one resumed at
+    /// a baked-index cursor (`TailFollower::resume`), so a restarting
+    /// node publishes only the journal suffix the bake did not cover.
+    pub fn with_follower(
+        follower: TailFollower,
+        index: Arc<ShardedIndex>,
+        decode: PayloadDecoder,
+    ) -> Self {
+        IndexPublisher {
+            follower,
             index,
             decode,
         }

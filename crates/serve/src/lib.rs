@@ -21,6 +21,11 @@
 //!   path. Readers snapshot `Arc`s once per batch; [`IndexPublisher`]
 //!   tails a `freephish-store` journal and publishes new generations
 //!   without ever blocking a reader.
+//! * [`overlay`] — [`OverlayIndex`]: the two-level read path for
+//!   million-entry nodes. An immutable mmap baseline (`freephish-mapidx`)
+//!   under the live delta; journaled entries shadow baked ones
+//!   bit-identically, and a background re-bake swaps the baseline without
+//!   pausing reads.
 //! * [`verdict`] — [`Verdict`] and the [`UrlChecker`] trait (moved down
 //!   from `freephish-core`, which re-exports them), now with a batched
 //!   [`UrlChecker::check_many`] entry point.
@@ -35,6 +40,7 @@
 
 pub mod index;
 pub mod ops;
+pub mod overlay;
 pub mod proto;
 pub mod server;
 pub mod sys;
@@ -42,6 +48,7 @@ pub mod verdict;
 
 pub use index::{IndexPublisher, IndexSnapshot, PayloadDecoder, ShardedIndex};
 pub use ops::{http_get, OpsConfig, OpsServer, Readiness};
+pub use overlay::OverlayIndex;
 pub use proto::{
     decode_bin_reply, decode_bin_request, decode_request, decode_verdict, encode_bin_reply,
     encode_bin_request, encode_verdict, BinReply, BinRequest, Request, HANDSHAKE_LINE,

@@ -165,6 +165,9 @@ impl OpsShared {
         if let Some(traces) = &self.cfg.traces {
             traces.counters_into(&mut snap);
         }
+        // Stamped at scrape time so /varz and /metrics carry a current
+        // RSS reading for every engine, with no sampler thread.
+        freephish_obs::rss_gauge_into(&mut snap);
         snap
     }
 }
@@ -448,6 +451,21 @@ mod tests {
         let varz: Value = serde_json::from_str(&body).unwrap();
         assert_eq!(varz["gauges"]["serve_connections_active"], 2);
         ops.shutdown();
+    }
+
+    #[test]
+    fn rss_gauge_rides_every_scrape() {
+        let ops = OpsServer::start(0, OpsConfig::fixed(MetricsSnapshot::empty())).unwrap();
+        let (_, body) = http_get(ops.addr(), "/metrics").unwrap();
+        let rss_line = body
+            .lines()
+            .find(|l| l.starts_with("process_rss_bytes "))
+            .expect("metrics must carry process_rss_bytes");
+        let rss: i64 = rss_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(rss > 0);
+        let (_, body) = http_get(ops.addr(), "/varz").unwrap();
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert!(v["gauges"]["process_rss_bytes"].as_i64().unwrap() > 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use codec::{DecodeError, PayloadReader, PayloadWriter};
 pub use crc32::{crc32, crc32_update};
 pub use segment::Torn;
 pub use store::{RecordPos, Recovered, Store, StoreObserver, StoreOptions};
-pub use tail::{TailBatch, TailFollower};
+pub use tail::{TailBatch, TailCursor, TailFollower};
 
 #[cfg(test)]
 mod randomized {

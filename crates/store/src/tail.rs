@@ -42,6 +42,26 @@ impl TailBatch {
     }
 }
 
+/// A resumable position in a store directory: which snapshot the reader
+/// has applied, and how far into which segment it has consumed.
+///
+/// Produced by [`TailFollower::cursor`] and persisted by consumers (the
+/// baked-index header stamps one) so a restarting process can
+/// [`TailFollower::resume`] instead of replaying from the snapshot. If
+/// compaction has deleted the cursor's segment by resume time, the
+/// follower degrades safely to the normal reinitialize-from-snapshot
+/// path (a redelivery, which consumers already apply idempotently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailCursor {
+    /// The newest snapshot sequence applied, if any.
+    pub snapshot_seq: Option<u32>,
+    /// The segment being consumed, if the follower had reached one.
+    pub segment: Option<u32>,
+    /// Byte offset of the next unread frame within `segment` (at least
+    /// the segment header length).
+    pub offset: u64,
+}
+
 /// Incremental reader over a store directory written by someone else.
 #[derive(Debug)]
 pub struct TailFollower {
@@ -67,9 +87,39 @@ impl TailFollower {
         }
     }
 
+    /// Resume following `dir` from a previously captured [`TailCursor`]:
+    /// the first poll delivers only records past the cursor, with no
+    /// snapshot redelivery — unless compaction has since deleted the
+    /// cursor's segment, in which case the follower falls back to the
+    /// usual snapshot-reload path.
+    pub fn resume(dir: impl AsRef<Path>, cursor: TailCursor) -> TailFollower {
+        TailFollower {
+            dir: dir.as_ref().to_path_buf(),
+            initialized: true,
+            snapshot_seq: cursor.snapshot_seq,
+            segment: cursor.segment,
+            offset: cursor.offset.max(SEGMENT_HEADER_LEN),
+            poisoned: false,
+        }
+    }
+
     /// The directory being followed.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The current consumption position, or `None` before the first
+    /// successful poll (an uninitialized follower has no position worth
+    /// persisting).
+    pub fn cursor(&self) -> Option<TailCursor> {
+        if !self.initialized || self.poisoned {
+            return None;
+        }
+        Some(TailCursor {
+            snapshot_seq: self.snapshot_seq,
+            segment: self.segment,
+            offset: self.offset,
+        })
     }
 
     /// Deliver everything new since the last poll.
@@ -300,6 +350,61 @@ mod tests {
         assert_eq!(batch.records, vec![b"whole".to_vec()]);
         // Still waiting, not erroring.
         assert!(follower.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn cursor_resume_skips_consumed_records() {
+        let dir = TempDir::new("tail-resume");
+        let (mut store, _) = Store::open_with(dir.path(), opts(4096), None).unwrap();
+        let mut follower = TailFollower::new(dir.path());
+        assert_eq!(follower.cursor(), None, "no position before first poll");
+
+        store.append(b"seen-1").unwrap();
+        store.append(b"seen-2").unwrap();
+        store.flush().unwrap();
+        assert_eq!(follower.poll().unwrap().records.len(), 2);
+        let cursor = follower.cursor().expect("initialized after poll");
+        drop(follower);
+
+        store.append(b"fresh").unwrap();
+        store.flush().unwrap();
+        let mut resumed = TailFollower::resume(dir.path(), cursor);
+        let batch = resumed.poll().unwrap();
+        assert!(batch.snapshot.is_none(), "resume does not redeliver");
+        assert_eq!(batch.records, vec![b"fresh".to_vec()]);
+        assert!(resumed.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn resume_after_compaction_falls_back_to_snapshot() {
+        let dir = TempDir::new("tail-resume-compact");
+        let (mut store, _) = Store::open(dir.path()).unwrap();
+        let mut follower = TailFollower::new(dir.path());
+        store.append(b"a").unwrap();
+        store.flush().unwrap();
+        follower.poll().unwrap();
+        let cursor = follower.cursor().unwrap();
+
+        // Compaction deletes the cursor's segment.
+        store.snapshot(b"state").unwrap();
+        store.append(b"b").unwrap();
+        store.flush().unwrap();
+
+        let mut resumed = TailFollower::resume(dir.path(), cursor);
+        let mut snapshot = None;
+        let mut records = Vec::new();
+        for _ in 0..3 {
+            let batch = resumed.poll().unwrap();
+            if batch.snapshot.is_some() {
+                snapshot = batch.snapshot;
+            }
+            records.extend(batch.records);
+            if !records.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(snapshot.as_deref(), Some(&b"state"[..]));
+        assert_eq!(records, vec![b"b".to_vec()]);
     }
 
     #[test]

@@ -67,4 +67,35 @@ echo "== ops plane smoke (ops_smoke) =="
 cargo build --release -p freephish-bench --bin ops_smoke
 ./target/release/ops_smoke
 
+# Snapshot-index corruption totality and the two-level read path: any
+# byte-level damage to a baked index must surface as a typed error (never
+# a panic), and a checker mounted on mmap-baseline + journal-suffix replay
+# must stay bit-identical to full replay on both engines, across re-bakes.
+echo "== mapidx corruption/round-trip proptests =="
+cargo test -q -p freephish-mapidx --test proptests
+
+echo "== overlay equivalence (host-default threads) =="
+cargo test -q -p freephish-core --test overlay_equivalence
+
+echo "== overlay equivalence (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 cargo test -q -p freephish-core --test overlay_equivalence
+
+# Downscaled soak smoke: the full million-site pipeline (streaming world
+# build -> bake -> mmap load -> mixed CHECK/CHECKN/ADD soak with RSS and
+# p99.9 gates) at a size that finishes in seconds. The binary asserts the
+# SLOs internally; a failed gate is a nonzero exit here.
+echo "== soak smoke (host-default threads) =="
+cargo build --release -p freephish-bench --bin loadgen
+SOAK_SMOKE_OUT="$(mktemp)"
+FREEPHISH_SOAK_SITES=20000 FREEPHISH_SOAK_INDEX=40000 \
+  FREEPHISH_SOAK_SECS=1 FREEPHISH_SOAK_CONNS=4 \
+  FREEPHISH_BENCH_OUT="$SOAK_SMOKE_OUT" ./target/release/loadgen --soak
+
+echo "== soak smoke (FREEPHISH_THREADS=1) =="
+FREEPHISH_THREADS=1 \
+  FREEPHISH_SOAK_SITES=20000 FREEPHISH_SOAK_INDEX=40000 \
+  FREEPHISH_SOAK_SECS=1 FREEPHISH_SOAK_CONNS=4 \
+  FREEPHISH_BENCH_OUT="$SOAK_SMOKE_OUT" ./target/release/loadgen --soak
+rm -f "$SOAK_SMOKE_OUT"
+
 echo "== ci.sh: all gates passed =="
